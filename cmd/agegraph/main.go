@@ -1,0 +1,71 @@
+// Command agegraph produces the age-graph data of Section VI-C2 / Figure 1
+// in gnuplot-ready form: for every block of an access sequence, the number
+// of trials in which the block still hit after n fresh blocks.
+//
+// The paper's Figure 1 (Ivy Bridge, L3 sets 768-831, sequence
+// "<WBINVD> B0 ... B11"):
+//
+//	agegraph -cpu IvyBridge -level 3 -set 768 -max_fresh 200 -trials 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nanobench/internal/cachetools"
+	"nanobench/internal/nano"
+	"nanobench/internal/sim/machine"
+	"nanobench/internal/uarch"
+)
+
+func main() {
+	var (
+		cpuName  = flag.String("cpu", "IvyBridge", "simulated CPU model ("+uarch.NameList()+")")
+		level    = flag.Int("level", 3, "cache level (1, 2, or 3)")
+		set      = flag.Int("set", 768, "set index")
+		cbox     = flag.Int("cbox", 0, "C-Box / L3 slice")
+		seqStr   = flag.String("seq", "", "prefix sequence (default: <wbinvd> B0..B<assoc-1>)")
+		maxFresh = flag.Int("max_fresh", 200, "maximum number of fresh blocks")
+		step     = flag.Int("step", 8, "fresh-block step")
+		trials   = flag.Int("trials", 16, "trials per data point")
+		seed     = flag.Int64("seed", 42, "machine seed")
+	)
+	flag.Parse()
+
+	cpu, err := uarch.ByName(*cpuName)
+	fatal(err)
+	m, err := cpu.NewMachine(*seed)
+	fatal(err)
+	r, err := nano.NewRunner(m, machine.Kernel)
+	fatal(err)
+	tool, err := cachetools.New(r)
+	fatal(err)
+
+	lvl := cachetools.Level(*level)
+	prefixStr := *seqStr
+	if prefixStr == "" {
+		var sb strings.Builder
+		sb.WriteString("<wbinvd>")
+		for b := 0; b < tool.Assoc(lvl); b++ {
+			fmt.Fprintf(&sb, " B%d", b)
+		}
+		prefixStr = sb.String()
+	}
+	prefix, err := cachetools.ParseSeq(prefixStr)
+	fatal(err)
+
+	fmt.Fprintf(os.Stderr, "agegraph: %s L%d set %d slice %d, prefix %q, %d trials\n",
+		cpu.Name, *level, *set, *cbox, prefixStr, *trials)
+	g, err := tool.AgeGraphFor(lvl, *cbox, *set, prefix, *maxFresh, *step, *trials)
+	fatal(err)
+	fmt.Print(g.Format())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agegraph:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Command cacheseq runs an access sequence in a chosen cache set and
+// reports how many of the measured accesses hit (Section VI-C).
+//
+//	cacheseq -cpu IvyBridge -level 3 -set 768 -cbox 0 \
+//	         -seq "<wbinvd> B0 B1 B2 B0? B1? B2?"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanobench/internal/cachetools"
+	"nanobench/internal/nano"
+	"nanobench/internal/sim/machine"
+	"nanobench/internal/uarch"
+)
+
+func main() {
+	var (
+		cpuName = flag.String("cpu", "Skylake", "simulated CPU model ("+uarch.NameList()+")")
+		level   = flag.Int("level", 3, "cache level (1, 2, or 3)")
+		set     = flag.Int("set", 768, "set index (within the slice for L3)")
+		cbox    = flag.Int("cbox", 0, "C-Box / L3 slice")
+		seqStr  = flag.String("seq", "", "access sequence, e.g. \"<wbinvd> B0 B1 B0?\" ('?' = measured)")
+		seed    = flag.Int64("seed", 42, "machine seed")
+	)
+	flag.Parse()
+	if *seqStr == "" {
+		fmt.Fprintln(os.Stderr, "cacheseq: need -seq")
+		os.Exit(2)
+	}
+
+	seq, err := cachetools.ParseSeq(*seqStr)
+	fatal(err)
+	cpu, err := uarch.ByName(*cpuName)
+	fatal(err)
+	m, err := cpu.NewMachine(*seed)
+	fatal(err)
+	r, err := nano.NewRunner(m, machine.Kernel)
+	fatal(err)
+	tool, err := cachetools.New(r)
+	fatal(err)
+
+	res, err := tool.RunSeq(cachetools.Level(*level), *cbox, *set, seq)
+	fatal(err)
+	fmt.Printf("sequence: %s\n", seq)
+	fmt.Printf("L%d set %d (slice %d): %d hits, %d misses of %d measured accesses\n",
+		*level, *set, *cbox, res.Hits, res.Misses(), res.Measured)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cacheseq:", err)
+		os.Exit(1)
+	}
+}

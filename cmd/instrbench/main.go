@@ -1,0 +1,49 @@
+// Command instrbench runs the case-study-I sweep (Section V): latency,
+// throughput, and port usage for every instruction variant in the table,
+// in the style of uops.info.
+//
+//	instrbench -cpu Skylake
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanobench/internal/instbench"
+	"nanobench/internal/nano"
+	"nanobench/internal/sim/machine"
+	"nanobench/internal/uarch"
+)
+
+func main() {
+	var (
+		cpuName = flag.String("cpu", "Skylake", "simulated CPU model ("+uarch.NameList()+")")
+		seed    = flag.Int64("seed", 42, "machine seed")
+		usr     = flag.Bool("usr", false, "use the user-space version (noisier)")
+	)
+	flag.Parse()
+
+	cpu, err := uarch.ByName(*cpuName)
+	fatal(err)
+	m, err := cpu.NewMachine(*seed)
+	fatal(err)
+	mode := machine.Kernel
+	if *usr {
+		mode = machine.User
+	}
+	r, err := nano.NewRunner(m, mode)
+	fatal(err)
+
+	ms, err := instbench.MeasureAll(r)
+	fatal(err)
+	fmt.Printf("# %s (%s), %d instruction variants\n", cpu.Name, cpu.Model, len(ms))
+	fmt.Print(instbench.FormatTable(ms))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "instrbench:", err)
+		os.Exit(1)
+	}
+}

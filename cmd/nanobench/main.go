@@ -1,0 +1,133 @@
+// Command nanobench mirrors the nanoBench.sh / kernel-nanoBench.sh shell
+// interfaces of the original tool on the simulated machine.
+//
+// The Section III-A example:
+//
+//	nanobench -asm "mov R14, [R14]" -asm_init "mov [R14], R14" \
+//	          -config configs/cfg_Skylake.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanobench/internal/kmod"
+	"nanobench/internal/nano"
+	"nanobench/internal/perfcfg"
+	"nanobench/internal/sim/machine"
+	"nanobench/internal/uarch"
+)
+
+func main() {
+	var (
+		asm     = flag.String("asm", "", "assembler code of the benchmark (Intel syntax)")
+		asmInit = flag.String("asm_init", "", "assembler code executed once before the measurement")
+		codeF   = flag.String("code", "", "file with raw machine code for the benchmark")
+		initF   = flag.String("code_init", "", "file with raw machine code for the init part")
+		cfgF    = flag.String("config", "", "performance counter configuration file")
+		unroll  = flag.Int("unroll_count", 100, "number of copies of the benchmark code")
+		loop    = flag.Int("loop_count", 0, "loop iterations around the unrolled code (0: no loop)")
+		nMeas   = flag.Int("n_measurements", 10, "number of measured runs")
+		warmUp  = flag.Int("warm_up_count", 1, "initial runs excluded from the result")
+		agg     = flag.String("agg", "min", "aggregate function: min, med, avg")
+		basic   = flag.Bool("basic_mode", false, "second run uses no benchmark code instead of 2x unrolling")
+		noMem   = flag.Bool("no_mem", false, "store counter values in registers instead of memory")
+		usr     = flag.Bool("usr", false, "use the user-space version")
+		cpuName = flag.String("cpu", "Skylake", "simulated CPU model ("+uarch.NameList()+")")
+		seed    = flag.Int64("seed", 42, "machine seed")
+	)
+	flag.Parse()
+
+	if *asm == "" && *codeF == "" {
+		fmt.Fprintln(os.Stderr, "nanobench: need -asm or -code")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cpu, err := uarch.ByName(*cpuName)
+	fatal(err)
+	m, err := cpu.NewMachine(*seed)
+	fatal(err)
+
+	aggregate, err := nano.ParseAggregate(*agg)
+	fatal(err)
+
+	var events []perfcfg.EventSpec
+	if *cfgF != "" {
+		data, err := os.ReadFile(*cfgF)
+		fatal(err)
+		events, err = perfcfg.Parse(string(data))
+		fatal(err)
+	}
+
+	cfg := nano.Config{
+		UnrollCount:   *unroll,
+		LoopCount:     *loop,
+		NMeasurements: *nMeas,
+		WarmUpCount:   *warmUp,
+		Aggregate:     aggregate,
+		BasicMode:     *basic,
+		NoMem:         *noMem,
+		Events:        events,
+	}
+	cfg.Code = loadCode(*asm, *codeF)
+	cfg.CodeInit = loadCode(*asmInit, *initF)
+
+	if *usr {
+		r, err := nano.NewRunner(m, machine.User)
+		fatal(err)
+		res, err := r.Run(cfg)
+		fatal(err)
+		fmt.Print(res)
+		return
+	}
+
+	// Kernel space: go through the simulated kernel module's virtual
+	// files, exactly like kernel-nanoBench.sh does.
+	k, err := kmod.Load(m)
+	fatal(err)
+	fatal(k.WriteFile("/sys/nb/code", cfg.Code))
+	if len(cfg.CodeInit) > 0 {
+		fatal(k.WriteFile("/sys/nb/init", cfg.CodeInit))
+	}
+	fatal(k.WriteFile("/sys/nb/unroll_count", []byte(fmt.Sprint(*unroll))))
+	fatal(k.WriteFile("/sys/nb/loop_count", []byte(fmt.Sprint(*loop))))
+	fatal(k.WriteFile("/sys/nb/n_measurements", []byte(fmt.Sprint(*nMeas))))
+	fatal(k.WriteFile("/sys/nb/warm_up_count", []byte(fmt.Sprint(*warmUp))))
+	fatal(k.WriteFile("/sys/nb/agg", []byte(*agg)))
+	if *basic {
+		fatal(k.WriteFile("/sys/nb/basic_mode", []byte("1")))
+	}
+	if *noMem {
+		fatal(k.WriteFile("/sys/nb/no_mem", []byte("1")))
+	}
+	if *cfgF != "" {
+		data, _ := os.ReadFile(*cfgF)
+		fatal(k.WriteFile("/sys/nb/config", data))
+	}
+	out, err := k.ReadFile("/proc/nanoBench")
+	fatal(err)
+	fmt.Print(string(out))
+}
+
+func loadCode(asm, file string) []byte {
+	if asm != "" {
+		code, err := nano.Asm(asm)
+		fatal(err)
+		return code
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		fatal(err)
+		return data
+	}
+	return nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nanobench:", err)
+		os.Exit(1)
+	}
+}

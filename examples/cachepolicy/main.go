@@ -1,0 +1,52 @@
+// Cache policy inference: identify the replacement policy of the Skylake
+// model's L2 cache purely from performance-counter measurements, the way
+// case study II does (Section VI-C1).
+//
+//	go run nanobench/examples/cachepolicy
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nanobench"
+	"nanobench/internal/cachetools"
+	"nanobench/internal/nano"
+)
+
+func main() {
+	m, err := nanobench.NewMachine("Skylake", 123)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := nano.NewRunner(m, nanobench.Kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tool, err := cachetools.New(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running access sequences against the L2 and comparing with")
+	fmt.Printf("simulations of %d candidate policies...\n\n", len(cachetools.DefaultCandidates(tool.Assoc(cachetools.L2))))
+
+	res, err := tool.InferPolicy(cachetools.L2, 0, 300, cachetools.InferOptions{
+		MaxSequences: 150,
+		Seed:         123,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("measured sequences: %d\n", res.SequencesUsed)
+	if name, ok := res.Unique(); ok {
+		fmt.Printf("identified policy:  %s\n", name)
+		if len(res.Classes[0]) > 1 {
+			fmt.Printf("equivalent names:   %s\n", strings.Join(res.Classes[0], ", "))
+		}
+	} else {
+		fmt.Printf("remaining classes: %v\n", res.Classes)
+	}
+}

@@ -1,0 +1,55 @@
+// Kernel mode: benchmark a privileged instruction (WBINVD) through the
+// simulated kernel module's virtual-file interface — something no
+// user-space tool can do (Section III-D).
+//
+//	go run nanobench/examples/kernelmode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nanobench"
+	"nanobench/internal/kmod"
+)
+
+func main() {
+	m, err := nanobench.NewMachine("Skylake", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load the simulated kernel module and configure it through its
+	// /sys/nb/ files, exactly like kernel-nanoBench.sh does.
+	k, err := kmod.Load(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := []struct{ file, value string }{
+		{"/sys/nb/asm", "wbinvd"},
+		{"/sys/nb/unroll_count", "1"},
+		{"/sys/nb/n_measurements", "5"},
+		{"/sys/nb/warm_up_count", "1"},
+		{"/sys/nb/agg", "min"},
+		{"/sys/nb/basic_mode", "1"},
+	}
+	for _, s := range steps {
+		if err := k.WriteFile(s.file, []byte(s.value)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	out, err := k.ReadFile("/proc/nanoBench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("WBINVD (privileged; kernel-space nanoBench):")
+	fmt.Print(string(out))
+
+	// The same benchmark in user space faults with #GP.
+	r, err := nanobench.NewRunner(m, nanobench.User)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = r.Run(nanobench.Config{Code: nanobench.MustAsm("wbinvd"), UnrollCount: 1, NMeasurements: 1})
+	fmt.Printf("\nuser-space attempt: %v\n", err)
+}

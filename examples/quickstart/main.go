@@ -1,0 +1,43 @@
+// Quickstart: the paper's Section III-A example — measuring the L1 data
+// cache latency on a Skylake model with a pointer-chasing load.
+//
+//	go run nanobench/examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nanobench"
+)
+
+func main() {
+	m, err := nanobench.NewMachine("Skylake", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := nanobench.NewRunner(m, nanobench.Kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The init part stores R14 to the address R14 points to; the main
+	// part then chases that pointer: each load depends on the previous
+	// one, so the measured cycles are the L1 load-to-use latency.
+	res, err := r.Run(nanobench.Config{
+		Code:        nanobench.MustAsm("mov R14, [R14]"),
+		CodeInit:    nanobench.MustAsm("mov [R14], R14"),
+		WarmUpCount: 1,
+		Events: nanobench.MustParseEvents(`
+0E.01 UOPS_ISSUED.ANY
+A1.04 UOPS_DISPATCHED_PORT.PORT_2
+A1.08 UOPS_DISPATCHED_PORT.PORT_3
+D1.01 MEM_LOAD_RETIRED.L1_HIT
+D1.08 MEM_LOAD_RETIRED.L1_MISS`),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+	fmt.Printf("\n=> L1 data cache latency: %.0f cycles\n", res.MustGet("Core cycles"))
+}

@@ -1,0 +1,114 @@
+package cachetools
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AgeGraph holds the data of a Figure-1-style age graph: for every block
+// of an access sequence, the number of trials (out of Trials) in which the
+// block still hit after n fresh blocks were accessed.
+type AgeGraph struct {
+	// FreshCounts are the x-axis values.
+	FreshCounts []int
+	// Hits[b][k] is the hit count of prefix block b after FreshCounts[k]
+	// fresh blocks.
+	Hits [][]int
+	// BlockIDs are the measured prefix blocks, in prefix order.
+	BlockIDs []int
+	Trials   int
+}
+
+// AgeSample runs one age experiment (Section VI-C2): execute the prefix
+// sequence, access fresh distinct blocks, then probe one prefix block and
+// report whether it still hits at the target level.
+func (t *Tool) AgeSample(level Level, slice, set int, prefix Seq, block, fresh int) (bool, error) {
+	maxIdx := 0
+	for _, a := range prefix.Accesses {
+		if a.Block > maxIdx {
+			maxIdx = a.Block
+		}
+	}
+	seq := Seq{WbInvd: prefix.WbInvd}
+	seq.Accesses = append(seq.Accesses, prefix.Accesses...)
+	for i := range seq.Accesses {
+		seq.Accesses[i].Measured = false
+	}
+	for f := 0; f < fresh; f++ {
+		seq.Accesses = append(seq.Accesses, Access{Block: maxIdx + 1 + f})
+	}
+	seq.Accesses = append(seq.Accesses, Access{Block: block, Measured: true})
+	res, err := t.RunSeq(level, slice, set, seq)
+	if err != nil {
+		return false, err
+	}
+	return res.Hits > 0, nil
+}
+
+// AgeGraphFor measures an age graph for every distinct block of the prefix
+// sequence. These graphs are the tool of choice for non-deterministic
+// policies (Section VI-C2, Figure 1): each point is the number of trials
+// in which the block survived n fresh misses.
+func (t *Tool) AgeGraphFor(level Level, slice, set int, prefix Seq, maxFresh, step, trials int) (*AgeGraph, error) {
+	if step < 1 {
+		step = 1
+	}
+	seen := map[int]bool{}
+	var blocks []int
+	for _, a := range prefix.Accesses {
+		if !seen[a.Block] {
+			seen[a.Block] = true
+			blocks = append(blocks, a.Block)
+		}
+	}
+	g := &AgeGraph{BlockIDs: blocks, Trials: trials}
+	for n := 0; n <= maxFresh; n += step {
+		g.FreshCounts = append(g.FreshCounts, n)
+	}
+	g.Hits = make([][]int, len(blocks))
+	for bi, b := range blocks {
+		g.Hits[bi] = make([]int, len(g.FreshCounts))
+		for ki, n := range g.FreshCounts {
+			for trial := 0; trial < trials; trial++ {
+				hit, err := t.AgeSample(level, slice, set, prefix, b, n)
+				if err != nil {
+					return nil, err
+				}
+				if hit {
+					g.Hits[bi][ki]++
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Format renders the graph as a gnuplot-ready table: one row per fresh
+// count, one column per block.
+func (g *AgeGraph) Format() string {
+	var sb strings.Builder
+	sb.WriteString("# fresh")
+	for _, b := range g.BlockIDs {
+		fmt.Fprintf(&sb, "\tB%d", b)
+	}
+	sb.WriteByte('\n')
+	for ki, n := range g.FreshCounts {
+		fmt.Fprintf(&sb, "%d", n)
+		for bi := range g.BlockIDs {
+			fmt.Fprintf(&sb, "\t%d", g.Hits[bi][ki])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SurvivalAt returns the fraction of trials in which block bi survived n
+// fresh blocks (n must be one of the sampled fresh counts).
+func (g *AgeGraph) SurvivalAt(bi, n int) (float64, bool) {
+	for ki, fc := range g.FreshCounts {
+		if fc == n {
+			return float64(g.Hits[bi][ki]) / float64(g.Trials), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,288 @@
+package cachetools
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SetClass classifies a cache set in an adaptive cache.
+type SetClass byte
+
+// Set classes.
+const (
+	// ClassFollower marks sets whose behaviour changes with the duel
+	// state.
+	ClassFollower SetClass = 'F'
+	// ClassDeterministic marks dedicated sets with a fixed deterministic
+	// policy.
+	ClassDeterministic SetClass = 'A'
+	// ClassStochastic marks dedicated sets with a fixed non-deterministic
+	// (probabilistic-insertion) policy.
+	ClassStochastic SetClass = 'B'
+)
+
+// DuelingReport is the result of a leader-set scan.
+type DuelingReport struct {
+	// Class maps (slice, set) to its classification.
+	Class map[[2]int]SetClass
+}
+
+// DedicatedSets returns the sorted dedicated sets of a slice for one
+// class.
+func (r *DuelingReport) DedicatedSets(slice int, class SetClass) []int {
+	var out []int
+	for k, c := range r.Class {
+		if k[0] == slice && c == class {
+			out = append(out, k[1])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// setKey identifies a (slice, set) pair.
+type setKey = [2]int
+
+// FindDedicatedSets scans the given L3 sets for dedicated (leader) sets of
+// an adaptive cache, following the approach of Section VI-C3 (after Wong,
+// extended with per-C-Box support for the Haswell/Broadwell layouts):
+//
+//  1. A thrashing workload is run in bulk; misses in the leader sets
+//     saturate the policy-selection counter to one side, so followers
+//     adopt one policy ("state 1").
+//  2. Every set is classified by a deterministic-valued discriminating
+//     sequence. The minority value cluster contains the leaders of the
+//     currently losing policy; the majority cluster holds the winning
+//     leaders plus all followers.
+//  3. The thrashing workload is re-run only on the majority cluster.
+//     Follower misses never move the selection counter, so this drives it
+//     through the misses of the enclosed leader sets to the opposite side
+//     ("state 2"), flipping the followers.
+//  4. Re-classification: sets whose behaviour changed are followers; the
+//     invariant ones are dedicated, split into deterministic and
+//     stochastic (probabilistic-insertion) policies by their
+//     trial-to-trial variance on a recency-sensitive sequence.
+//
+// The scanned range must contain leader sets of both policies; otherwise
+// the duel state cannot be steered and every set reports as dedicated.
+func (t *Tool) FindDedicatedSets(slices, sets []int, trials int) (*DuelingReport, error) {
+	if trials < 3 {
+		trials = 3
+	}
+	assoc := t.Assoc(L3)
+
+	// Thrash: cyclic over assoc+2 blocks; deterministic hit counts under
+	// the QLRU family, with strongly policy-dependent values.
+	var th []int
+	for r := 0; r < 4; r++ {
+		for b := 0; b < assoc+2; b++ {
+			th = append(th, b)
+		}
+	}
+	thrash := SeqOf(true, th...)
+	// Stochasticity probe: repeated fill + overflow + probe rounds. Each
+	// round's outcome depends on the (probabilistic) insertion ages, so
+	// policies with probabilistic insertion virtually never produce the
+	// same hit count twice, while deterministic policies always do.
+	var st []int
+	for r := 0; r < 4; r++ {
+		for b := 0; b < assoc; b++ {
+			st = append(st, b)
+		}
+		st = append(st, assoc, assoc+1)
+		for b := 0; b < assoc; b++ {
+			st = append(st, b)
+		}
+	}
+	stochProbe := SeqOf(true, st...)
+
+	all := []setKey{}
+	for _, sl := range slices {
+		for _, s := range sets {
+			all = append(all, setKey{sl, s})
+		}
+	}
+
+	measure := func(k setKey, seq Seq) (int, error) {
+		res, err := t.RunSeq(L3, k[0], k[1], seq.AllMeasured())
+		return res.Hits, err
+	}
+
+	classifyWith := func(keys []setKey, seq Seq, n int) (map[setKey][]int, error) {
+		out := map[setKey][]int{}
+		for _, k := range keys {
+			for i := 0; i < n; i++ {
+				v, err := measure(k, seq)
+				if err != nil {
+					return nil, err
+				}
+				out[k] = append(out[k], v)
+			}
+		}
+		return out, nil
+	}
+
+	prime := func(targets []setKey, passes int) error {
+		for p := 0; p < passes; p++ {
+			for _, k := range targets {
+				if _, err := t.RunSeq(L3, k[0], k[1], thrash); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: saturate the duel toward one side, then classify. The
+	// classification traffic itself reinforces the saturation (thrashing
+	// the losing policy's leaders generates more misses there).
+	if err := prime(all, 2); err != nil {
+		return nil, err
+	}
+	th1, err := classifyWith(all, thrash, trials)
+	if err != nil {
+		return nil, err
+	}
+	rec1, err := classifyWith(all, stochProbe, trials+1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Majority thrash-value cluster: the winning policy's leaders plus
+	// all followers. The minority cluster holds the losing leaders.
+	counts := map[int]int{}
+	for _, k := range all {
+		counts[modeValue(th1[k])]++
+	}
+	mode, best := 0, -1
+	for v, n := range counts {
+		if n > best {
+			mode, best = v, n
+		}
+	}
+	var majority, minority []setKey
+	for _, k := range all {
+		if modeValue(th1[k]) == mode {
+			majority = append(majority, k)
+		} else {
+			minority = append(minority, k)
+		}
+	}
+
+	// Phase 2: flip the duel by thrashing only the majority cluster
+	// (follower misses never move the selection counter; the cluster's
+	// leader misses do). Prime adaptively until a majority set's
+	// discriminator value changes, proving the flip.
+	const maxPasses = 48
+	flipped := false
+	for p := 0; p < maxPasses && !flipped; p++ {
+		if err := prime(majority, 1); err != nil {
+			return nil, err
+		}
+		spot := majority[p%len(majority)]
+		v, err := measure(spot, thrash)
+		if err != nil {
+			return nil, err
+		}
+		if v != modeValue(th1[spot]) {
+			flipped = true
+		}
+	}
+	_ = flipped // no followers in range (or none flippable): fall through
+
+	// Re-classify, majority first: measuring the minority (the losing
+	// leaders from phase 1) drives the duel back and must come last.
+	th2, err := classifyWith(majority, thrash, trials)
+	if err != nil {
+		return nil, err
+	}
+	th2min, err := classifyWith(minority, thrash, trials)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range th2min {
+		th2[k] = v
+	}
+	rec2, err := classifyWith(all, stochProbe, trials+1)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &DuelingReport{Class: map[setKey]SetClass{}}
+	for _, k := range all {
+		// Followers flip their thrash value between the phases; for the
+		// invariant (dedicated) sets, stochasticity is judged over both
+		// phases' probe samples together.
+		union := append(append([]int{}, rec1[k]...), rec2[k]...)
+		switch {
+		case modeValue(th1[k]) != modeValue(th2[k]):
+			rep.Class[k] = ClassFollower
+		case !allEqual(union):
+			rep.Class[k] = ClassStochastic
+		default:
+			rep.Class[k] = ClassDeterministic
+		}
+	}
+	return rep, nil
+}
+
+func allEqual(vals []int) bool {
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// modeValue returns the most frequent value (ties: the smallest).
+func modeValue(vals []int) int {
+	counts := map[int]int{}
+	for _, v := range vals {
+		counts[v]++
+	}
+	mode, best := 0, -1
+	for v, n := range counts {
+		if n > best || (n == best && v < mode) {
+			mode, best = v, n
+		}
+	}
+	return mode
+}
+
+// String summarizes the report as contiguous dedicated ranges per slice.
+func (r *DuelingReport) String() string {
+	slices := map[int]bool{}
+	for k := range r.Class {
+		slices[k[0]] = true
+	}
+	var sl []int
+	for s := range slices {
+		sl = append(sl, s)
+	}
+	sort.Ints(sl)
+	out := ""
+	for _, s := range sl {
+		out += fmt.Sprintf("slice %d: deterministic=%v stochastic=%v\n",
+			s, ranges(r.DedicatedSets(s, ClassDeterministic)), ranges(r.DedicatedSets(s, ClassStochastic)))
+	}
+	return out
+}
+
+// ranges compresses a sorted int slice into "lo-hi" range strings.
+func ranges(v []int) []string {
+	var out []string
+	for i := 0; i < len(v); {
+		j := i
+		for j+1 < len(v) && v[j+1] == v[j]+1 {
+			j++
+		}
+		if i == j {
+			out = append(out, fmt.Sprintf("%d", v[i]))
+		} else {
+			out = append(out, fmt.Sprintf("%d-%d", v[i], v[j]))
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package cachetools
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Access is one element of a cacheSeq access sequence: the index of an
+// abstract same-set block, and whether the access is included in the
+// performance-counter measurement (Section VI-C: "for each element of the
+// access sequence, it is possible to specify whether the corresponding
+// access should be included in the measurement results").
+type Access struct {
+	Block    int
+	Measured bool
+}
+
+// Seq is a cacheSeq access sequence.
+type Seq struct {
+	// WbInvd executes WBINVD at the start of the sequence, flushing all
+	// caches (a privileged instruction; kernel mode only).
+	WbInvd   bool
+	Accesses []Access
+}
+
+// ParseSeq parses the textual sequence syntax used throughout the paper's
+// examples, e.g. "<wbinvd> B0 B1 B2? B0?": an optional <wbinvd> prefix,
+// then blocks named B<i>; a trailing '?' marks the access as measured.
+func ParseSeq(s string) (Seq, error) {
+	var seq Seq
+	for _, tok := range strings.Fields(s) {
+		lower := strings.ToLower(tok)
+		if lower == "<wbinvd>" {
+			if len(seq.Accesses) > 0 {
+				return seq, fmt.Errorf("cachetools: <wbinvd> must come first in %q", s)
+			}
+			seq.WbInvd = true
+			continue
+		}
+		measured := false
+		if strings.HasSuffix(tok, "?") {
+			measured = true
+			tok = tok[:len(tok)-1]
+		}
+		if len(tok) < 2 || (tok[0] != 'B' && tok[0] != 'b') {
+			return seq, fmt.Errorf("cachetools: bad token %q (want B<i> or B<i>?)", tok)
+		}
+		idx, err := strconv.Atoi(tok[1:])
+		if err != nil || idx < 0 {
+			return seq, fmt.Errorf("cachetools: bad block index in %q", tok)
+		}
+		seq.Accesses = append(seq.Accesses, Access{Block: idx, Measured: measured})
+	}
+	if len(seq.Accesses) == 0 {
+		return seq, fmt.Errorf("cachetools: empty sequence %q", s)
+	}
+	return seq, nil
+}
+
+// MustParseSeq is ParseSeq that panics on error.
+func MustParseSeq(s string) Seq {
+	seq, err := ParseSeq(s)
+	if err != nil {
+		panic(err)
+	}
+	return seq
+}
+
+// String renders the sequence in the paper's syntax.
+func (s Seq) String() string {
+	var sb strings.Builder
+	if s.WbInvd {
+		sb.WriteString("<wbinvd>")
+	}
+	for _, a := range s.Accesses {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "B%d", a.Block)
+		if a.Measured {
+			sb.WriteByte('?')
+		}
+	}
+	return sb.String()
+}
+
+// Blocks returns the block indices referenced by the sequence, as a plain
+// int slice (the form the policy simulators consume).
+func (s Seq) Blocks() []int {
+	out := make([]int, len(s.Accesses))
+	for i, a := range s.Accesses {
+		out[i] = a.Block
+	}
+	return out
+}
+
+// AllMeasured returns a copy of the sequence with every access measured.
+func (s Seq) AllMeasured() Seq {
+	out := Seq{WbInvd: s.WbInvd, Accesses: append([]Access(nil), s.Accesses...)}
+	for i := range out.Accesses {
+		out.Accesses[i].Measured = true
+	}
+	return out
+}
+
+// SeqOf builds a sequence from block indices (all unmeasured) with an
+// optional WBINVD prefix.
+func SeqOf(wbinvd bool, blocks ...int) Seq {
+	s := Seq{WbInvd: wbinvd}
+	for _, b := range blocks {
+		s.Accesses = append(s.Accesses, Access{Block: b})
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The experiments are exercised end-to-end by the benchmark harness in the
+// repository root; these tests cover the fast ones and the report
+// formatting.
+
+func TestExampleMatchesPaper(t *testing.T) {
+	var sb strings.Builder
+	res, err := ExampleL1Latency(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"Instructions retired":        1.00,
+		"Core cycles":                 4.00,
+		"Reference cycles":            3.52,
+		"UOPS_ISSUED.ANY":             1.00,
+		"UOPS_DISPATCHED_PORT.PORT_2": 0.50,
+		"UOPS_DISPATCHED_PORT.PORT_3": 0.50,
+		"MEM_LOAD_RETIRED.L1_HIT":     1.00,
+		"MEM_LOAD_RETIRED.L1_MISS":    0.00,
+	}
+	for name, want := range checks {
+		got := res.MustGet(name)
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("%s = %.2f, want %.2f", name, got, want)
+		}
+	}
+	if !strings.Contains(sb.String(), "E1") {
+		t.Error("missing report header")
+	}
+}
+
+func TestSerializationShape(t *testing.T) {
+	cpuid, lfence, err := Serialization(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpuid < 20 {
+		t.Errorf("CPUID spread %.1f too small; the paper reports hundreds of cycles", cpuid)
+	}
+	if lfence > 1 {
+		t.Errorf("LFENCE spread %.1f; should be stable", lfence)
+	}
+}
+
+func TestNoMemShape(t *testing.T) {
+	memHits, noMemHits, err := NoMemAblation(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noMemHits < 7.5 {
+		t.Errorf("noMem hits = %.1f, want 8 (unperturbed)", noMemHits)
+	}
+	if memHits >= noMemHits {
+		t.Errorf("memory mode (%.1f hits) should lose lines to counter writes vs noMem (%.1f)", memHits, noMemHits)
+	}
+}
+
+func TestKernelVsUserShape(t *testing.T) {
+	kernel, user, err := KernelVsUserAccuracy(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernel != 0 {
+		t.Errorf("kernel spread = %.3f, want 0 (interrupts off, deterministic)", kernel)
+	}
+	if user <= 0 {
+		t.Errorf("user spread = %.3f, want > 0 (timer interrupts)", user)
+	}
+}
+
+func TestContiguousAllocShape(t *testing.T) {
+	fresh, frag, reboot, err := ContiguousAlloc(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh || !frag || !reboot {
+		t.Errorf("alloc experiment: fresh=%v fragFail=%v rebootOK=%v", fresh, frag, reboot)
+	}
+}
+
+func TestPoliciesEquivalent(t *testing.T) {
+	if !policiesEquivalent("LRU", "LRU", 8) {
+		t.Error("identity")
+	}
+	if policiesEquivalent("LRU", "FIFO", 8) {
+		t.Error("LRU vs FIFO should differ")
+	}
+	// R0 and R1 with U0 are observationally equivalent (Section VI-B2).
+	if !policiesEquivalent("QLRU_H00_M1_R0_U0", "QLRU_H00_M1_R1_U0", 8) {
+		t.Error("R0/R1 with U0 should be equivalent")
+	}
+	if policiesEquivalent("LRU", "NOPE", 8) {
+		t.Error("unknown name must not be equivalent")
+	}
+}

@@ -1,0 +1,183 @@
+package instbench
+
+import (
+	"math"
+	"testing"
+
+	"nanobench/internal/nano"
+	"nanobench/internal/sim/machine"
+	"nanobench/internal/uarch"
+	"nanobench/internal/x86"
+)
+
+func newRunner(t *testing.T) *nano.Runner {
+	t.Helper()
+	cpu, err := uarch.ByName("Skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.NewMachine(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := nano.NewRunner(m, machine.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func measure(t *testing.T, r *nano.Runner, op x86.Op, form Form) Measurement {
+	t.Helper()
+	m, err := Measure(r, Variant{op, form})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestALULatencyAndPorts(t *testing.T) {
+	r := newRunner(t)
+	m := measure(t, r, x86.ADD, FormRR)
+	if math.Abs(m.Latency-1.0) > 0.1 {
+		t.Errorf("ADD latency = %.2f, want 1", m.Latency)
+	}
+	if math.Abs(m.Throughput-0.25) > 0.05 {
+		t.Errorf("ADD throughput = %.2f, want 0.25", m.Throughput)
+	}
+	if m.PortSet() != x86.PortsALU {
+		t.Errorf("ADD ports = %b, want %b", m.PortSet(), x86.PortsALU)
+	}
+	if math.Abs(m.Uops-1.0) > 0.1 {
+		t.Errorf("ADD uops = %.2f, want 1", m.Uops)
+	}
+}
+
+func TestIMULLatencyPort1(t *testing.T) {
+	r := newRunner(t)
+	m := measure(t, r, x86.IMUL, FormRR)
+	if math.Abs(m.Latency-3.0) > 0.15 {
+		t.Errorf("IMUL latency = %.2f, want 3", m.Latency)
+	}
+	if math.Abs(m.Throughput-1.0) > 0.1 {
+		t.Errorf("IMUL throughput = %.2f, want 1 (single port)", m.Throughput)
+	}
+	if m.PortSet() != x86.P1 {
+		t.Errorf("IMUL ports = %b, want port 1 only", m.PortSet())
+	}
+}
+
+func TestDIVOccupancy(t *testing.T) {
+	r := newRunner(t)
+	m := measure(t, r, x86.DIV, FormR)
+	// The divider blocks its port for ~21 cycles (spec occupancy); with
+	// the implicit RAX/RDX chain the latency dominates.
+	if m.Throughput < 15 {
+		t.Errorf("DIV throughput = %.2f, want >= 15 (non-pipelined divider)", m.Throughput)
+	}
+	if m.PortSet()&x86.P0 == 0 {
+		t.Errorf("DIV ports = %b, want port 0", m.PortSet())
+	}
+}
+
+func TestLoadVariant(t *testing.T) {
+	r := newRunner(t)
+	m := measure(t, r, x86.MOV, FormLoad)
+	if math.Abs(m.Latency-4.0) > 0.2 {
+		t.Errorf("load latency = %.2f, want 4 (L1)", m.Latency)
+	}
+	if math.Abs(m.Throughput-0.5) > 0.1 {
+		t.Errorf("load throughput = %.2f, want 0.5 (two load ports)", m.Throughput)
+	}
+	if m.PortSet() != x86.PortsLoad {
+		t.Errorf("load ports = %b, want ports 2+3", m.PortSet())
+	}
+}
+
+func TestStoreVariant(t *testing.T) {
+	r := newRunner(t)
+	m := measure(t, r, x86.MOV, FormMR)
+	// One STA + one STD µop; STD has a single port: TP = 1.
+	if math.Abs(m.Throughput-1.0) > 0.15 {
+		t.Errorf("store throughput = %.2f, want 1", m.Throughput)
+	}
+	want := x86.PortsSTA | x86.PortsSTD
+	if m.PortSet()&^want != 0 {
+		t.Errorf("store ports = %b, want subset of %b", m.PortSet(), want)
+	}
+	if m.PortSet()&x86.PortsSTD == 0 {
+		t.Errorf("store ports = %b missing the store-data port", m.PortSet())
+	}
+}
+
+func TestVectorDivide(t *testing.T) {
+	r := newRunner(t)
+	m := measure(t, r, x86.DIVPD, FormXX)
+	if math.Abs(m.Latency-14.0) > 0.5 {
+		t.Errorf("DIVPD latency = %.2f, want 14", m.Latency)
+	}
+	if math.Abs(m.Throughput-4.0) > 0.5 {
+		t.Errorf("DIVPD throughput = %.2f, want 4 (occupancy)", m.Throughput)
+	}
+	if m.PortSet() != x86.P0 {
+		t.Errorf("DIVPD ports = %b, want port 0", m.PortSet())
+	}
+}
+
+func TestMemoryRMWChain(t *testing.T) {
+	r := newRunner(t)
+	m := measure(t, r, x86.ADD, FormMR)
+	// Memory RMW chains through store-to-load forwarding:
+	// forward (5) + ALU (1) + store ≈ 7 cycles.
+	if m.Latency < 5.5 || m.Latency > 9 {
+		t.Errorf("ADD m64,r64 chain latency = %.2f, want ~7", m.Latency)
+	}
+}
+
+// TestSweepAgainstGroundTruth runs the full variant sweep and validates
+// every measurable latency and port set against the simulator's
+// instruction table — the case-study-I closed loop.
+func TestSweepAgainstGroundTruth(t *testing.T) {
+	r := newRunner(t)
+	ms, err := MeasureAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) < 90 {
+		t.Fatalf("only %d variants measured", len(ms))
+	}
+	for _, m := range ms {
+		want := ExpectedLatency(m.Variant)
+		if want >= 0 && m.Latency >= 0 {
+			if math.Abs(m.Latency-want) > 0.25 {
+				t.Errorf("%s: latency %.2f, ground truth %.0f", m.Variant.Name(), m.Latency, want)
+			}
+		}
+		if m.Variant.Form == FormNone {
+			continue
+		}
+		got := m.PortSet()
+		exp := ExpectedPorts(m.Variant)
+		if got&^exp != 0 {
+			t.Errorf("%s: measured ports %b outside ground truth %b", m.Variant.Name(), got, exp)
+		}
+		if got == 0 && exp != 0 && m.Variant.Op != x86.NOP {
+			t.Errorf("%s: no ports measured, expected %b", m.Variant.Name(), exp)
+		}
+	}
+	table := FormatTable(ms)
+	if len(table) == 0 {
+		t.Fatal("empty table")
+	}
+	t.Logf("sweep of %d variants OK", len(ms))
+}
+
+func TestVariantNames(t *testing.T) {
+	v := Variant{x86.ADD, FormRR}
+	if v.Name() != "ADD (r64, r64)" {
+		t.Errorf("Name() = %q", v.Name())
+	}
+	if (Variant{x86.NOP, FormNone}).Name() != "NOP" {
+		t.Errorf("NOP name = %q", (Variant{x86.NOP, FormNone}).Name())
+	}
+}

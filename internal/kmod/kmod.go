@@ -1,0 +1,137 @@
+// Package kmod simulates the nanoBench kernel module's interface
+// (Section IV-C): while the module is loaded it exposes virtual files under
+// /sys/nb/ for configuration, and reading /proc/nanoBench generates the
+// benchmark code, runs it, and returns the formatted results.
+//
+// The shell-script and Python front ends of the real tool talk to these
+// files; here the CLI in cmd/nanobench does the same, which keeps the
+// user-visible flow identical to the paper's.
+package kmod
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nanobench/internal/nano"
+	"nanobench/internal/perfcfg"
+	"nanobench/internal/sim/machine"
+)
+
+// Module is a loaded kernel module instance bound to one machine.
+type Module struct {
+	runner *nano.Runner
+
+	code     []byte
+	codeInit []byte
+	cfg      nano.Config
+	events   []perfcfg.EventSpec
+}
+
+// Load initializes the module on a machine (the machine switches to kernel
+// mode, mirroring insmod of the real module).
+func Load(m *machine.Machine) (*Module, error) {
+	r, err := nano.NewRunner(m, machine.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{runner: r, cfg: nano.Config{}}, nil
+}
+
+// Runner exposes the underlying runner (the Python-interface equivalent).
+func (k *Module) Runner() *nano.Runner { return k.runner }
+
+// WriteFile writes to one of the module's virtual configuration files.
+// Supported paths (all under /sys/nb/): asm, code (raw machine code),
+// asm_init, init, loop_count, unroll_count, n_measurements, warm_up_count,
+// agg, basic_mode, no_mem, config.
+func (k *Module) WriteFile(path string, data []byte) error {
+	name := strings.TrimPrefix(path, "/sys/nb/")
+	text := strings.TrimSpace(string(data))
+	switch name {
+	case "asm":
+		code, err := nano.Asm(text)
+		if err != nil {
+			return fmt.Errorf("kmod: %s: %w", path, err)
+		}
+		k.code = code
+	case "code":
+		k.code = append([]byte(nil), data...)
+	case "asm_init":
+		code, err := nano.Asm(text)
+		if err != nil {
+			return fmt.Errorf("kmod: %s: %w", path, err)
+		}
+		k.codeInit = code
+	case "init":
+		k.codeInit = append([]byte(nil), data...)
+	case "loop_count":
+		return k.setInt(&k.cfg.LoopCount, text)
+	case "unroll_count":
+		return k.setInt(&k.cfg.UnrollCount, text)
+	case "n_measurements":
+		return k.setInt(&k.cfg.NMeasurements, text)
+	case "warm_up_count":
+		return k.setInt(&k.cfg.WarmUpCount, text)
+	case "agg":
+		agg, err := nano.ParseAggregate(text)
+		if err != nil {
+			return err
+		}
+		k.cfg.Aggregate = agg
+	case "basic_mode":
+		k.cfg.BasicMode = text == "1" || text == "true"
+	case "no_mem":
+		k.cfg.NoMem = text == "1" || text == "true"
+	case "config":
+		evs, err := perfcfg.Parse(string(data))
+		if err != nil {
+			return err
+		}
+		k.events = evs
+	default:
+		return fmt.Errorf("kmod: no such file %q", path)
+	}
+	return nil
+}
+
+func (k *Module) setInt(dst *int, text string) error {
+	v, err := strconv.Atoi(text)
+	if err != nil {
+		return fmt.Errorf("kmod: bad integer %q", text)
+	}
+	*dst = v
+	return nil
+}
+
+// ReadFile reads a virtual file. Reading /proc/nanoBench runs the
+// configured benchmark and returns the formatted result.
+func (k *Module) ReadFile(path string) ([]byte, error) {
+	switch strings.TrimPrefix(path, "/sys/nb/") {
+	case "/proc/nanoBench", "nanoBench":
+		res, err := k.Run()
+		if err != nil {
+			return nil, err
+		}
+		return []byte(res.String()), nil
+	case "loop_count":
+		return []byte(strconv.Itoa(k.cfg.LoopCount)), nil
+	case "unroll_count":
+		return []byte(strconv.Itoa(k.cfg.UnrollCount)), nil
+	case "n_measurements":
+		return []byte(strconv.Itoa(k.cfg.NMeasurements)), nil
+	case "warm_up_count":
+		return []byte(strconv.Itoa(k.cfg.WarmUpCount)), nil
+	}
+	return nil, fmt.Errorf("kmod: no such file %q", path)
+}
+
+// Run evaluates the currently configured benchmark (what reading
+// /proc/nanoBench triggers).
+func (k *Module) Run() (*nano.Result, error) {
+	cfg := k.cfg
+	cfg.Code = k.code
+	cfg.CodeInit = k.codeInit
+	cfg.Events = k.events
+	return k.runner.Run(cfg)
+}

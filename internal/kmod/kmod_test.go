@@ -1,0 +1,110 @@
+package kmod
+
+import (
+	"strings"
+	"testing"
+
+	"nanobench/internal/uarch"
+)
+
+func loadModule(t *testing.T) *Module {
+	t.Helper()
+	cpu, err := uarch.ByName("Skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.NewMachine(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestVirtualFileFlow(t *testing.T) {
+	k := loadModule(t)
+	// The Section III-A example, through the virtual-file interface.
+	steps := []struct{ path, data string }{
+		{"/sys/nb/asm", "mov R14, [R14]"},
+		{"/sys/nb/asm_init", "mov [R14], R14"},
+		{"/sys/nb/unroll_count", "100"},
+		{"/sys/nb/n_measurements", "10"},
+		{"/sys/nb/warm_up_count", "1"},
+		{"/sys/nb/agg", "min"},
+		{"/sys/nb/config", "D1.01 MEM_LOAD_RETIRED.L1_HIT\nD1.08 MEM_LOAD_RETIRED.L1_MISS"},
+	}
+	for _, s := range steps {
+		if err := k.WriteFile(s.path, []byte(s.data)); err != nil {
+			t.Fatalf("write %s: %v", s.path, err)
+		}
+	}
+	out, err := k.ReadFile("/proc/nanoBench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	if !strings.Contains(text, "Core cycles: 4.0") {
+		t.Errorf("missing L1 latency in output:\n%s", text)
+	}
+	if !strings.Contains(text, "MEM_LOAD_RETIRED.L1_HIT: 1.00") {
+		t.Errorf("missing L1 hit counter:\n%s", text)
+	}
+}
+
+func TestReadBackConfig(t *testing.T) {
+	k := loadModule(t)
+	if err := k.WriteFile("/sys/nb/loop_count", []byte("25")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := k.ReadFile("/sys/nb/loop_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "25" {
+		t.Fatalf("loop_count = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	k := loadModule(t)
+	if err := k.WriteFile("/sys/nb/bogus", []byte("1")); err == nil {
+		t.Error("expected error for unknown file")
+	}
+	if err := k.WriteFile("/sys/nb/asm", []byte("bogus instr")); err == nil {
+		t.Error("expected error for bad assembly")
+	}
+	if err := k.WriteFile("/sys/nb/loop_count", []byte("abc")); err == nil {
+		t.Error("expected error for bad integer")
+	}
+	if err := k.WriteFile("/sys/nb/agg", []byte("bogus")); err == nil {
+		t.Error("expected error for bad aggregate")
+	}
+	if _, err := k.ReadFile("/sys/nb/bogus"); err == nil {
+		t.Error("expected error for unknown read")
+	}
+	// Running with no code configured fails cleanly.
+	if _, err := k.Run(); err == nil {
+		t.Error("expected error for empty benchmark")
+	}
+}
+
+func TestRawCodeBytes(t *testing.T) {
+	k := loadModule(t)
+	// Binary machine-code input (Section III-E): a NOP.
+	if err := k.WriteFile("/sys/nb/code", []byte{0x90}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WriteFile("/sys/nb/unroll_count", []byte("100")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.MustGet("Instructions retired"); v < 0.9 || v > 1.1 {
+		t.Fatalf("NOP instructions = %.2f", v)
+	}
+}

@@ -1,0 +1,113 @@
+// Package nano implements nanoBench itself: generation of measurement code
+// (Algorithm 1 of the paper), the benchmark runner (Algorithm 2), the
+// two-run overhead subtraction, warm-up runs, aggregate functions,
+// automatic counter grouping, the noMem mode, and the magic byte sequences
+// for pausing and resuming performance counting.
+package nano
+
+import (
+	"fmt"
+
+	"nanobench/internal/perfcfg"
+	"nanobench/internal/x86"
+)
+
+// Aggregate selects how the per-run measurements are combined
+// (Section III-C).
+type Aggregate int
+
+// Aggregate functions.
+const (
+	// Min reports the minimum over all runs.
+	Min Aggregate = iota
+	// Median reports the median.
+	Median
+	// Avg reports the arithmetic mean excluding the top and bottom 20%.
+	Avg
+)
+
+// ParseAggregate parses an aggregate name.
+func ParseAggregate(s string) (Aggregate, error) {
+	switch s {
+	case "min", "MIN", "Min":
+		return Min, nil
+	case "med", "median", "MED", "Median":
+		return Median, nil
+	case "avg", "AVG", "Avg", "mean":
+		return Avg, nil
+	}
+	return Min, fmt.Errorf("nano: unknown aggregate %q (want min, med, or avg)", s)
+}
+
+// Config describes one microbenchmark evaluation.
+type Config struct {
+	// Code is the machine code of the main part of the microbenchmark.
+	Code []byte
+	// CodeInit is executed once before the measurement starts; it may set
+	// registers and memory to arbitrary values (Section III-A).
+	CodeInit []byte
+
+	// UnrollCount is the number of copies of Code inside the (optional)
+	// loop; LoopCount > 0 adds a loop using register R15 (Section III-F).
+	UnrollCount int
+	LoopCount   int
+
+	// NMeasurements is the number of timed benchmark runs; WarmUpCount
+	// runs are executed first and discarded (Sections III-C, III-H).
+	NMeasurements int
+	WarmUpCount   int
+
+	Aggregate Aggregate
+
+	// BasicMode uses a localUnrollCount of 0 for the second run instead
+	// of 2×UnrollCount (Section III-C).
+	BasicMode bool
+
+	// NoMem stores counter values in registers instead of memory
+	// (Section III-I). The microbenchmark must then preserve RAX, RCX,
+	// RDX, and R8..R12.
+	NoMem bool
+
+	// Events are the performance events to measure, typically parsed from
+	// a configuration file. If there are more core events than
+	// programmable counters, the benchmark is run multiple times with
+	// different counter configurations (Section III-J).
+	Events []perfcfg.EventSpec
+
+	// UseBigArea points R14 at the physically-contiguous large memory
+	// area instead of its default 1 MB area (Section III-G); the runner
+	// must have allocated it with AllocBigArea first.
+	UseBigArea bool
+}
+
+// applyDefaults fills zero fields with the tool's defaults.
+func (c Config) applyDefaults() Config {
+	if c.UnrollCount == 0 {
+		c.UnrollCount = defaultUnroll
+	}
+	if c.NMeasurements == 0 {
+		c.NMeasurements = defaultMeasurements
+	}
+	return c
+}
+
+const (
+	defaultUnroll       = 100
+	defaultMeasurements = 10
+)
+
+// Asm assembles Intel-syntax source into microbenchmark code; it is a thin
+// convenience wrapper over the x86 assembler.
+func Asm(src string) ([]byte, error) { return x86.Assemble(src) }
+
+// MustAsm is Asm that panics on error.
+func MustAsm(src string) []byte { return x86.MustAssemble(src) }
+
+// Magic byte sequences (Section III-I): embedding these in microbenchmark
+// code pauses/resumes performance counting. The generator replaces them
+// with WRMSR sequences to IA32_PERF_GLOBAL_CTRL, so they work only in
+// kernel mode.
+var (
+	PauseCountingBytes  = []byte{0x0F, 0x0B, 'P', 'A', 'U', 'S'}
+	ResumeCountingBytes = []byte{0x0F, 0x0B, 'R', 'E', 'S', 'M'}
+)

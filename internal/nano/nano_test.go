@@ -1,0 +1,386 @@
+package nano
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"nanobench/internal/perfcfg"
+	"nanobench/internal/sim/machine"
+	"nanobench/internal/sim/mem"
+	"nanobench/internal/uarch"
+)
+
+func skylakeRunner(t *testing.T, mode machine.Mode) *Runner {
+	t.Helper()
+	cpu, err := uarch.ByName("Skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.NewMachine(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(m, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+var exampleEvents = perfcfg.MustParse(`
+0E.01 UOPS_ISSUED.ANY
+A1.04 UOPS_DISPATCHED_PORT.PORT_2
+A1.08 UOPS_DISPATCHED_PORT.PORT_3
+D1.01 MEM_LOAD_RETIRED.L1_HIT
+D1.08 MEM_LOAD_RETIRED.L1_MISS
+`)
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, want %.2f (±%.2f)", name, got, want, tol)
+	}
+}
+
+// TestExampleL1Latency reproduces the example of Section III-A: measuring
+// the L1 data cache latency on a Skylake model with a pointer-chasing
+// load, with the exact counter values the paper reports.
+func TestExampleL1Latency(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	res, err := r.Run(Config{
+		Code:        MustAsm("mov R14, [R14]"),
+		CodeInit:    MustAsm("mov [R14], R14"),
+		WarmUpCount: 1,
+		Events:      exampleEvents,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "Instructions retired", res.MustGet("Instructions retired"), 1.00, 0.05)
+	near(t, "Core cycles", res.MustGet("Core cycles"), 4.00, 0.10)
+	near(t, "Reference cycles", res.MustGet("Reference cycles"), 3.52, 0.10)
+	near(t, "UOPS_ISSUED.ANY", res.MustGet("UOPS_ISSUED.ANY"), 1.00, 0.05)
+	near(t, "PORT_2", res.MustGet("UOPS_DISPATCHED_PORT.PORT_2"), 0.50, 0.10)
+	near(t, "PORT_3", res.MustGet("UOPS_DISPATCHED_PORT.PORT_3"), 0.50, 0.10)
+	near(t, "L1_HIT", res.MustGet("MEM_LOAD_RETIRED.L1_HIT"), 1.00, 0.05)
+	near(t, "L1_MISS", res.MustGet("MEM_LOAD_RETIRED.L1_MISS"), 0.00, 0.05)
+
+	// Output formatting mirrors the paper.
+	out := res.String()
+	if !strings.Contains(out, "Core cycles: 4.0") {
+		t.Errorf("formatted output missing core cycles:\n%s", out)
+	}
+}
+
+func TestNopBenchmark(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	res, err := r.Run(Config{
+		Code:        MustAsm("nop"),
+		UnrollCount: 100,
+		WarmUpCount: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "Instructions retired", res.MustGet("Instructions retired"), 1.00, 0.05)
+	// 4-wide issue: 0.25 cycles per NOP.
+	near(t, "Core cycles", res.MustGet("Core cycles"), 0.25, 0.05)
+}
+
+func TestAddThroughputAndLatency(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	// Dependent chain: 1 cycle per ADD.
+	res, err := r.Run(Config{
+		Code:        MustAsm("add rax, rbx"),
+		UnrollCount: 100,
+		WarmUpCount: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "dependent ADD cycles", res.MustGet("Core cycles"), 1.0, 0.1)
+
+	// Independent ADDs: limited by 4-wide issue (4 ALU ports).
+	res, err = r.Run(Config{
+		Code: MustAsm(`
+			add rax, 1
+			add rbx, 1
+			add rcx, 1
+			add rdx, 1
+		`),
+		UnrollCount: 50,
+		WarmUpCount: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four independent adds per "instruction block" of 4: 1 cycle each.
+	near(t, "independent ADD block cycles", res.MustGet("Core cycles"), 1.0, 0.15)
+}
+
+func TestLoopMode(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	res, err := r.Run(Config{
+		Code:        MustAsm("mov r14, [r14]"),
+		CodeInit:    MustAsm("mov [r14], r14"),
+		UnrollCount: 10,
+		LoopCount:   50,
+		WarmUpCount: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop overhead (DEC/JNZ) runs in parallel with the load chain; the
+	// per-load latency stays ~4.
+	near(t, "looped load latency", res.MustGet("Core cycles"), 4.0, 0.3)
+	near(t, "instructions", res.MustGet("Instructions retired"), 1.0, 0.25)
+}
+
+func TestBasicMode(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	res, err := r.Run(Config{
+		Code:        MustAsm("add rax, rbx"),
+		UnrollCount: 100,
+		WarmUpCount: 1,
+		BasicMode:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "basic-mode ADD cycles", res.MustGet("Core cycles"), 1.0, 0.2)
+	near(t, "basic-mode instructions", res.MustGet("Instructions retired"), 1.0, 0.1)
+}
+
+func TestNoMemMode(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	res, err := r.Run(Config{
+		Code:        MustAsm("mov r14, [r14]"),
+		CodeInit:    MustAsm("mov [r14], r14"),
+		UnrollCount: 100,
+		WarmUpCount: 1,
+		NoMem:       true,
+		Events:      perfcfg.MustParse("D1.01 L1_HIT"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "noMem load latency", res.MustGet("Core cycles"), 4.0, 0.2)
+	near(t, "noMem L1 hits", res.MustGet("L1_HIT"), 1.0, 0.1)
+}
+
+func TestCounterGrouping(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	// 6 events on a 4-counter machine: needs two groups (Section III-J).
+	events := perfcfg.MustParse(`
+0E.01 UOPS_ISSUED.ANY
+A1.01 PORT_0
+A1.02 PORT_1
+A1.04 PORT_2
+A1.08 PORT_3
+D1.01 L1_HIT
+`)
+	res, err := r.Run(Config{
+		Code:        MustAsm("add rax, rbx"),
+		UnrollCount: 100,
+		WarmUpCount: 1,
+		Events:      events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if _, ok := res.Get(ev.Name); !ok {
+			t.Errorf("missing event %s in result", ev.Name)
+		}
+	}
+	// An ALU add never dispatches to the load ports.
+	near(t, "PORT_2", res.MustGet("PORT_2"), 0, 0.05)
+	near(t, "PORT_3", res.MustGet("PORT_3"), 0, 0.05)
+	near(t, "UOPS_ISSUED", res.MustGet("UOPS_ISSUED.ANY"), 1.0, 0.1)
+}
+
+func TestUserModeRestrictions(t *testing.T) {
+	r := skylakeRunner(t, machine.User)
+	// Privileged instruction in the benchmark faults in user mode.
+	_, err := r.Run(Config{Code: MustAsm("wbinvd"), UnrollCount: 1, NMeasurements: 1})
+	if err == nil {
+		t.Fatal("expected fault for WBINVD in user mode")
+	}
+	// MSR events need kernel mode.
+	_, err = r.Run(Config{
+		Code:   MustAsm("nop"),
+		Events: perfcfg.MustParse("MSR.E8 APERF"),
+	})
+	if err == nil {
+		t.Fatal("expected error for MSR event in user mode")
+	}
+	// Pause/resume markers need kernel mode.
+	code := append(append([]byte{}, PauseCountingBytes...), MustAsm("nop")...)
+	_, err = r.Run(Config{Code: code})
+	if err == nil {
+		t.Fatal("expected error for magic bytes in user mode")
+	}
+	// Plain benchmarks work in user mode via RDPMC.
+	res, err := r.Run(Config{
+		Code:        MustAsm("add rax, rbx"),
+		UnrollCount: 100,
+		WarmUpCount: 3,
+		Aggregate:   Min,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "user-mode ADD", res.MustGet("Core cycles"), 1.0, 0.3)
+}
+
+func TestKernelModeAPerfMPerf(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	res, err := r.Run(Config{
+		Code:        MustAsm("add rax, rbx"),
+		UnrollCount: 100,
+		WarmUpCount: 1,
+		Events:      perfcfg.MustParse("MSR.E8 APERF\nMSR.E7 MPERF"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aperf := res.MustGet("APERF")
+	mperf := res.MustGet("MPERF")
+	near(t, "APERF", aperf, 1.0, 0.2)
+	if mperf >= aperf {
+		t.Errorf("MPERF (%f) should tick slower than APERF (%f)", mperf, aperf)
+	}
+}
+
+func TestPauseResumeMarkers(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	// 10 counted NOPs, then 100 NOPs with counting paused.
+	var code []byte
+	code = append(code, MustAsm(strings.Repeat("nop\n", 10))...)
+	code = append(code, PauseCountingBytes...)
+	code = append(code, MustAsm(strings.Repeat("nop\n", 100))...)
+	code = append(code, ResumeCountingBytes...)
+	res, err := r.Run(Config{
+		Code:        code,
+		UnrollCount: 4,
+		WarmUpCount: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per unrolled copy: ~10 instructions counted, not ~110 (the WRMSR
+	// sequences add a few counted instructions at the boundaries).
+	instr := res.MustGet("Instructions retired")
+	if instr < 9 || instr > 25 {
+		t.Errorf("instructions with paused region = %.1f, want ~10-20, not ~110", instr)
+	}
+}
+
+func TestBigArea(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	if err := r.AllocBigArea(16 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if r.BigAreaSize() != 16<<20 {
+		t.Fatal("big area size")
+	}
+	// The region must be physically contiguous.
+	base, ok := r.BigAreaPhys(0)
+	if !ok {
+		t.Fatal("big area not mapped")
+	}
+	for off := uint64(0); off < 16<<20; off += mem.PageSize {
+		p, ok := r.BigAreaPhys(off)
+		if !ok || p != base+off {
+			t.Fatalf("big area not contiguous at offset %#x", off)
+		}
+	}
+	// R14 points into it with UseBigArea.
+	res, err := r.Run(Config{
+		Code:        MustAsm("mov r14, [r14]"),
+		CodeInit:    MustAsm("mov [r14], r14"),
+		UnrollCount: 50,
+		WarmUpCount: 1,
+		UseBigArea:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "big-area load latency", res.MustGet("Core cycles"), 4.0, 0.3)
+}
+
+func TestRebootAndRemap(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	// Fragment the allocator so a large contiguous allocation fails.
+	r.M.Alloc.Fragment(0.02)
+	err := r.AllocBigArea(32 << 20)
+	if !errors.Is(err, mem.ErrRebootRequired) {
+		t.Fatalf("expected ErrRebootRequired, got %v", err)
+	}
+	if err := r.RebootAndRemap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AllocBigArea(32 << 20); err != nil {
+		t.Fatalf("after reboot: %v", err)
+	}
+	// The runner still works after remapping.
+	res, err := r.Run(Config{Code: MustAsm("nop"), UnrollCount: 100, WarmUpCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "post-reboot NOP", res.MustGet("Core cycles"), 0.25, 0.1)
+}
+
+func TestValidationErrors(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	cases := []Config{
+		{}, // empty benchmark
+		{Code: MustAsm("nop"), UnrollCount: -1},
+		{Code: MustAsm("nop"), LoopCount: -2},
+		{Code: MustAsm("nop"), UseBigArea: true}, // no big area allocated
+	}
+	for i, cfg := range cases {
+		if _, err := r.Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	vals := []float64{10, 2, 8, 4, 6, 100, 1, 3, 5, 7}
+	if got := aggregate(vals, Min); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := aggregate(vals, Median); got != 5.5 {
+		t.Errorf("Median = %v", got)
+	}
+	// Avg drops the top/bottom 20% (2 values each): mean of 3..8.
+	if got := aggregate(vals, Avg); math.Abs(got-5.5) > 0.01 {
+		t.Errorf("Avg = %v", got)
+	}
+	if got := aggregate(nil, Min); got != 0 {
+		t.Errorf("empty aggregate = %v", got)
+	}
+	if _, err := ParseAggregate("min"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseAggregate("bogus"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestResultOrdering(t *testing.T) {
+	res := newResult()
+	res.add("b", 1)
+	res.add("a", 2)
+	res.add("b", 3) // overwrite keeps position
+	names := res.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("Names() = %v", names)
+	}
+	if v, _ := res.Get("b"); v != 3 {
+		t.Fatal("overwrite failed")
+	}
+}

@@ -1,0 +1,88 @@
+package nano
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result holds the aggregated, overhead-subtracted, per-instruction
+// counter values of one benchmark evaluation, in counter order.
+type Result struct {
+	names  []string
+	values map[string]float64
+}
+
+func newResult() *Result {
+	return &Result{values: map[string]float64{}}
+}
+
+func (r *Result) add(name string, v float64) {
+	if _, dup := r.values[name]; !dup {
+		r.names = append(r.names, name)
+	}
+	r.values[name] = v
+}
+
+// Get returns the value for a counter name.
+func (r *Result) Get(name string) (float64, bool) {
+	v, ok := r.values[name]
+	return v, ok
+}
+
+// MustGet returns the value for name, panicking if absent (tests and
+// examples use it for brevity).
+func (r *Result) MustGet(name string) float64 {
+	v, ok := r.values[name]
+	if !ok {
+		panic("nano: no counter named " + name)
+	}
+	return v
+}
+
+// Names returns the counter names in reporting order.
+func (r *Result) Names() []string { return append([]string(nil), r.names...) }
+
+// String formats the result like the tool's output in Section III-A:
+//
+//	Instructions retired: 1.00
+//	Core cycles: 4.00
+//	...
+func (r *Result) String() string {
+	var sb strings.Builder
+	for _, n := range r.names {
+		fmt.Fprintf(&sb, "%s: %.2f\n", n, r.values[n])
+	}
+	return sb.String()
+}
+
+// aggregate applies the configured aggregate function (Section III-C):
+// minimum, median, or the arithmetic mean excluding the top and bottom 20%
+// of the values.
+func aggregate(vals []float64, agg Aggregate) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	switch agg {
+	case Min:
+		return sorted[0]
+	case Median:
+		n := len(sorted)
+		if n%2 == 1 {
+			return sorted[n/2]
+		}
+		return (sorted[n/2-1] + sorted[n/2]) / 2
+	case Avg:
+		n := len(sorted)
+		trim := n / 5
+		core := sorted[trim : n-trim]
+		sum := 0.0
+		for _, v := range core {
+			sum += v
+		}
+		return sum / float64(len(core))
+	}
+	return sorted[0]
+}

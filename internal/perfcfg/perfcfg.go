@@ -1,0 +1,122 @@
+// Package perfcfg parses nanoBench performance-counter configuration
+// files. Events are not hard-coded (Section III-J): adapting the tool to a
+// new CPU only requires a new configuration file.
+//
+// Syntax, one event per line (comments start with '#'):
+//
+//	2E.4F LONGEST_LAT_CACHE.REFERENCE   core event: EvtSel.Umask in hex
+//	CBO.LOOKUP LLC_LOOKUPS              uncore C-Box event (kernel only)
+//	CBO.MISS LLC_MISSES                 uncore C-Box event (kernel only)
+//	MSR.E8 APERF                        free-running MSR counter (kernel only)
+package perfcfg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies an event specification.
+type Kind int
+
+// Event kinds.
+const (
+	// Core is a programmable core event (EvtSel.Umask).
+	Core Kind = iota
+	// CBo is an uncore C-Box event, readable only in kernel space.
+	CBo
+	// MSR is a free-running MSR counter (APERF/MPERF), kernel only.
+	MSR
+)
+
+// EventSpec is one event from a configuration file.
+type EventSpec struct {
+	Kind   Kind
+	EvtSel uint8  // Core
+	Umask  uint8  // Core
+	CBoEv  string // CBo: "LOOKUP" or "MISS"
+	Addr   uint32 // MSR address
+	Name   string
+}
+
+// String renders the spec in configuration-file syntax.
+func (e EventSpec) String() string {
+	switch e.Kind {
+	case Core:
+		return fmt.Sprintf("%02X.%02X %s", e.EvtSel, e.Umask, e.Name)
+	case CBo:
+		return fmt.Sprintf("CBO.%s %s", e.CBoEv, e.Name)
+	case MSR:
+		return fmt.Sprintf("MSR.%X %s", e.Addr, e.Name)
+	}
+	return "?"
+}
+
+// Parse parses a configuration file's contents.
+func Parse(text string) ([]EventSpec, error) {
+	var out []EventSpec
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		spec, err := parseSpec(fields)
+		if err != nil {
+			return nil, fmt.Errorf("perfcfg: line %d: %w", lineNo+1, err)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+func parseSpec(fields []string) (EventSpec, error) {
+	code := strings.ToUpper(fields[0])
+	name := code
+	if len(fields) > 1 {
+		name = strings.Join(fields[1:], " ")
+	}
+
+	switch {
+	case strings.HasPrefix(code, "CBO."):
+		ev := strings.TrimPrefix(code, "CBO.")
+		if ev != "LOOKUP" && ev != "MISS" {
+			return EventSpec{}, fmt.Errorf("unknown C-Box event %q (want LOOKUP or MISS)", ev)
+		}
+		return EventSpec{Kind: CBo, CBoEv: ev, Name: name}, nil
+
+	case strings.HasPrefix(code, "MSR."):
+		addr, err := strconv.ParseUint(strings.TrimPrefix(code, "MSR."), 16, 32)
+		if err != nil {
+			return EventSpec{}, fmt.Errorf("bad MSR address in %q", code)
+		}
+		return EventSpec{Kind: MSR, Addr: uint32(addr), Name: name}, nil
+	}
+
+	parts := strings.SplitN(code, ".", 2)
+	if len(parts) != 2 {
+		return EventSpec{}, fmt.Errorf("malformed event %q (want EvtSel.Umask)", code)
+	}
+	ev, err := strconv.ParseUint(parts[0], 16, 8)
+	if err != nil {
+		return EventSpec{}, fmt.Errorf("bad event select in %q", code)
+	}
+	um, err := strconv.ParseUint(parts[1], 16, 8)
+	if err != nil {
+		return EventSpec{}, fmt.Errorf("bad umask in %q", code)
+	}
+	return EventSpec{Kind: Core, EvtSel: uint8(ev), Umask: uint8(um), Name: name}, nil
+}
+
+// MustParse is Parse that panics on error (for built-in configurations).
+func MustParse(text string) []EventSpec {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package perfcfg
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCoreEvents(t *testing.T) {
+	specs, err := Parse(`
+# Skylake events
+0E.01 UOPS_ISSUED.ANY
+A1.04 UOPS_DISPATCHED_PORT.PORT_2   # trailing comment
+d1.01 MEM_LOAD_RETIRED.L1_HIT
+C0.00
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EventSpec{
+		{Kind: Core, EvtSel: 0x0E, Umask: 0x01, Name: "UOPS_ISSUED.ANY"},
+		{Kind: Core, EvtSel: 0xA1, Umask: 0x04, Name: "UOPS_DISPATCHED_PORT.PORT_2"},
+		{Kind: Core, EvtSel: 0xD1, Umask: 0x01, Name: "MEM_LOAD_RETIRED.L1_HIT"},
+		{Kind: Core, EvtSel: 0xC0, Umask: 0x00, Name: "C0.00"},
+	}
+	if !reflect.DeepEqual(specs, want) {
+		t.Fatalf("Parse = %+v", specs)
+	}
+}
+
+func TestParseUncoreAndMSR(t *testing.T) {
+	specs, err := Parse(`
+CBO.LOOKUP LLC_LOOKUPS
+CBO.MISS LLC_MISSES
+MSR.E8 APERF
+MSR.E7 MPERF
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Kind != CBo || specs[0].CBoEv != "LOOKUP" {
+		t.Fatalf("CBO spec: %+v", specs[0])
+	}
+	if specs[2].Kind != MSR || specs[2].Addr != 0xE8 || specs[2].Name != "APERF" {
+		t.Fatalf("MSR spec: %+v", specs[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"XYZ",
+		"GG.01 name",
+		"0E.ZZ name",
+		"CBO.WRONG name",
+		"MSR.XYZ name",
+	}
+	for _, b := range bad {
+		if _, err := Parse(b); err == nil {
+			t.Errorf("Parse(%q): expected error", b)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	in := "2E.4F LONGEST_LAT_CACHE.REFERENCE"
+	specs := MustParse(in)
+	if specs[0].String() != in {
+		t.Fatalf("String() = %q, want %q", specs[0].String(), in)
+	}
+	if MustParse("CBO.LOOKUP X")[0].String() != "CBO.LOOKUP X" {
+		t.Fatal("CBO string")
+	}
+	if MustParse("MSR.E8 APERF")[0].String() != "MSR.E8 APERF" {
+		t.Fatal("MSR string")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("not an event")
+}

@@ -1,0 +1,244 @@
+// Package cache implements the simulated memory hierarchy: set-associative
+// caches with pluggable replacement policies, a sliced last-level cache
+// with an XOR-bits slice-hash function, and a disableable stream
+// prefetcher. The hierarchy reports per-access results that the core
+// translates into performance-counter events.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nanobench/internal/sim/policy"
+)
+
+// PolicyFactory builds the replacement policy for one set of a cache.
+// slice is the cache slice (0 for unsliced caches), set the set index
+// within the slice.
+type PolicyFactory func(slice, set int, assoc int, rng *rand.Rand) policy.Policy
+
+// SimplePolicy adapts a policy name to a PolicyFactory.
+func SimplePolicy(name string) PolicyFactory {
+	return func(_, _ int, assoc int, rng *rand.Rand) policy.Policy {
+		return policy.MustNew(name, assoc, rng)
+	}
+}
+
+// Geometry describes one cache level (or one slice of a sliced cache).
+type Geometry struct {
+	Name     string
+	Size     uint64 // bytes for this cache (per-slice size for slices)
+	Assoc    int
+	LineSize int
+	Latency  int // access latency in cycles on a hit at this level
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g Geometry) Sets() int {
+	return int(g.Size) / (g.Assoc * g.LineSize)
+}
+
+// Validate checks the geometry for consistency.
+func (g Geometry) Validate() error {
+	if g.LineSize == 0 || g.LineSize&(g.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: line size must be a power of two", g.Name)
+	}
+	if g.Assoc <= 0 {
+		return fmt.Errorf("cache %s: bad associativity %d", g.Name, g.Assoc)
+	}
+	sets := g.Sets()
+	if sets <= 0 || uint64(sets*g.Assoc*g.LineSize) != g.Size {
+		return fmt.Errorf("cache %s: size %d not divisible into %d-way sets of %d-byte lines",
+			g.Name, g.Size, g.Assoc, g.LineSize)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d must be a power of two", g.Name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+}
+
+type cacheSet struct {
+	lines []line
+	pol   policy.Policy
+	epoch uint32
+	valid int // valid lines in this set
+}
+
+// Cache is one set-associative cache (a single slice of a sliced cache).
+type Cache struct {
+	Geom     Geometry
+	Slice    int
+	sets     []cacheSet
+	setMask  uint64
+	lineBits uint
+	// epoch implements O(1) whole-cache invalidation (WBINVD): sets whose
+	// epoch lags are cleared lazily on first touch.
+	epoch      uint32
+	validCount int
+}
+
+// New builds a cache with per-set policies from the factory.
+func New(geom Geometry, slice int, pf PolicyFactory, rng *rand.Rand) (*Cache, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	nSets := geom.Sets()
+	c := &Cache{
+		Geom:    geom,
+		Slice:   slice,
+		sets:    make([]cacheSet, nSets),
+		setMask: uint64(nSets - 1),
+	}
+	for ls := geom.LineSize; ls > 1; ls >>= 1 {
+		c.lineBits++
+	}
+	for s := range c.sets {
+		c.sets[s] = cacheSet{
+			lines: make([]line, geom.Assoc),
+			pol:   pf(slice, s, geom.Assoc, rng),
+		}
+	}
+	return c, nil
+}
+
+// SetIndex returns the set index for a physical address. For sliced caches
+// the caller must select the slice first; the set index uses the address
+// bits above the line offset.
+func (c *Cache) SetIndex(phys uint64) int {
+	return int((phys >> c.lineBits) & c.setMask)
+}
+
+func (c *Cache) tag(phys uint64) uint64 {
+	return phys >> c.lineBits
+}
+
+// set returns the set for an index, materializing any pending epoch-based
+// invalidation first.
+func (c *Cache) set(si int) *cacheSet {
+	s := &c.sets[si]
+	if s.epoch != c.epoch {
+		for i := range s.lines {
+			s.lines[i] = line{}
+		}
+		s.pol.Reset()
+		s.valid = 0
+		s.epoch = c.epoch
+	}
+	return s
+}
+
+// Probe reports whether the line containing phys is present, without
+// touching replacement state.
+func (c *Cache) Probe(phys uint64) bool {
+	set := c.set(c.SetIndex(phys))
+	t := c.tag(phys)
+	for i := range set.lines {
+		if set.lines[i].valid && set.lines[i].tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up phys; on a hit it updates replacement state and returns
+// hit=true. On a miss it fills the line, updating replacement state, and
+// returns the evicted line's physical base address (evicted=true if a
+// valid, line was replaced; wbPhys is meaningful only if dirty).
+func (c *Cache) Access(phys uint64, write bool) (hit bool, evicted bool, evictedDirty bool, evictedPhys uint64) {
+	si := c.SetIndex(phys)
+	set := c.set(si)
+	t := c.tag(phys)
+	for i := range set.lines {
+		if set.lines[i].valid && set.lines[i].tag == t {
+			set.pol.OnHit(i)
+			if write {
+				set.lines[i].dirty = true
+			}
+			return true, false, false, 0
+		}
+	}
+	w := set.pol.Victim()
+	ln := &set.lines[w]
+	if ln.valid {
+		evicted = true
+		evictedDirty = ln.dirty
+		evictedPhys = ln.tag << c.lineBits
+	} else {
+		set.valid++
+		c.validCount++
+	}
+	ln.valid = true
+	ln.dirty = write
+	ln.tag = t
+	set.pol.OnFill(w)
+	return false, evicted, evictedDirty, evictedPhys
+}
+
+// Fill inserts the line containing phys without counting as a demand
+// access (prefetch fills use this too). Replacement state is updated as a
+// fill. If the line is already present, only the dirty bit may be updated.
+func (c *Cache) Fill(phys uint64, dirty bool) (evicted bool, evictedDirty bool, evictedPhys uint64) {
+	si := c.SetIndex(phys)
+	set := c.set(si)
+	t := c.tag(phys)
+	for i := range set.lines {
+		if set.lines[i].valid && set.lines[i].tag == t {
+			if dirty {
+				set.lines[i].dirty = true
+			}
+			return false, false, 0
+		}
+	}
+	w := set.pol.Victim()
+	ln := &set.lines[w]
+	if ln.valid {
+		evicted = true
+		evictedDirty = ln.dirty
+		evictedPhys = ln.tag << c.lineBits
+	} else {
+		set.valid++
+		c.validCount++
+	}
+	ln.valid = true
+	ln.dirty = dirty
+	ln.tag = t
+	set.pol.OnFill(w)
+	return
+}
+
+// InvalidateLine removes the line containing phys if present, returning
+// whether it was present and dirty.
+func (c *Cache) InvalidateLine(phys uint64) (present, dirty bool) {
+	set := c.set(c.SetIndex(phys))
+	t := c.tag(phys)
+	for i := range set.lines {
+		if set.lines[i].valid && set.lines[i].tag == t {
+			present, dirty = true, set.lines[i].dirty
+			set.lines[i] = line{}
+			set.pol.OnInvalidate(i)
+			set.valid--
+			c.validCount--
+			return
+		}
+	}
+	return
+}
+
+// InvalidateAll clears the whole cache (WBINVD) in O(1) by bumping the
+// epoch; sets are cleared lazily on their next access. It returns the
+// number of lines that were valid (used to model WBINVD latency).
+func (c *Cache) InvalidateAll() int {
+	n := c.validCount
+	c.epoch++
+	c.validCount = 0
+	return n
+}
+
+// ValidLines counts the currently valid lines (for tests and WBINVD cost).
+func (c *Cache) ValidLines() int { return c.validCount }

@@ -1,0 +1,50 @@
+package cache
+
+import "math/bits"
+
+// SliceHash maps physical addresses to last-level cache slices.
+// Bit i of the slice number is the XOR (parity) of the physical address
+// bits selected by Masks[i], following the form of the hash functions
+// reverse-engineered for Intel CPUs (Hund et al. 2013, Maurice et al.
+// 2015). The number of slices is 1<<len(Masks).
+type SliceHash struct {
+	Masks []uint64
+}
+
+// Slices returns the number of slices addressed by the hash.
+func (h SliceHash) Slices() int { return 1 << len(h.Masks) }
+
+// Slice returns the slice index for a physical address.
+func (h SliceHash) Slice(phys uint64) int {
+	s := 0
+	for i, m := range h.Masks {
+		s |= (bits.OnesCount64(phys&m) & 1) << i
+	}
+	return s
+}
+
+// Published XOR masks for the 2-slice Intel hash (Maurice et al., RAID
+// 2015) and the additional bit-selection vectors for 4- and 8-slice
+// parts. Only bits within the simulated physical address range
+// contribute; the hash still distributes lines across slices via the low
+// bits (>= bit 6), which is the property the cache tools depend on.
+var (
+	sliceMaskBit0 = uint64(0x1B5F575440)
+	sliceMaskBit1 = uint64(0x2EB5FAA880)
+	sliceMaskBit2 = uint64(0x3CCCC93100)
+)
+
+// DefaultSliceHash returns a hash for 1, 2, 4, or 8 slices.
+func DefaultSliceHash(slices int) SliceHash {
+	switch slices {
+	case 1:
+		return SliceHash{}
+	case 2:
+		return SliceHash{Masks: []uint64{sliceMaskBit0}}
+	case 4:
+		return SliceHash{Masks: []uint64{sliceMaskBit0, sliceMaskBit1}}
+	case 8:
+		return SliceHash{Masks: []uint64{sliceMaskBit0, sliceMaskBit1, sliceMaskBit2}}
+	}
+	panic("cache: slice count must be 1, 2, 4, or 8")
+}

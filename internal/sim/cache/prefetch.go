@@ -1,0 +1,97 @@
+package cache
+
+// Prefetcher is a stream prefetcher modelled after the Intel L2 streamer:
+// it tracks access streams within 4 KB pages and, when it detects two
+// consecutive lines accessed in ascending or descending order, prefetches
+// the next Degree lines of the stream. It can be disabled through MSR
+// 0x1A4, as the paper's cache tools require (Section IV-A2).
+type Prefetcher struct {
+	Enabled bool
+	Degree  int
+	entries [16]streamEntry
+	clock   uint64
+}
+
+type streamEntry struct {
+	valid    bool
+	page     uint64
+	lastLine int
+	dir      int
+	conf     int
+	lastUse  uint64
+}
+
+// NewPrefetcher returns an enabled stream prefetcher with the given
+// prefetch degree.
+func NewPrefetcher(degree int) *Prefetcher {
+	return &Prefetcher{Enabled: true, Degree: degree}
+}
+
+// Observe records a demand access at the L2 and returns the physical line
+// addresses to prefetch (possibly none).
+func (p *Prefetcher) Observe(phys uint64, lineSize int) []uint64 {
+	if !p.Enabled || p.Degree <= 0 {
+		return nil
+	}
+	p.clock++
+	page := phys >> 12
+	lineInPage := int(phys>>6) & ((4096 / lineSize) - 1)
+
+	// Find or allocate the stream entry for this page.
+	var e *streamEntry
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].page == page {
+			e = &p.entries[i]
+			break
+		}
+		if p.entries[i].lastUse < oldest {
+			oldest = p.entries[i].lastUse
+			victim = i
+		}
+	}
+	if e == nil {
+		p.entries[victim] = streamEntry{valid: true, page: page, lastLine: lineInPage, lastUse: p.clock}
+		return nil
+	}
+	e.lastUse = p.clock
+
+	var out []uint64
+	switch {
+	case lineInPage == e.lastLine+1:
+		if e.dir == 1 {
+			e.conf++
+		} else {
+			e.dir, e.conf = 1, 1
+		}
+	case lineInPage == e.lastLine-1:
+		if e.dir == -1 {
+			e.conf++
+		} else {
+			e.dir, e.conf = -1, 1
+		}
+	default:
+		e.conf = 0
+	}
+	if e.conf >= 1 {
+		linesPerPage := 4096 / lineSize
+		for d := 1; d <= p.Degree; d++ {
+			next := lineInPage + e.dir*d
+			if next < 0 || next >= linesPerPage {
+				break
+			}
+			out = append(out, page<<12|uint64(next*lineSize))
+		}
+	}
+	e.lastLine = lineInPage
+	return out
+}
+
+// Reset clears the stream table.
+func (p *Prefetcher) Reset() {
+	for i := range p.entries {
+		p.entries[i] = streamEntry{}
+	}
+	p.clock = 0
+}

@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"nanobench/internal/sim/pmu"
+	"nanobench/internal/x86"
+)
+
+// predictor is a table of 2-bit saturating counters indexed by a hash of
+// the branch address. Counters start at 0 (strongly not-taken), so the
+// first iterations of a loop mispredict until the counter saturates —
+// which is exactly why nanoBench's warm-up runs help (Section III-H).
+type predictor struct {
+	table [4096]uint8
+}
+
+func (p *predictor) idx(rip uint32) int {
+	return int((rip ^ rip>>12) & 4095)
+}
+
+func (p *predictor) predict(rip uint32) bool {
+	return p.table[p.idx(rip)] >= 2
+}
+
+func (p *predictor) update(rip uint32, taken bool) {
+	i := p.idx(rip)
+	if taken {
+		if p.table[i] < 3 {
+			p.table[i]++
+		}
+	} else if p.table[i] > 0 {
+		p.table[i]--
+	}
+}
+
+// execBranch executes JMP and conditional branches. It returns whether the
+// branch is taken and its target.
+func (m *Machine) execBranch(in x86.Instr, fallthroughRIP uint32) (bool, uint32, error) {
+	c := &m.core
+	disp, ok := in.Args[0].(x86.Imm)
+	if !ok {
+		return false, 0, &Fault{RIP: c.rip, Reason: "branch with unresolved label"}
+	}
+	target := uint32(int64(fallthroughRIP) + int64(disp))
+	spec := x86.Spec(in.Op)
+	var ready int64
+	if spec.ReadsFlags {
+		ready = c.flagReady
+	}
+	u := spec.Uops[0]
+	_, done := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
+
+	taken := true
+	if in.Op != x86.JMP {
+		taken = m.evalCond(in.Op)
+		pred := c.pred.predict(c.rip)
+		c.pred.update(c.rip, taken)
+		if pred != taken {
+			c.feCycle = maxI64(c.feCycle, done+int64(m.Spec.MispredictPenalty))
+			c.feSlots = 0
+			m.PMU.Record(pmu.EvBrMispRetired, done)
+		}
+	}
+	at := m.retire(done)
+	m.PMU.Record(pmu.EvBrRetired, at)
+	return taken, target, nil
+}
+
+// execCall pushes the return address and jumps.
+func (m *Machine) execCall(in x86.Instr, returnRIP uint32) (uint32, error) {
+	c := &m.core
+	disp := in.Args[0].(x86.Imm)
+	target := uint32(int64(returnRIP) + int64(disp))
+
+	newRSP := c.regs[x86.RSP] - 8
+	rspReady := c.regReady[x86.RSP]
+	sdone, err := m.store(uint32(newRSP), 8, uint64(returnRIP), rspReady, 0)
+	if err != nil {
+		return 0, err
+	}
+	_, rspDone := m.dispatch(x86.PortsALU, rspReady, 1, 1)
+	m.setReg(x86.RSP, newRSP, rspDone)
+
+	spec := x86.Spec(x86.CALL)
+	u := spec.Uops[0]
+	_, bdone := m.dispatch(u.Ports, 0, u.Latency, u.Occupancy)
+	at := m.retire(maxI64(sdone, bdone))
+	m.PMU.Record(pmu.EvBrRetired, at)
+	return target, nil
+}
+
+// execRet pops the return address and jumps to it. Returns are predicted
+// by a return-stack buffer on real hardware, so no mispredict penalty is
+// modelled.
+func (m *Machine) execRet() (uint32, error) {
+	c := &m.core
+	rsp := c.regs[x86.RSP]
+	v, ldone, _, err := m.load(uint32(rsp), 8, c.regReady[x86.RSP])
+	if err != nil {
+		return 0, err
+	}
+	_, rspDone := m.dispatch(x86.PortsALU, c.regReady[x86.RSP], 1, 1)
+	m.setReg(x86.RSP, rsp+8, rspDone)
+
+	spec := x86.Spec(x86.RET)
+	u := spec.Uops[0]
+	_, bdone := m.dispatch(u.Ports, ldone, u.Latency, u.Occupancy)
+	at := m.retire(maxI64(ldone, bdone))
+	m.PMU.Record(pmu.EvBrRetired, at)
+	return uint32(v), nil
+}
+
+// execPush pushes a register.
+func (m *Machine) execPush(in x86.Instr) error {
+	c := &m.core
+	r := in.Args[0].(x86.Reg)
+	newRSP := c.regs[x86.RSP] - 8
+	sdone, err := m.store(uint32(newRSP), 8, c.regs[r], c.regReady[x86.RSP], c.regReady[r])
+	if err != nil {
+		return err
+	}
+	_, rspDone := m.dispatch(x86.PortsALU, c.regReady[x86.RSP], 1, 1)
+	m.setReg(x86.RSP, newRSP, rspDone)
+	m.retire(maxI64(sdone, rspDone))
+	return nil
+}
+
+// execPop pops into a register.
+func (m *Machine) execPop(in x86.Instr) error {
+	c := &m.core
+	r := in.Args[0].(x86.Reg)
+	rsp := c.regs[x86.RSP]
+	v, ldone, _, err := m.load(uint32(rsp), 8, c.regReady[x86.RSP])
+	if err != nil {
+		return err
+	}
+	_, rspDone := m.dispatch(x86.PortsALU, c.regReady[x86.RSP], 1, 1)
+	m.setReg(x86.RSP, rsp+8, rspDone)
+	m.setReg(r, v, ldone)
+	m.retire(maxI64(ldone, rspDone))
+	return nil
+}

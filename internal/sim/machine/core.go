@@ -1,0 +1,641 @@
+package machine
+
+import (
+	"fmt"
+
+	"nanobench/internal/sim/cache"
+	"nanobench/internal/sim/pmu"
+	"nanobench/internal/x86"
+)
+
+// coreState is the architectural and timing state of the simulated core.
+//
+// The timing model is a simplified out-of-order scheduler: every µop gets a
+// dispatch cycle no earlier than its issue slot, its operands' ready
+// cycles, the current serialization barrier, and the earliest free cycle of
+// a compatible execution port. Architectural effects are applied in program
+// order, so values are always exact; only the cycle bookkeeping models the
+// out-of-order pipeline.
+type coreState struct {
+	regs [x86.NumGP]uint64
+	xmm  [x86.NumXMM][2]uint64
+	zf   bool
+	sf   bool
+	cf   bool
+	of   bool
+	rip  uint32
+
+	regReady  [x86.NumGP]int64
+	xmmReady  [x86.NumXMM]int64
+	flagReady int64
+
+	portFree [x86.NumPorts]int64
+	portUse  [x86.NumPorts]int64
+
+	feCycle        int64 // front-end: cycle the next issue slot is in
+	feSlots        int   // µops issued in the current front-end cycle
+	lastCompletion int64 // max completion cycle over all µops
+	lastStoreDone  int64
+	barrier        int64 // µops may not dispatch before this cycle
+	retireCycle    int64
+
+	instructions uint64
+	fetchLine    uint64
+	hasFetchLine bool
+
+	// stbuf is a small ring of recent stores used for store-to-load
+	// forwarding: a load overlapping a recent store cannot begin before
+	// the store's data is ready.
+	stbuf    [storeBufSize]storeEntry
+	stbufPos int
+
+	pred predictor
+}
+
+// storeBufSize approximates the store-buffer depth of the modelled core.
+const storeBufSize = 56
+
+// fwdLatency is the store-to-load forwarding latency in cycles.
+const fwdLatency = 5
+
+type storeEntry struct {
+	addr uint32
+	size uint8
+	done int64
+}
+
+// issueWidth is the front-end issue width in µops per cycle.
+const issueWidth = 4
+
+func (c *coreState) cycleFloor() int64 {
+	v := c.feCycle
+	if c.retireCycle > v {
+		v = c.retireCycle
+	}
+	if c.lastCompletion > v {
+		v = c.lastCompletion
+	}
+	return v
+}
+
+var portEvents = [x86.NumPorts]pmu.Event{
+	pmu.EvUopsPort0, pmu.EvUopsPort1, pmu.EvUopsPort2, pmu.EvUopsPort3,
+	pmu.EvUopsPort4, pmu.EvUopsPort5, pmu.EvUopsPort6, pmu.EvUopsPort7,
+}
+
+// issueSlot consumes one front-end issue slot and returns its cycle.
+func (m *Machine) issueSlot() int64 {
+	c := &m.core
+	cyc := c.feCycle
+	m.PMU.Record(pmu.EvUopsIssued, cyc)
+	c.feSlots++
+	if c.feSlots >= issueWidth {
+		c.feCycle++
+		c.feSlots = 0
+	}
+	return cyc
+}
+
+// dispatch schedules one µop: it takes an issue slot, waits for operands
+// (ready), the serialization barrier, and a free port from the mask, and
+// returns the dispatch and completion cycles.
+func (m *Machine) dispatch(ports x86.PortMask, ready int64, lat, occ int) (start, done int64) {
+	c := &m.core
+	issue := m.issueSlot()
+	lb := maxI64(maxI64(ready, issue), c.barrier)
+
+	plist := ports.Ports()
+	if len(plist) == 0 {
+		done = lb + int64(lat)
+		if done > c.lastCompletion {
+			c.lastCompletion = done
+		}
+		return lb, done
+	}
+	// Pick the port that can start earliest; break ties by least total
+	// use, like a load-balancing scheduler. This yields the steady 50/50
+	// split on ports 2/3 for load streams and the even spread of ALU µops
+	// across ports 0/1/5/6.
+	best := -1
+	var bestStart int64
+	for _, p := range plist {
+		s := maxI64(lb, c.portFree[p])
+		if best == -1 || s < bestStart || (s == bestStart && c.portUse[p] < c.portUse[best]) {
+			best, bestStart = p, s
+		}
+	}
+	if occ < 1 {
+		occ = 1
+	}
+	c.portFree[best] = bestStart + int64(occ)
+	c.portUse[best]++
+	m.PMU.Record(portEvents[best], bestStart)
+	done = bestStart + int64(lat)
+	if done > c.lastCompletion {
+		c.lastCompletion = done
+	}
+	return bestStart, done
+}
+
+// retire completes an instruction whose last µop finishes at done, records
+// the retirement event, and returns the retire cycle.
+func (m *Machine) retire(done int64) int64 {
+	c := &m.core
+	if done > c.retireCycle {
+		c.retireCycle = done
+	}
+	if c.feCycle > c.retireCycle {
+		c.retireCycle = c.feCycle
+	}
+	m.PMU.Record(pmu.EvInstRetired, c.retireCycle)
+	c.instructions++
+	return c.retireCycle
+}
+
+// fetch models instruction fetch through the L1I for the line containing
+// rip (and the next line if the instruction spans two).
+func (m *Machine) fetch(rip uint32, ilen int) error {
+	c := &m.core
+	lineSz := uint64(m.Hier.LineSize())
+	first := uint64(rip) &^ (lineSz - 1)
+	last := (uint64(rip) + uint64(ilen) - 1) &^ (lineSz - 1)
+	for line := first; line <= last; line += lineSz {
+		if c.hasFetchLine && line == c.fetchLine {
+			continue
+		}
+		phys, ok := m.Mem.Translate(uint32(line))
+		if !ok {
+			return &Fault{RIP: rip, Reason: "instruction fetch from unmapped memory"}
+		}
+		res := m.Hier.Code(phys)
+		if res.Level > 1 {
+			// Fetch bubble: the front end stalls for the extra latency.
+			c.feCycle += int64(res.Latency - m.Hier.L1I.Geom.Latency)
+			c.feSlots = 0
+		}
+		c.fetchLine = line
+		c.hasFetchLine = true
+	}
+	return nil
+}
+
+// readCodeBytes reads up to 15 bytes of code at rip, stopping at unmapped
+// pages.
+func (m *Machine) readCodeBytes(rip uint32) []byte {
+	var buf [15]byte
+	if m.Mem.Read(rip, buf[:]) {
+		return buf[:]
+	}
+	for n := 14; n > 0; n-- {
+		if m.Mem.Read(rip, buf[:n]) {
+			return buf[:n]
+		}
+	}
+	return nil
+}
+
+// decodeAt decodes (with caching) the instruction at rip.
+func (m *Machine) decodeAt(rip uint32) (x86.Instr, int, error) {
+	if e, ok := m.decCache[rip]; ok && e.version == m.decVersion {
+		return e.in, e.n, nil
+	}
+	code := m.readCodeBytes(rip)
+	if len(code) == 0 {
+		return x86.Instr{}, 0, &Fault{RIP: rip, Reason: "code read from unmapped memory"}
+	}
+	in, n, err := x86.Decode(code)
+	if err != nil {
+		return x86.Instr{}, 0, &Fault{RIP: rip, Reason: fmt.Sprintf("undecodable instruction: %v", err)}
+	}
+	m.decCache[rip] = decEntry{version: m.decVersion, in: in, n: n}
+	return in, n, nil
+}
+
+// step executes one instruction. It returns done=true when the top-level
+// RET transfers to the sentinel address.
+func (m *Machine) step() (bool, error) {
+	c := &m.core
+	in, ilen, err := m.decodeAt(c.rip)
+	if err != nil {
+		return false, err
+	}
+	if err := m.fetch(c.rip, ilen); err != nil {
+		return false, err
+	}
+
+	op := in.Op
+	if op.IsPrivileged() && m.mode != Kernel {
+		return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: %s is privileged", op)}
+	}
+
+	nextRIP := c.rip + uint32(ilen)
+	spec := x86.Spec(op)
+
+	switch spec.Class {
+	case x86.ClassNop:
+		m.issueSlot()
+		m.retire(c.feCycle)
+
+	case x86.ClassPause:
+		m.issueSlot()
+		c.feCycle += 30
+		c.feSlots = 0
+		m.retire(c.feCycle)
+
+	case x86.ClassUD2:
+		return false, &Fault{RIP: c.rip, Reason: "#UD: UD2 executed"}
+
+	case x86.ClassLFence:
+		m.issueSlot()
+		done := maxI64(c.lastCompletion, c.feCycle) + 1
+		c.barrier = maxI64(c.barrier, done)
+		c.lastCompletion = done
+		// LFENCE gates execution of everything that follows; the issue
+		// clock advances with it so post-fence instruction timing starts
+		// at the fence, not at the (long since passed) issue slots.
+		c.feCycle = maxI64(c.feCycle, done)
+		c.feSlots = 0
+		m.retire(done)
+
+	case x86.ClassMFence:
+		m.issueSlot()
+		done := maxI64(maxI64(c.lastCompletion, c.lastStoreDone), c.feCycle) + 3
+		c.barrier = maxI64(c.barrier, done)
+		c.lastCompletion = done
+		c.feCycle = maxI64(c.feCycle, done)
+		c.feSlots = 0
+		m.retire(done)
+
+	case x86.ClassSFence:
+		m.issueSlot()
+		done := maxI64(c.lastStoreDone, c.feCycle) + 1
+		c.barrier = maxI64(c.barrier, done)
+		c.lastCompletion = done
+		c.feCycle = maxI64(c.feCycle, done)
+		c.feSlots = 0
+		m.retire(done)
+
+	case x86.ClassSerialize: // CPUID
+		m.issueSlot()
+		lat := m.cpuidLatency()
+		done := maxI64(c.lastCompletion, c.feCycle) + lat
+		c.barrier = maxI64(c.barrier, done)
+		c.lastCompletion = done
+		m.execCPUID(done)
+		c.feCycle = maxI64(c.feCycle, done)
+		c.feSlots = 0
+		m.retire(done)
+
+	case x86.ClassRDTSC:
+		ready := c.feCycle
+		var start, done int64
+		for _, u := range spec.Uops {
+			s, d := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
+			if start == 0 || s > start {
+				start = s
+			}
+			if d > done {
+				done = d
+			}
+		}
+		tsc := uint64(float64(start) * m.Spec.RefRatio)
+		m.setReg(x86.RAX, tsc&0xFFFFFFFF, done)
+		m.setReg(x86.RDX, tsc>>32, done)
+		m.retire(done)
+
+	case x86.ClassRDPMC:
+		if m.mode != Kernel && !m.cr4pce {
+			return false, &Fault{RIP: c.rip, Reason: "#GP: RDPMC with CR4.PCE=0 in user mode"}
+		}
+		ready := c.regReady[x86.RCX]
+		var start, done int64
+		first := true
+		for _, u := range spec.Uops {
+			s, d := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
+			if first || s < start {
+				start = s
+			}
+			first = false
+			if d > done {
+				done = d
+			}
+		}
+		idx := uint32(c.regs[x86.RCX])
+		// The counter value is sampled at the µop's dispatch cycle: this
+		// is what makes unfenced reads unreliable.
+		v, ok := m.PMU.ReadPMC(idx, start)
+		if !ok {
+			return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: RDPMC index %#x", idx)}
+		}
+		m.setReg(x86.RAX, v&0xFFFFFFFF, done)
+		m.setReg(x86.RDX, v>>32, done)
+		m.retire(done)
+
+	case x86.ClassRDMSR:
+		ready := c.regReady[x86.RCX]
+		u := spec.Uops[0]
+		start, done := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
+		v, ok := m.readMSR(uint32(c.regs[x86.RCX]), start)
+		if !ok {
+			return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: RDMSR %#x", uint32(c.regs[x86.RCX]))}
+		}
+		m.setReg(x86.RAX, v&0xFFFFFFFF, done)
+		m.setReg(x86.RDX, v>>32, done)
+		m.retire(done)
+
+	case x86.ClassWRMSR:
+		m.issueSlot()
+		ready := maxI64(c.regReady[x86.RCX], maxI64(c.regReady[x86.RAX], c.regReady[x86.RDX]))
+		done := maxI64(maxI64(c.lastCompletion, ready), c.feCycle) + 150
+		c.barrier = maxI64(c.barrier, done)
+		c.lastCompletion = done
+		v := c.regs[x86.RDX]<<32 | c.regs[x86.RAX]&0xFFFFFFFF
+		if ok := m.writeMSR(uint32(c.regs[x86.RCX]), v, done); !ok {
+			return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: WRMSR %#x", uint32(c.regs[x86.RCX]))}
+		}
+		c.feCycle = maxI64(c.feCycle, done)
+		c.feSlots = 0
+		m.retire(done)
+
+	case x86.ClassWBINVD:
+		m.issueSlot()
+		flushed := m.Hier.Flush()
+		done := maxI64(c.lastCompletion, c.feCycle) + 1000 + 2*int64(flushed)
+		c.barrier = maxI64(c.barrier, done)
+		c.lastCompletion = done
+		c.feCycle = maxI64(c.feCycle, done)
+		c.feSlots = 0
+		m.retire(done)
+
+	case x86.ClassCLFLUSH:
+		addr, aready, err := m.memOperandAddr(in.Args[0].(x86.Mem))
+		if err != nil {
+			return false, err
+		}
+		phys, ok := m.Mem.Translate(addr)
+		if !ok {
+			return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#PF: CLFLUSH of unmapped %#x", addr)}
+		}
+		m.Hier.FlushLine(phys)
+		u := spec.Uops[0]
+		_, done := m.dispatch(u.Ports, aready, u.Latency, u.Occupancy)
+		m.retire(done)
+
+	case x86.ClassPrefetch:
+		addr, aready, err := m.memOperandAddr(in.Args[0].(x86.Mem))
+		if err != nil {
+			return false, err
+		}
+		if phys, ok := m.Mem.Translate(addr); ok {
+			m.Hier.Data(phys, false) // prefetches fill but raise no load events
+		}
+		_, done := m.dispatch(x86.PortsLoad, aready, 1, 1)
+		m.retire(done)
+
+	case x86.ClassCLI:
+		m.issueSlot()
+		m.ifEn = false
+		m.retire(c.feCycle)
+
+	case x86.ClassSTI:
+		m.issueSlot()
+		m.ifEn = true
+		m.retire(c.feCycle)
+
+	case x86.ClassBranch:
+		taken, target, err := m.execBranch(in, nextRIP)
+		if err != nil {
+			return false, err
+		}
+		if taken {
+			nextRIP = target
+		}
+
+	case x86.ClassCall:
+		target, err := m.execCall(in, nextRIP)
+		if err != nil {
+			return false, err
+		}
+		nextRIP = target
+
+	case x86.ClassRet:
+		target, err := m.execRet()
+		if err != nil {
+			return false, err
+		}
+		if target == SentinelRIP {
+			c.rip = target
+			return true, nil
+		}
+		nextRIP = target
+
+	case x86.ClassPush:
+		if err := m.execPush(in); err != nil {
+			return false, err
+		}
+
+	case x86.ClassPop:
+		if err := m.execPop(in); err != nil {
+			return false, err
+		}
+
+	default:
+		if err := m.execNormal(in, spec); err != nil {
+			return false, err
+		}
+	}
+
+	c.rip = nextRIP
+	return false, nil
+}
+
+// cpuidLatency models CPUID's variable execution time: a base cost plus a
+// noisy component, occasionally spiking by hundreds of cycles (Paoloni's
+// observation, Section IV-A1).
+func (m *Machine) cpuidLatency() int64 {
+	lat := int64(120 + m.rng.Intn(40))
+	if m.rng.Intn(8) == 0 {
+		lat += int64(m.rng.Intn(400))
+	}
+	return lat
+}
+
+func (m *Machine) execCPUID(done int64) {
+	c := &m.core
+	leaf := uint32(c.regs[x86.RAX])
+	var a, b, cx, d uint64
+	switch leaf {
+	case 0:
+		a, b, cx, d = 0x16, 0x756E6547, 0x6C65746E, 0x49656E69 // "GenuineIntel"
+	case 1:
+		a = 0x000506E3 // family/model/stepping of a Skylake part
+		b, cx, d = 0, 0x7FFAFBBF, 0xBFEBFBFF
+	default:
+		a, b, cx, d = 0, 0, 0, 0
+	}
+	m.setReg(x86.RAX, a, done)
+	m.setReg(x86.RBX, b, done)
+	m.setReg(x86.RCX, cx, done)
+	m.setReg(x86.RDX, d, done)
+}
+
+// setReg writes a register value and its ready cycle.
+func (m *Machine) setReg(r x86.Reg, v uint64, ready int64) {
+	m.core.regs[r] = v
+	m.core.regReady[r] = ready
+}
+
+// memOperandAddr computes the effective address of a memory operand and
+// the cycle its address registers are ready.
+func (m *Machine) memOperandAddr(mo x86.Mem) (uint32, int64, error) {
+	c := &m.core
+	if mo.AbsValid {
+		return mo.Abs, 0, nil
+	}
+	var addr uint64
+	var ready int64
+	if mo.Base != x86.RegNone {
+		addr += c.regs[mo.Base]
+		ready = c.regReady[mo.Base]
+	}
+	if mo.Index != x86.RegNone {
+		scale := uint64(mo.Scale)
+		if scale == 0 {
+			scale = 1
+		}
+		addr += c.regs[mo.Index] * scale
+		if c.regReady[mo.Index] > ready {
+			ready = c.regReady[mo.Index]
+		}
+	}
+	addr += uint64(int64(mo.Disp))
+	if addr >= 1<<32 {
+		return 0, 0, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: effective address %#x above 4 GB", addr)}
+	}
+	return uint32(addr), ready, nil
+}
+
+// load dispatches a load µop for size bytes at virtual address addr and
+// returns the value, the completion cycle, and the hierarchy result.
+func (m *Machine) load(addr uint32, size int, addrReady int64) (uint64, int64, cache.Result, error) {
+	c := &m.core
+	phys, ok := m.Mem.Translate(addr)
+	if !ok {
+		return 0, 0, cache.Result{}, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#PF: load from unmapped %#x", addr)}
+	}
+	res := m.Hier.Data(phys, false)
+	// Store-to-load forwarding: a load overlapping a buffered store waits
+	// for the store data and bypasses the cache latency.
+	lat := res.Latency
+	ready := addrReady
+	for i := 0; i < storeBufSize; i++ {
+		e := &c.stbuf[(c.stbufPos-1-i+2*storeBufSize)%storeBufSize]
+		if e.size == 0 {
+			continue
+		}
+		if addr >= e.addr && addr+uint32(size) <= e.addr+uint32(e.size) {
+			if e.done > ready {
+				ready = e.done
+			}
+			if lat > fwdLatency {
+				lat = fwdLatency
+			}
+			break
+		}
+	}
+	start, done := m.dispatch(x86.PortsLoad, ready, lat, 1)
+	_ = start
+	var v uint64
+	switch size {
+	case 8:
+		v, _ = m.Mem.Read64(addr)
+	default:
+		var buf [8]byte
+		if !m.Mem.Read(addr, buf[:size]) {
+			return 0, 0, res, &Fault{RIP: c.rip, Reason: "#PF: partial load"}
+		}
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(buf[i])
+		}
+	}
+	m.recordLoadEvents(res)
+	return v, done, res, nil
+}
+
+// recordLoadEvents records the retired-load hit/miss events and uncore
+// lookups for one demand load.
+func (m *Machine) recordLoadEvents(res cache.Result) {
+	c := &m.core
+	at := c.retireCycle
+	if c.feCycle > at {
+		at = c.feCycle
+	}
+	m.PMU.Record(pmu.EvLoadRetired, at)
+	if res.Level == 1 {
+		m.PMU.Record(pmu.EvLoadL1Hit, at)
+	} else {
+		m.PMU.Record(pmu.EvLoadL1Miss, at)
+	}
+	if res.Level >= 2 {
+		if res.Level == 2 {
+			m.PMU.Record(pmu.EvLoadL2Hit, at)
+		} else {
+			m.PMU.Record(pmu.EvLoadL2Miss, at)
+		}
+	}
+	if res.Level >= 3 {
+		if res.Level == 3 {
+			m.PMU.Record(pmu.EvLoadL3Hit, at)
+		} else {
+			m.PMU.Record(pmu.EvLoadL3Miss, at)
+		}
+	}
+	if res.Slice >= 0 && res.Slice < len(m.CBox) {
+		m.CBox[res.Slice].Record(pmu.CBoLookup, at)
+		if res.Level == 4 {
+			m.CBox[res.Slice].Record(pmu.CBoMiss, at)
+		}
+	}
+	for i := 0; i < res.Prefetched; i++ {
+		m.PMU.Record(pmu.EvL2Prefetch, at)
+	}
+}
+
+// store dispatches store-address and store-data µops and performs the
+// write. Stores complete into the store buffer; the pipeline does not wait
+// for the cache fill, matching write-allocate hardware.
+func (m *Machine) store(addr uint32, size int, v uint64, addrReady, dataReady int64) (int64, error) {
+	c := &m.core
+	phys, ok := m.Mem.Translate(addr)
+	if !ok {
+		return 0, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#PF: store to unmapped %#x", addr)}
+	}
+	res := m.Hier.Data(phys, true)
+	_, staDone := m.dispatch(x86.PortsSTA, addrReady, 1, 1)
+	_, stdDone := m.dispatch(x86.PortsSTD, dataReady, 1, 1)
+	done := maxI64(staDone, stdDone)
+	if done > c.lastStoreDone {
+		c.lastStoreDone = done
+	}
+	c.stbuf[c.stbufPos] = storeEntry{addr: addr, size: uint8(size), done: done}
+	c.stbufPos = (c.stbufPos + 1) % storeBufSize
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	if !m.Mem.Write(addr, buf[:size]) {
+		return 0, &Fault{RIP: c.rip, Reason: "#PF: partial store"}
+	}
+	at := c.retireCycle
+	if c.feCycle > at {
+		at = c.feCycle
+	}
+	m.PMU.Record(pmu.EvStoreRetired, at)
+	if res.Slice >= 0 && res.Slice < len(m.CBox) {
+		m.CBox[res.Slice].Record(pmu.CBoLookup, at)
+		if res.Level == 4 {
+			m.CBox[res.Slice].Record(pmu.CBoMiss, at)
+		}
+	}
+	return done, nil
+}

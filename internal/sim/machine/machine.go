@@ -1,0 +1,309 @@
+// Package machine assembles the simulated x86 system: physical memory and
+// paging, the cache hierarchy, the PMU, MSRs, and an out-of-order core
+// timing model that executes real machine-code bytes produced by the
+// assembler in internal/x86.
+//
+// The timing model is the substrate substitution for real hardware (see
+// DESIGN.md): performance counters are sampled at the cycle the reading
+// µop executes, so measurement code exhibits the same serialization
+// hazards, overheads, and interrupt noise the nanoBench paper addresses.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nanobench/internal/sim/cache"
+	"nanobench/internal/sim/mem"
+	"nanobench/internal/sim/pmu"
+	"nanobench/internal/x86"
+)
+
+// Mode is the privilege mode code runs in.
+type Mode int
+
+// Privilege modes.
+const (
+	User Mode = iota
+	Kernel
+)
+
+// Spec configures a simulated machine.
+type Spec struct {
+	Name  string
+	Cache cache.Config
+	// NumProgCounters is the number of programmable performance counters
+	// (2..8 on Intel, 6 on AMD family 17h).
+	NumProgCounters int
+	// RefRatio is the reference-clock to core-clock ratio (<1 when the
+	// core runs above base frequency).
+	RefRatio float64
+	// PhysMem is the physical memory size.
+	PhysMem uint64
+	// EventTable maps perfevtsel encodings (event | umask<<8) to events.
+	EventTable map[uint16]pmu.Event
+	// InterruptInterval is the mean cycle distance between timer
+	// interrupts in user mode (0 disables them).
+	InterruptInterval int64
+	// Seed for all machine-internal pseudo-randomness.
+	Seed int64
+	// MispredictPenalty is the front-end bubble after a mispredicted
+	// branch.
+	MispredictPenalty int
+}
+
+// Virtual memory layout of the machine-owned regions. Everything lives
+// below 2 GB so absolute disp32 addressing reaches it.
+const (
+	// StackBase is a small machine-provided stack so generated code can
+	// RET (and use CALL) before it switches to its own memory areas.
+	StackBase = 0x0008_0000
+	StackSize = 0x4000
+	// SentinelRIP is the return address the machine pushes before
+	// starting a run; executing RET with this target ends the run.
+	SentinelRIP = 0x7FFF_FFF0
+)
+
+// Machine is one simulated x86 system with a single active core.
+type Machine struct {
+	Spec  Spec
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+	Hier  *cache.Hierarchy
+	PMU   *pmu.PMU
+	CBox  []*pmu.CBox
+
+	rng  *rand.Rand
+	mode Mode
+	ifEn bool // interrupt flag
+	// cr4pce mirrors CR4.PCE: RDPMC allowed in user mode.
+	cr4pce bool
+
+	msr map[uint32]uint64 // raw storage for MSRs without special handling
+
+	core coreState
+
+	// decode cache, invalidated when code memory is rewritten
+	decVersion uint64
+	decCache   map[uint32]decEntry
+
+	// MaxInstructions bounds one Run (a runaway-loop backstop).
+	MaxInstructions uint64
+
+	nextIrq int64
+	// irqScratch is a physical region the fake interrupt handler touches
+	// to perturb the caches.
+	irqScratch uint64
+}
+
+type decEntry struct {
+	version uint64
+	in      x86.Instr
+	n       int
+}
+
+// New builds a machine from the spec. The low megabyte of physical memory
+// is reserved for the machine itself (interrupt-handler working set).
+func New(spec Spec) (*Machine, error) {
+	if spec.NumProgCounters <= 0 {
+		return nil, fmt.Errorf("machine: need at least one programmable counter")
+	}
+	if spec.RefRatio <= 0 || spec.RefRatio > 1.5 {
+		return nil, fmt.Errorf("machine: implausible RefRatio %v", spec.RefRatio)
+	}
+	if spec.MispredictPenalty == 0 {
+		spec.MispredictPenalty = 16
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	memory, err := mem.NewMemory(spec.PhysMem, 1<<31)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(spec.Cache, rng)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Spec:            spec,
+		Mem:             memory,
+		Alloc:           mem.NewAllocator(spec.PhysMem, 1<<20, rng),
+		Hier:            hier,
+		PMU:             pmu.New(spec.NumProgCounters, spec.RefRatio),
+		rng:             rng,
+		msr:             map[uint32]uint64{},
+		decCache:        map[uint32]decEntry{},
+		MaxInstructions: 64 << 20,
+		irqScratch:      0x40000, // inside the reserved low megabyte
+	}
+	for i := 0; i < spec.Cache.L3Slices; i++ {
+		m.CBox = append(m.CBox, pmu.NewCBox())
+	}
+	// Machine-owned stack: map it at identical phys addresses inside the
+	// reserved region.
+	if err := m.Mem.Map(StackBase, 0x10000, StackSize); err != nil {
+		return nil, err
+	}
+	m.scheduleIrq()
+	return m, nil
+}
+
+// SetMode selects the privilege mode subsequent runs execute in. Kernel
+// mode starts with interrupts disabled (the kernel-space nanoBench
+// disables them around measurements); user mode always has them enabled.
+func (m *Machine) SetMode(mode Mode) {
+	m.mode = mode
+	m.ifEn = mode == User
+}
+
+// Mode returns the current privilege mode.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// SetCR4PCE controls whether RDPMC is allowed in user mode.
+func (m *Machine) SetCR4PCE(on bool) { m.cr4pce = on }
+
+// Cycle returns the current core cycle.
+func (m *Machine) Cycle() int64 { return m.core.cycleFloor() }
+
+// Rand exposes the machine's deterministic random source (tests and
+// tooling use it so everything derives from one seed).
+func (m *Machine) Rand() *rand.Rand { return m.rng }
+
+// WriteCode copies machine code into virtual memory and invalidates the
+// decode cache.
+func (m *Machine) WriteCode(virt uint32, code []byte) error {
+	if !m.Mem.Write(virt, code) {
+		return fmt.Errorf("machine: code write to unmapped address %#x", virt)
+	}
+	m.decVersion++
+	return nil
+}
+
+// WriteData writes data bytes to virtual memory (no decode invalidation).
+func (m *Machine) WriteData(virt uint32, data []byte) error {
+	if !m.Mem.Write(virt, data) {
+		return fmt.Errorf("machine: data write to unmapped address %#x", virt)
+	}
+	return nil
+}
+
+// Reboot resets the allocator freelist (the paper's remedy for failed
+// physically-contiguous allocations), flushes the caches, and clears
+// counters. Mappings of machine-owned regions survive.
+func (m *Machine) Reboot() {
+	m.Alloc.Reboot()
+	m.Hier.Flush()
+	m.PMU.ResetAll(m.core.cycleFloor())
+	for _, b := range m.CBox {
+		b.ResetAll()
+	}
+}
+
+// scheduleIrq draws the next timer-interrupt cycle.
+func (m *Machine) scheduleIrq() {
+	if m.Spec.InterruptInterval <= 0 {
+		m.nextIrq = 1 << 62
+		return
+	}
+	iv := m.Spec.InterruptInterval
+	jitter := m.rng.Int63n(iv) - iv/2
+	m.nextIrq = m.core.cycleFloor() + iv + jitter
+}
+
+// Fault is a simulated CPU exception.
+type Fault struct {
+	RIP    uint32
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("machine: fault at %#x: %s", f.RIP, f.Reason)
+}
+
+// RunResult summarizes one Run.
+type RunResult struct {
+	Instructions uint64
+	Cycles       int64
+	Interrupts   int
+}
+
+// Run executes code at entry until the top-level RET (or fault/instruction
+// budget). The machine pushes a sentinel return address onto its private
+// stack; generated nanoBench code saves and restores all registers, so RSP
+// is back on this stack when the final RET executes.
+func (m *Machine) Run(entry uint32) (RunResult, error) {
+	c := &m.core
+	startInstr := c.instructions
+	// Runs do not overlap: the driver work between runs (configuring
+	// counters, reading results) serializes the pipeline.
+	c.feCycle = c.cycleFloor()
+	c.feSlots = 0
+	c.barrier = maxI64(c.barrier, c.feCycle)
+	startCycle := c.cycleFloor()
+	irqs := 0
+
+	// Set up stack with the sentinel return address.
+	stackTop := uint32(StackBase + StackSize - 64)
+	m.Mem.Write64(stackTop, SentinelRIP)
+	c.regs[x86.RSP] = uint64(stackTop)
+	c.regReady[x86.RSP] = c.feCycle
+	c.rip = entry
+
+	for {
+		if c.instructions-startInstr > m.MaxInstructions {
+			return RunResult{}, &Fault{RIP: c.rip, Reason: "instruction budget exceeded (runaway loop?)"}
+		}
+		// Timer interrupts (user mode with IF set).
+		if m.ifEn && m.mode == User && c.feCycle >= m.nextIrq {
+			m.deliverInterrupt()
+			irqs++
+		}
+		done, err := m.step()
+		if err != nil {
+			return RunResult{}, err
+		}
+		if done {
+			break
+		}
+	}
+	return RunResult{
+		Instructions: c.instructions - startInstr,
+		Cycles:       c.cycleFloor() - startCycle,
+		Interrupts:   irqs,
+	}, nil
+}
+
+// deliverInterrupt models a timer interrupt: the handler runs for a few
+// thousand cycles with the counters still active, retires instructions,
+// and displaces cache lines.
+func (m *Machine) deliverInterrupt() {
+	c := &m.core
+	cost := int64(2000 + m.rng.Int63n(6000))
+	instrs := cost / 3
+	start := c.feCycle
+	// Retired instructions spread across the handler's execution.
+	step := cost / maxI64(instrs, 1)
+	if step == 0 {
+		step = 1
+	}
+	for t := int64(0); t < instrs; t++ {
+		m.PMU.Record(pmu.EvInstRetired, start+t*step)
+	}
+	// The handler touches a working set, evicting user lines.
+	lines := 16 + m.rng.Intn(48)
+	for i := 0; i < lines; i++ {
+		addr := m.irqScratch + uint64(m.rng.Intn(512))*64
+		m.Hier.Data(addr, i%4 == 0)
+	}
+	c.feCycle = start + cost
+	c.barrier = maxI64(c.barrier, c.feCycle)
+	c.lastCompletion = maxI64(c.lastCompletion, c.feCycle)
+	c.retireCycle = maxI64(c.retireCycle, c.feCycle)
+	m.scheduleIrq()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,550 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nanobench/internal/sim/cache"
+	"nanobench/internal/sim/pmu"
+	"nanobench/internal/x86"
+)
+
+const (
+	testCodeBase = 0x0010_0000
+	testDataBase = 0x0100_0000
+)
+
+func testEventTable() map[uint16]pmu.Event {
+	return map[uint16]pmu.Event{
+		EvtSelKey(0xA1, 0x01): pmu.EvUopsPort0,
+		EvtSelKey(0xA1, 0x02): pmu.EvUopsPort1,
+		EvtSelKey(0xA1, 0x04): pmu.EvUopsPort2,
+		EvtSelKey(0xA1, 0x08): pmu.EvUopsPort3,
+		EvtSelKey(0xD1, 0x01): pmu.EvLoadL1Hit,
+		EvtSelKey(0xD1, 0x08): pmu.EvLoadL1Miss,
+		EvtSelKey(0x0E, 0x01): pmu.EvUopsIssued,
+		EvtSelKey(0xC5, 0x00): pmu.EvBrMispRetired,
+	}
+}
+
+func testSpec() Spec {
+	return Spec{
+		Name: "test-skl",
+		Cache: cache.Config{
+			L1I:            cache.Geometry{Name: "L1I", Size: 32 << 10, Assoc: 8, LineSize: 64, Latency: 4},
+			L1D:            cache.Geometry{Name: "L1D", Size: 32 << 10, Assoc: 8, LineSize: 64, Latency: 4},
+			L2:             cache.Geometry{Name: "L2", Size: 256 << 10, Assoc: 8, LineSize: 64, Latency: 12},
+			L3:             cache.Geometry{Name: "L3", Size: 1 << 20, Assoc: 16, LineSize: 64, Latency: 26},
+			L3Slices:       2,
+			SliceHash:      cache.DefaultSliceHash(2),
+			MemLatency:     180,
+			L1IPolicy:      cache.SimplePolicy("PLRU"),
+			L1DPolicy:      cache.SimplePolicy("PLRU"),
+			L2Policy:       cache.SimplePolicy("PLRU"),
+			L3Policy:       cache.SimplePolicy("QLRU_H11_M1_R0_U0"),
+			PrefetchDegree: 2,
+		},
+		NumProgCounters: 4,
+		RefRatio:        0.88,
+		PhysMem:         64 << 20,
+		EventTable:      testEventTable(),
+		Seed:            12345,
+	}
+}
+
+// newTestMachine builds a kernel-mode machine with code and data regions
+// mapped and the prefetcher disabled (most tests want deterministic cache
+// behaviour).
+func newTestMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMode(Kernel)
+	if err := m.Mem.Map(testCodeBase, 0x200000, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.Map(testDataBase, 0x400000, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	m.Hier.Prefetcher.Enabled = false
+	return m
+}
+
+func run(t *testing.T, m *Machine, asm string) RunResult {
+	t.Helper()
+	code := x86.MustAssemble(asm + "\nret")
+	if err := m.WriteCode(testCodeBase, code); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(testCodeBase)
+	if err != nil {
+		t.Fatalf("run failed: %v\nasm:\n%s", err, asm)
+	}
+	return res
+}
+
+func TestRunBasicArithmetic(t *testing.T) {
+	m := newTestMachine(t)
+	run(t, m, `
+		mov rax, 10
+		mov rbx, 32
+		add rax, rbx
+		shl rax, 1
+		sub rax, 4
+	`)
+	if got := m.Reg(x86.RAX); got != 80 {
+		t.Fatalf("RAX = %d, want 80", got)
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	m := newTestMachine(t)
+	res := run(t, m, `
+		mov r15, 10
+		mov rax, 0
+	loop_start:
+		add rax, 2
+		dec r15
+		jnz loop_start
+	`)
+	if got := m.Reg(x86.RAX); got != 20 {
+		t.Fatalf("RAX = %d, want 20", got)
+	}
+	if res.Instructions != 2+3*10+1 {
+		t.Fatalf("Instructions = %d, want %d", res.Instructions, 2+3*10+1)
+	}
+}
+
+func TestRunMemory(t *testing.T) {
+	m := newTestMachine(t)
+	run(t, m, `
+		mov r14, 0x1000000
+		mov rbx, 77
+		mov [r14+8], rbx
+		mov rcx, [r14+8]
+	`)
+	if got := m.Reg(x86.RCX); got != 77 {
+		t.Fatalf("RCX = %d, want 77", got)
+	}
+}
+
+func TestPointerChaseLatency(t *testing.T) {
+	m := newTestMachine(t)
+	// Self-pointing location: each load has latency L1 = 4 cycles and
+	// depends on the previous one.
+	m.Mem.Write64(testDataBase, testDataBase)
+	const n = 100
+	asm := "mov r14, " + itoa(testDataBase) + "\n" +
+		"mov r14, [r14]\n" + // warm the line
+		"lfence\n" +
+		strings.Repeat("mov r14, [r14]\n", n)
+	run(t, m, asm) // warm-up run: code lines and data line into the caches
+	res := run(t, m, asm)
+	perLoad := float64(res.Cycles) / n
+	if perLoad < 3.5 || perLoad > 5.0 {
+		t.Fatalf("pointer-chase latency = %.2f cycles/load, want ~4", perLoad)
+	}
+}
+
+func TestLoadPortBalance(t *testing.T) {
+	m := newTestMachine(t)
+	// Program counters 0/1 to ports 2/3 µops.
+	m.WriteMSR(MSRPerfEvtSel0+0, uint64(0xA1)|0x04<<8|PerfEvtSelEN)
+	m.WriteMSR(MSRPerfEvtSel0+1, uint64(0xA1)|0x08<<8|PerfEvtSelEN)
+	m.WriteMSR(MSRFixedCtrCtrl, 0x333)
+	m.WriteMSR(MSRPerfGlobalCtl, 0x7<<32|0xF)
+	m.Mem.Write64(testDataBase, testDataBase)
+	asm := "mov r14, " + itoa(testDataBase) + "\n" +
+		strings.Repeat("mov r14, [r14]\n", 100)
+	run(t, m, asm)
+	p2, _ := m.ReadMSR(MSRPmc0 + 0)
+	p3, _ := m.ReadMSR(MSRPmc0 + 1)
+	total := p2 + p3
+	if total < 100 {
+		t.Fatalf("port 2+3 µops = %d, want >= 100", total)
+	}
+	ratio := float64(p2) / float64(total)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("port balance p2=%d p3=%d, want ~50/50", p2, p3)
+	}
+}
+
+func TestPrivilegedFaultsInUserMode(t *testing.T) {
+	m := newTestMachine(t)
+	m.SetMode(User)
+	code := x86.MustAssemble("rdmsr\nret")
+	if err := m.WriteCode(testCodeBase, code); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Run(testCodeBase)
+	var f *Fault
+	if !errors.As(err, &f) || !strings.Contains(f.Reason, "privileged") {
+		t.Fatalf("expected #GP fault, got %v", err)
+	}
+}
+
+func TestRDPMCPrivilege(t *testing.T) {
+	m := newTestMachine(t)
+	m.SetMode(User)
+	m.SetCR4PCE(false)
+	code := x86.MustAssemble("mov rcx, 0x40000000\nrdpmc\nret")
+	if err := m.WriteCode(testCodeBase, code); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(testCodeBase); err == nil {
+		t.Fatal("expected fault for RDPMC with CR4.PCE=0")
+	}
+	m.SetCR4PCE(true)
+	if _, err := m.Run(testCodeBase); err != nil {
+		t.Fatalf("RDPMC with CR4.PCE=1: %v", err)
+	}
+}
+
+func TestCounterSamplingSerializationHazard(t *testing.T) {
+	// The core claim of Section IV-A1: reading a counter without a fence
+	// can miss events from long-latency instructions still in flight;
+	// LFENCE prevents this.
+	readCycles := func(fenced bool) uint64 {
+		m := newTestMachine(t)
+		m.WriteMSR(MSRFixedCtrCtrl, 0x333)
+		m.WriteMSR(MSRPerfGlobalCtl, 0x7<<32)
+		fence := ""
+		if fenced {
+			fence = "lfence\n"
+		}
+		// A long dependent chain of multiplies is still executing when
+		// the unfenced RDPMC samples the cycle counter.
+		asm := `
+			mov rcx, 0x40000001
+			mov rax, 7
+			mov rbx, 3
+		` + strings.Repeat("imul rax, rbx\n", 50) + fence + `
+			rdpmc
+			shl rdx, 32
+			or rax, rdx
+			mov r8, rax
+		`
+		run(t, m, asm) // warm-up: code fetch misses would otherwise dominate
+		m.WriteMSR(MSRFixedCtr1, 0)
+		run(t, m, asm)
+		return m.Reg(x86.R8)
+	}
+	unfenced := readCycles(false)
+	fenced := readCycles(true)
+	if fenced <= unfenced {
+		t.Fatalf("fenced read (%d cycles) should observe more than unfenced (%d)", fenced, unfenced)
+	}
+	if fenced-unfenced < 50 {
+		t.Fatalf("fence effect too small: fenced=%d unfenced=%d", fenced, unfenced)
+	}
+}
+
+func TestCPUIDLatencyVariance(t *testing.T) {
+	m := newTestMachine(t)
+	m.WriteMSR(MSRFixedCtrCtrl, 0x333)
+	m.WriteMSR(MSRPerfGlobalCtl, 0x7<<32)
+	// Measure CPUID-serialized empty region repeatedly; the CPUID jitter
+	// must show up as run-to-run variance.
+	var vals []int64
+	for i := 0; i < 20; i++ {
+		res := run(t, m, "mov rax, 0\ncpuid\nmov rax, 0\ncpuid")
+		vals = append(vals, res.Cycles)
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 20 {
+		t.Fatalf("CPUID latency shows no variance: min=%d max=%d", min, max)
+	}
+}
+
+func TestBranchPredictorWarmup(t *testing.T) {
+	m := newTestMachine(t)
+	m.WriteMSR(MSRPerfEvtSel0+0, uint64(0xC5)|0x00<<8|PerfEvtSelEN)
+	m.WriteMSR(MSRFixedCtrCtrl, 0x333)
+	m.WriteMSR(MSRPerfGlobalCtl, 0x7<<32|0x1)
+	asm := `
+		mov r15, 50
+	l:
+		dec r15
+		jnz l
+	`
+	run(t, m, asm)
+	first, _ := m.ReadMSR(MSRPmc0)
+	run(t, m, asm)
+	second, _ := m.ReadMSR(MSRPmc0)
+	run(t, m, asm)
+	third, _ := m.ReadMSR(MSRPmc0)
+	if first == 0 {
+		t.Fatal("first run should mispredict while the predictor warms up")
+	}
+	d2, d3 := second-first, third-second
+	if d2 < d3 {
+		t.Fatalf("mispredicts should not increase: run2=%d run3=%d", d2, d3)
+	}
+	if d3 > 2 {
+		t.Fatalf("trained loop still mispredicts %d times per run", d3)
+	}
+}
+
+func TestUserModeInterruptNoise(t *testing.T) {
+	spec := testSpec()
+	spec.InterruptInterval = 20000
+	m, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.Map(testCodeBase, 0x200000, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	m.SetMode(User)
+	asm := strings.Repeat("nop\n", 1000) // ~250 cycles per run
+	code := x86.MustAssemble(asm + "ret")
+	if err := m.WriteCode(testCodeBase, code); err != nil {
+		t.Fatal(err)
+	}
+	irqs := 0
+	for i := 0; i < 400; i++ {
+		res, err := m.Run(testCodeBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		irqs += res.Interrupts
+	}
+	if irqs == 0 {
+		t.Fatal("user mode with timer interrupts saw none")
+	}
+	// Kernel mode must see none.
+	m.SetMode(Kernel)
+	for i := 0; i < 100; i++ {
+		res, err := m.Run(testCodeBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Interrupts != 0 {
+			t.Fatal("kernel mode took an interrupt")
+		}
+	}
+}
+
+func TestWBINVDAndCacheCounters(t *testing.T) {
+	m := newTestMachine(t)
+	m.WriteMSR(MSRPerfEvtSel0+0, uint64(0xD1)|0x01<<8|PerfEvtSelEN)
+	m.WriteMSR(MSRPerfEvtSel0+1, uint64(0xD1)|0x08<<8|PerfEvtSelEN)
+	m.WriteMSR(MSRFixedCtrCtrl, 0x333)
+	m.WriteMSR(MSRPerfGlobalCtl, 0x7<<32|0x3)
+	m.Mem.Write64(testDataBase, testDataBase)
+	addr := itoa(testDataBase)
+	// Warm load, then hit it; then WBINVD and load again (miss).
+	run(t, m, `
+		mov r14, `+addr+`
+		mov r14, [r14]
+		mov r14, [r14]
+		wbinvd
+		mov r14, [r14]
+	`)
+	hits, _ := m.ReadMSR(MSRPmc0 + 0)
+	misses, _ := m.ReadMSR(MSRPmc0 + 1)
+	if hits != 1 {
+		t.Fatalf("L1 hits = %d, want 1 (second load)", hits)
+	}
+	// Three misses: the cold load, the post-WBINVD load, and the final
+	// RET's load from the machine stack (a real load event, just like the
+	// measurement overhead nanoBench's two-run subtraction removes).
+	if misses != 3 {
+		t.Fatalf("L1 misses = %d, want 3 (cold + post-WBINVD + RET)", misses)
+	}
+}
+
+func TestPauseResumeCounting(t *testing.T) {
+	m := newTestMachine(t)
+	m.WriteMSR(MSRFixedCtrCtrl, 0x333)
+	m.WriteMSR(MSRPerfGlobalCtl, 0x7<<32)
+	// Disable counting around a block of instructions using WRMSR to the
+	// global control MSR (this is how nanoBench's pause/resume magic
+	// bytes are implemented).
+	run(t, m, `
+		`+strings.Repeat("nop\n", 10)+`
+		mov rcx, 0x38F
+		mov rax, 0
+		mov rdx, 0
+		wrmsr
+		`+strings.Repeat("nop\n", 100)+`
+		mov rcx, 0x38F
+		mov rax, 0
+		mov rdx, 7
+		wrmsr
+		`+strings.Repeat("nop\n", 10)+`
+	`)
+	instr, _ := m.ReadMSR(MSRFixedCtr0)
+	if instr < 15 || instr > 40 {
+		t.Fatalf("instructions counted with pause = %d, want ~20-30 (not ~130)", instr)
+	}
+}
+
+func TestDecodeCacheInvalidation(t *testing.T) {
+	m := newTestMachine(t)
+	run(t, m, "mov rax, 1")
+	if m.Reg(x86.RAX) != 1 {
+		t.Fatal("first code version")
+	}
+	run(t, m, "mov rax, 2")
+	if m.Reg(x86.RAX) != 2 {
+		t.Fatal("decode cache returned stale instruction")
+	}
+}
+
+func TestDivideError(t *testing.T) {
+	m := newTestMachine(t)
+	code := x86.MustAssemble("mov rax, 1\nmov rdx, 0\nmov rbx, 0\ndiv rbx\nret")
+	m.WriteCode(testCodeBase, code)
+	_, err := m.Run(testCodeBase)
+	var f *Fault
+	if !errors.As(err, &f) || !strings.Contains(f.Reason, "#DE") {
+		t.Fatalf("expected divide fault, got %v", err)
+	}
+}
+
+func TestRunawayLoopBudget(t *testing.T) {
+	m := newTestMachine(t)
+	m.MaxInstructions = 10000
+	code := x86.MustAssemble("self: jmp self\nret")
+	m.WriteCode(testCodeBase, code)
+	if _, err := m.Run(testCodeBase); err == nil {
+		t.Fatal("expected instruction-budget fault")
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m := newTestMachine(t)
+	run(t, m, `
+		mov rax, 1
+		call sub1
+		add rax, 100
+		jmp end
+	sub1:
+		add rax, 10
+		ret
+	end:
+	`)
+	if got := m.Reg(x86.RAX); got != 111 {
+		t.Fatalf("RAX = %d, want 111", got)
+	}
+}
+
+func TestFlagsAndConditions(t *testing.T) {
+	m := newTestMachine(t)
+	run(t, m, `
+		mov rax, 0
+		mov rbx, 5
+		cmp rbx, 5
+		jnz not_taken
+		mov rax, 1
+	not_taken:
+		cmp rbx, 10
+		jge not_taken2
+		add rax, 2
+	not_taken2:
+		mov rcx, -1
+		test rcx, rcx
+		jns not_taken3
+		add rax, 4
+	not_taken3:
+	`)
+	if got := m.Reg(x86.RAX); got != 7 {
+		t.Fatalf("RAX = %d, want 7", got)
+	}
+}
+
+func TestMulDivSemantics(t *testing.T) {
+	m := newTestMachine(t)
+	run(t, m, `
+		mov rax, 7
+		mov rbx, 6
+		mul rbx
+		mov rcx, rax
+		mov rdx, 0
+		mov rbx, 5
+		div rbx
+	`)
+	if got := m.Reg(x86.RCX); got != 42 {
+		t.Fatalf("mul: %d, want 42", got)
+	}
+	if got := m.Reg(x86.RAX); got != 8 {
+		t.Fatalf("div quotient: %d, want 8", got)
+	}
+	if got := m.Reg(x86.RDX); got != 2 {
+		t.Fatalf("div remainder: %d, want 2", got)
+	}
+}
+
+func TestSSEALU(t *testing.T) {
+	m := newTestMachine(t)
+	run(t, m, `
+		mov rax, 3
+		movq xmm0, rax
+		mov rbx, 4
+		movq xmm1, rbx
+		paddq xmm0, xmm1
+		movq rcx, xmm0
+	`)
+	if got := m.Reg(x86.RCX); got != 7 {
+		t.Fatalf("PADDQ result = %d, want 7", got)
+	}
+}
+
+func TestRefCycleRatio(t *testing.T) {
+	m := newTestMachine(t)
+	m.WriteMSR(MSRFixedCtrCtrl, 0x333)
+	m.WriteMSR(MSRPerfGlobalCtl, 0x7<<32)
+	res := run(t, m, strings.Repeat("nop\n", 4000))
+	core, _ := m.ReadMSR(MSRFixedCtr1)
+	ref, _ := m.ReadMSR(MSRFixedCtr2)
+	_ = res
+	if core == 0 || ref == 0 {
+		t.Fatalf("core=%d ref=%d", core, ref)
+	}
+	ratio := float64(ref) / float64(core)
+	if ratio < 0.85 || ratio > 0.91 {
+		t.Fatalf("ref/core ratio = %.3f, want ~0.88", ratio)
+	}
+}
+
+func TestAperfMperf(t *testing.T) {
+	m := newTestMachine(t)
+	run(t, m, strings.Repeat("nop\n", 1000))
+	a, ok := m.ReadMSR(MSRAperf)
+	if !ok || a == 0 {
+		t.Fatal("APERF not counting")
+	}
+	mp, ok := m.ReadMSR(MSRMperf)
+	if !ok || mp == 0 {
+		t.Fatal("MPERF not counting")
+	}
+	if mp >= a {
+		t.Fatalf("MPERF (%d) should be below APERF (%d) at ratio 0.88", mp, a)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

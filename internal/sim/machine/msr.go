@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"nanobench/internal/x86"
+)
+
+// Model-specific register addresses implemented by the simulated machine,
+// following the Intel layout where one exists.
+const (
+	MSRMperf         = 0xE7
+	MSRAperf         = 0xE8
+	MSRPrefetchCtl   = 0x1A4 // bits 0..3 disable the prefetchers
+	MSRPmc0          = 0xC1  // .. 0xC8
+	MSRPerfEvtSel0   = 0x186 // .. 0x18D
+	MSRFixedCtr0     = 0x309 // instructions retired
+	MSRFixedCtr1     = 0x30A // core cycles
+	MSRFixedCtr2     = 0x30B // reference cycles
+	MSRFixedCtrCtrl  = 0x38D
+	MSRPerfGlobalCtl = 0x38F
+	// Uncore C-Box blocks: box b at MSRCBoxBase + b*MSRCBoxStride;
+	// +0 control (any write clears the box counters), +6 lookup counter,
+	// +7 miss counter.
+	MSRCBoxBase   = 0x700
+	MSRCBoxStride = 0x10
+)
+
+// PerfEvtSelEN is the enable bit in IA32_PERFEVTSELx.
+const PerfEvtSelEN = 1 << 22
+
+// EvtSelKey builds the EventTable key for an event/umask pair.
+func EvtSelKey(event, umask uint8) uint16 {
+	return uint16(event) | uint16(umask)<<8
+}
+
+// readMSR implements RDMSR; cycle is the reading µop's execute cycle.
+func (m *Machine) readMSR(addr uint32, cycle int64) (uint64, bool) {
+	switch {
+	case addr == MSRMperf:
+		return m.PMU.MPerf.Read(cycle), true
+	case addr == MSRAperf:
+		return m.PMU.APerf.Read(cycle), true
+	case addr == MSRFixedCtr0:
+		return m.PMU.FixedInst.Read(cycle), true
+	case addr == MSRFixedCtr1:
+		return m.PMU.FixedCyc.Read(cycle), true
+	case addr == MSRFixedCtr2:
+		return m.PMU.FixedRef.Read(cycle), true
+	case addr >= MSRPmc0 && int(addr-MSRPmc0) < len(m.PMU.Prog):
+		return m.PMU.Prog[addr-MSRPmc0].Read(cycle), true
+	case addr >= MSRCBoxBase && addr < MSRCBoxBase+uint32(len(m.CBox))*MSRCBoxStride:
+		box := int(addr-MSRCBoxBase) / MSRCBoxStride
+		switch (addr - MSRCBoxBase) % MSRCBoxStride {
+		case 0:
+			return m.msr[addr], true
+		case 6:
+			return m.CBox[box].Lookups.Read(cycle), true
+		case 7:
+			return m.CBox[box].Misses.Read(cycle), true
+		}
+		return 0, false
+	case addr == MSRPerfGlobalCtl, addr == MSRFixedCtrCtrl, addr == MSRPrefetchCtl:
+		return m.msr[addr], true
+	case addr >= MSRPerfEvtSel0 && int(addr-MSRPerfEvtSel0) < len(m.PMU.Prog):
+		return m.msr[addr], true
+	}
+	return 0, false
+}
+
+// writeMSR implements WRMSR; cycle is the (serializing) write's cycle.
+func (m *Machine) writeMSR(addr uint32, v uint64, cycle int64) bool {
+	switch {
+	case addr == MSRMperf:
+		m.PMU.MPerf.Write(v, cycle)
+	case addr == MSRAperf:
+		m.PMU.APerf.Write(v, cycle)
+	case addr == MSRFixedCtr0:
+		m.PMU.FixedInst.Write(v)
+	case addr == MSRFixedCtr1:
+		m.PMU.FixedCyc.Write(v, cycle)
+	case addr == MSRFixedCtr2:
+		m.PMU.FixedRef.Write(v, cycle)
+	case addr >= MSRPmc0 && int(addr-MSRPmc0) < len(m.PMU.Prog):
+		m.PMU.Prog[addr-MSRPmc0].Write(v)
+	case addr == MSRPerfGlobalCtl, addr == MSRFixedCtrCtrl:
+		m.msr[addr] = v
+		m.applyCounterEnables(cycle)
+	case addr == MSRPrefetchCtl:
+		m.msr[addr] = v
+		m.Hier.Prefetcher.Enabled = v&0xF == 0
+	case addr >= MSRPerfEvtSel0 && int(addr-MSRPerfEvtSel0) < len(m.PMU.Prog):
+		i := int(addr - MSRPerfEvtSel0)
+		old := m.msr[addr]
+		m.msr[addr] = v
+		if old&^PerfEvtSelEN != v&^PerfEvtSelEN {
+			// Event selection changed: reprogram (clears the counter).
+			ev := m.Spec.EventTable[EvtSelKey(uint8(v), uint8(v>>8))]
+			m.PMU.Prog[i].Configure(ev)
+		}
+		m.applyCounterEnables(cycle)
+	case addr >= MSRCBoxBase && addr < MSRCBoxBase+uint32(len(m.CBox))*MSRCBoxStride:
+		box := int(addr-MSRCBoxBase) / MSRCBoxStride
+		if (addr-MSRCBoxBase)%MSRCBoxStride == 0 {
+			m.msr[addr] = v
+			m.CBox[box].ResetAll()
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// applyCounterEnables recomputes effective counter enables from
+// IA32_PERF_GLOBAL_CTRL and IA32_FIXED_CTR_CTRL.
+func (m *Machine) applyCounterEnables(cycle int64) {
+	g := m.msr[MSRPerfGlobalCtl]
+	f := m.msr[MSRFixedCtrCtrl]
+	for i, c := range m.PMU.Prog {
+		sel := m.msr[MSRPerfEvtSel0+uint32(i)]
+		c.SetEnabled(g>>uint(i)&1 == 1 && sel&PerfEvtSelEN != 0)
+	}
+	m.PMU.FixedInst.SetEnabled(g>>32&1 == 1 && f&0xF != 0)
+	m.PMU.FixedCyc.SetEnabled(g>>33&1 == 1 && f>>4&0xF != 0, cycle)
+	m.PMU.FixedRef.SetEnabled(g>>34&1 == 1 && f>>8&0xF != 0, cycle)
+}
+
+// Driver-level accessors: these model the kernel module configuring the
+// machine with privileged writes outside of measured code.
+
+// WriteMSR performs a driver-context MSR write at the current cycle.
+func (m *Machine) WriteMSR(addr uint32, v uint64) bool {
+	return m.writeMSR(addr, v, m.core.cycleFloor())
+}
+
+// ReadMSR performs a driver-context MSR read at the current cycle.
+func (m *Machine) ReadMSR(addr uint32) (uint64, bool) {
+	return m.readMSR(addr, m.core.cycleFloor())
+}
+
+// SetReg sets an architectural register (driver context).
+func (m *Machine) SetReg(r x86.Reg, v uint64) {
+	if r.IsXMM() {
+		m.core.xmm[r-x86.XMM0] = [2]uint64{v, 0}
+		return
+	}
+	m.core.regs[r] = v
+}
+
+// Reg reads an architectural register (driver context).
+func (m *Machine) Reg(r x86.Reg) uint64 {
+	if r.IsXMM() {
+		return m.core.xmm[r-x86.XMM0][0]
+	}
+	return m.core.regs[r]
+}

@@ -1,0 +1,678 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"nanobench/internal/x86"
+)
+
+// execNormal handles data-processing instructions (integer ALU, moves,
+// shifts, multiply/divide, and SSE arithmetic) for all operand shapes.
+func (m *Machine) execNormal(in x86.Instr, spec x86.InstrSpec) error {
+	switch in.Op {
+	case x86.MOV, x86.MOVAPS, x86.MOVQ:
+		return m.execMove(in, spec)
+	case x86.LEA:
+		return m.execLEA(in, spec)
+	case x86.XCHG:
+		return m.execXCHG(in, spec)
+	case x86.MUL, x86.DIV:
+		return m.execMulDiv(in, spec)
+	}
+	if len(in.Args) > 0 {
+		if r, ok := in.Args[0].(x86.Reg); ok && r.IsXMM() {
+			return m.execSSE(in, spec)
+		}
+	}
+	return m.execIntALU(in, spec)
+}
+
+// readOperand reads a source operand value and its ready cycle,
+// dispatching a load µop for memory operands.
+func (m *Machine) readOperand(a x86.Arg) (uint64, int64, error) {
+	c := &m.core
+	switch v := a.(type) {
+	case x86.Reg:
+		if v.IsXMM() {
+			return c.xmm[v-x86.XMM0][0], c.xmmReady[v-x86.XMM0], nil
+		}
+		return c.regs[v], c.regReady[v], nil
+	case x86.Imm:
+		return uint64(v), 0, nil
+	case x86.Mem:
+		addr, aready, err := m.memOperandAddr(v)
+		if err != nil {
+			return 0, 0, err
+		}
+		val, done, _, err := m.load(addr, 8, aready)
+		return val, done, err
+	}
+	return 0, 0, &Fault{RIP: c.rip, Reason: "unsupported operand"}
+}
+
+// dispatchCompute dispatches the instruction's compute µops with the given
+// operand-ready cycle and returns the completion cycle of the result.
+func (m *Machine) dispatchCompute(spec x86.InstrSpec, ready int64) int64 {
+	done := ready
+	for _, u := range spec.Uops {
+		_, d := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
+		if d > done {
+			done = d
+		}
+	}
+	if len(spec.Uops) == 0 {
+		m.issueSlot()
+	}
+	return done
+}
+
+func (m *Machine) execMove(in x86.Instr, spec x86.InstrSpec) error {
+	c := &m.core
+	dst, src := in.Args[0], in.Args[1]
+	switch d := dst.(type) {
+	case x86.Reg:
+		switch s := src.(type) {
+		case x86.Mem:
+			addr, aready, err := m.memOperandAddr(s)
+			if err != nil {
+				return err
+			}
+			if d.IsXMM() {
+				// 128-bit (MOVAPS) or 64-bit (MOVQ) load.
+				v, done, _, err := m.load(addr, 8, aready)
+				if err != nil {
+					return err
+				}
+				var hi uint64
+				if in.Op == x86.MOVAPS {
+					hi, _ = m.Mem.Read64(addr + 8)
+				}
+				c.xmm[d-x86.XMM0] = [2]uint64{v, hi}
+				c.xmmReady[d-x86.XMM0] = done
+				m.retire(done)
+				return nil
+			}
+			v, done, _, err := m.load(addr, 8, aready)
+			if err != nil {
+				return err
+			}
+			m.setReg(d, v, done)
+			m.retire(done)
+			return nil
+		case x86.Reg:
+			var v [2]uint64
+			var ready int64
+			if s.IsXMM() {
+				v = c.xmm[s-x86.XMM0]
+				ready = c.xmmReady[s-x86.XMM0]
+			} else {
+				v = [2]uint64{c.regs[s], 0}
+				ready = c.regReady[s]
+			}
+			done := m.dispatchCompute(spec, ready)
+			if d.IsXMM() {
+				if in.Op == x86.MOVQ {
+					v[1] = 0
+				}
+				c.xmm[d-x86.XMM0] = v
+				c.xmmReady[d-x86.XMM0] = done
+			} else {
+				m.setReg(d, v[0], done)
+			}
+			m.retire(done)
+			return nil
+		case x86.Imm:
+			done := m.dispatchCompute(spec, 0)
+			m.setReg(d, uint64(s), done)
+			m.retire(done)
+			return nil
+		}
+	case x86.Mem:
+		addr, aready, err := m.memOperandAddr(d)
+		if err != nil {
+			return err
+		}
+		var val uint64
+		var hi uint64
+		var vready int64
+		writeHi := false
+		switch s := src.(type) {
+		case x86.Reg:
+			if s.IsXMM() {
+				val, hi = c.xmm[s-x86.XMM0][0], c.xmm[s-x86.XMM0][1]
+				vready = c.xmmReady[s-x86.XMM0]
+				writeHi = in.Op == x86.MOVAPS
+			} else {
+				val, vready = c.regs[s], c.regReady[s]
+			}
+		case x86.Imm:
+			val = uint64(s)
+		}
+		done, err := m.store(addr, 8, val, aready, vready)
+		if err != nil {
+			return err
+		}
+		if writeHi {
+			if !m.Mem.Write64(addr+8, hi) {
+				return &Fault{RIP: c.rip, Reason: "#PF: partial vector store"}
+			}
+		}
+		m.retire(done)
+		return nil
+	}
+	return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported MOV form %s", in.String())}
+}
+
+func (m *Machine) execLEA(in x86.Instr, spec x86.InstrSpec) error {
+	dst := in.Args[0].(x86.Reg)
+	mo := in.Args[1].(x86.Mem)
+	addr, aready, err := m.memOperandAddr(mo)
+	if err != nil {
+		return err
+	}
+	done := m.dispatchCompute(spec, aready)
+	m.setReg(dst, uint64(addr), done)
+	m.retire(done)
+	return nil
+}
+
+func (m *Machine) execXCHG(in x86.Instr, spec x86.InstrSpec) error {
+	c := &m.core
+	a0, a1 := in.Args[0], in.Args[1]
+	r0, ok0 := a0.(x86.Reg)
+	r1, ok1 := a1.(x86.Reg)
+	if ok0 && ok1 {
+		ready := maxI64(c.regReady[r0], c.regReady[r1])
+		done := m.dispatchCompute(spec, ready)
+		c.regs[r0], c.regs[r1] = c.regs[r1], c.regs[r0]
+		c.regReady[r0], c.regReady[r1] = done, done
+		m.retire(done)
+		return nil
+	}
+	// One memory operand: load, swap, store (no LOCK semantics needed on
+	// a single simulated core).
+	var reg x86.Reg
+	var mo x86.Mem
+	if ok0 {
+		reg, mo = r0, a1.(x86.Mem)
+	} else {
+		reg, mo = r1, a0.(x86.Mem)
+	}
+	addr, aready, err := m.memOperandAddr(mo)
+	if err != nil {
+		return err
+	}
+	old, ldone, _, err := m.load(addr, 8, aready)
+	if err != nil {
+		return err
+	}
+	done := m.dispatchCompute(spec, maxI64(ldone, c.regReady[reg]))
+	sdone, err := m.store(addr, 8, c.regs[reg], aready, done)
+	if err != nil {
+		return err
+	}
+	m.setReg(reg, old, done)
+	m.retire(maxI64(done, sdone))
+	return nil
+}
+
+func (m *Machine) execMulDiv(in x86.Instr, spec x86.InstrSpec) error {
+	c := &m.core
+	src, sready, err := m.readOperand(in.Args[0])
+	if err != nil {
+		return err
+	}
+	ready := maxI64(sready, c.regReady[x86.RAX])
+	if in.Op == x86.DIV {
+		ready = maxI64(ready, c.regReady[x86.RDX])
+	}
+	done := m.dispatchCompute(spec, ready)
+	switch in.Op {
+	case x86.MUL:
+		hi, lo := bits.Mul64(c.regs[x86.RAX], src)
+		m.setReg(x86.RAX, lo, done)
+		m.setReg(x86.RDX, hi, done)
+		c.cf, c.of = hi != 0, hi != 0
+	case x86.DIV:
+		hi, lo := c.regs[x86.RDX], c.regs[x86.RAX]
+		if src == 0 || hi >= src {
+			return &Fault{RIP: c.rip, Reason: "#DE: divide error"}
+		}
+		q, r := bits.Div64(hi, lo, src)
+		m.setReg(x86.RAX, q, done)
+		m.setReg(x86.RDX, r, done)
+	}
+	c.flagReady = done
+	m.retire(done)
+	return nil
+}
+
+// execIntALU handles the generic integer ALU patterns.
+func (m *Machine) execIntALU(in x86.Instr, spec x86.InstrSpec) error {
+	c := &m.core
+	op := in.Op
+
+	// Unary register/memory forms.
+	if len(in.Args) == 1 {
+		switch d := in.Args[0].(type) {
+		case x86.Reg:
+			ready := c.regReady[d]
+			if spec.ReadsFlags {
+				ready = maxI64(ready, c.flagReady)
+			}
+			done := m.dispatchCompute(spec, ready)
+			res := m.aluUnary(op, c.regs[d], done)
+			m.setReg(d, res, done)
+			m.retire(done)
+			return nil
+		case x86.Mem:
+			addr, aready, err := m.memOperandAddr(d)
+			if err != nil {
+				return err
+			}
+			val, ldone, _, err := m.load(addr, 8, aready)
+			if err != nil {
+				return err
+			}
+			done := m.dispatchCompute(spec, ldone)
+			res := m.aluUnary(op, val, done)
+			sdone, err := m.store(addr, 8, res, aready, done)
+			if err != nil {
+				return err
+			}
+			m.retire(maxI64(done, sdone))
+			return nil
+		}
+	}
+
+	if len(in.Args) != 2 {
+		return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported form %s", in.String())}
+	}
+
+	// Shift instructions: the count is an immediate or CL.
+	if op == x86.SHL || op == x86.SHR || op == x86.SAR || op == x86.ROL || op == x86.ROR {
+		return m.execShift(in, spec)
+	}
+
+	dst := in.Args[0]
+	src := in.Args[1]
+	srcVal, sready, err := m.readOperand(src)
+	if err != nil {
+		return err
+	}
+
+	// Is the destination read? CMP/TEST read both but write none;
+	// POPCNT/BSF/BSR only read the source.
+	readsDst := true
+	writesDst := true
+	switch op {
+	case x86.CMP, x86.TEST:
+		writesDst = false
+	case x86.POPCNT, x86.BSF, x86.BSR:
+		readsDst = false
+	}
+
+	switch d := dst.(type) {
+	case x86.Reg:
+		ready := sready
+		if readsDst {
+			ready = maxI64(ready, c.regReady[d])
+		}
+		if spec.ReadsFlags {
+			ready = maxI64(ready, c.flagReady)
+		}
+		done := m.dispatchCompute(spec, ready)
+		res, write := m.aluBinary(op, c.regs[d], srcVal, done)
+		if write && writesDst {
+			m.setReg(d, res, done)
+		}
+		m.retire(done)
+		return nil
+	case x86.Mem:
+		addr, aready, err := m.memOperandAddr(d)
+		if err != nil {
+			return err
+		}
+		val, ldone, _, err := m.load(addr, 8, aready)
+		if err != nil {
+			return err
+		}
+		ready := maxI64(ldone, sready)
+		if spec.ReadsFlags {
+			ready = maxI64(ready, c.flagReady)
+		}
+		done := m.dispatchCompute(spec, ready)
+		res, write := m.aluBinary(op, val, srcVal, done)
+		if write && writesDst {
+			sdone, err := m.store(addr, 8, res, aready, done)
+			if err != nil {
+				return err
+			}
+			done = maxI64(done, sdone)
+		}
+		m.retire(done)
+		return nil
+	}
+	return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported form %s", in.String())}
+}
+
+func (m *Machine) execShift(in x86.Instr, spec x86.InstrSpec) error {
+	c := &m.core
+	var count uint64
+	var cready int64
+	switch s := in.Args[1].(type) {
+	case x86.Imm:
+		count = uint64(s)
+	case x86.Reg: // CL
+		count = c.regs[x86.RCX]
+		cready = c.regReady[x86.RCX]
+	}
+	count &= 63
+
+	apply := func(val uint64, done int64) uint64 {
+		if count == 0 {
+			return val
+		}
+		var res uint64
+		switch in.Op {
+		case x86.SHL:
+			res = val << count
+			c.cf = (val>>(64-count))&1 == 1
+		case x86.SHR:
+			res = val >> count
+			c.cf = (val>>(count-1))&1 == 1
+		case x86.SAR:
+			res = uint64(int64(val) >> count)
+			c.cf = (val>>(count-1))&1 == 1
+		case x86.ROL:
+			res = bits.RotateLeft64(val, int(count))
+			c.cf = res&1 == 1
+		case x86.ROR:
+			res = bits.RotateLeft64(val, -int(count))
+			c.cf = res>>63 == 1
+		}
+		if in.Op != x86.ROL && in.Op != x86.ROR {
+			c.zf = res == 0
+			c.sf = res>>63 == 1
+			c.of = false
+		}
+		c.flagReady = done
+		return res
+	}
+
+	switch d := in.Args[0].(type) {
+	case x86.Reg:
+		ready := maxI64(c.regReady[d], cready)
+		done := m.dispatchCompute(spec, ready)
+		m.setReg(d, apply(c.regs[d], done), done)
+		m.retire(done)
+		return nil
+	case x86.Mem:
+		addr, aready, err := m.memOperandAddr(d)
+		if err != nil {
+			return err
+		}
+		val, ldone, _, err := m.load(addr, 8, aready)
+		if err != nil {
+			return err
+		}
+		done := m.dispatchCompute(spec, maxI64(ldone, cready))
+		res := apply(val, done)
+		sdone, err := m.store(addr, 8, res, aready, done)
+		if err != nil {
+			return err
+		}
+		m.retire(maxI64(done, sdone))
+		return nil
+	}
+	return &Fault{RIP: c.rip, Reason: "unsupported shift form"}
+}
+
+// aluUnary computes unary integer operations and sets flags; done is the
+// cycle the flags become ready.
+func (m *Machine) aluUnary(op x86.Op, a uint64, done int64) uint64 {
+	c := &m.core
+	var res uint64
+	switch op {
+	case x86.INC:
+		res = a + 1
+		c.zf, c.sf = res == 0, res>>63 == 1
+		c.of = res == 1<<63
+		c.flagReady = done // CF preserved
+	case x86.DEC:
+		res = a - 1
+		c.zf, c.sf = res == 0, res>>63 == 1
+		c.of = res == 1<<63-1
+		c.flagReady = done
+	case x86.NEG:
+		res = -a
+		c.cf = a != 0
+		c.zf, c.sf = res == 0, res>>63 == 1
+		c.of = a == 1<<63
+		c.flagReady = done
+	case x86.NOT:
+		res = ^a // no flags
+	case x86.BSWAP:
+		res = bits.ReverseBytes64(a) // no flags
+	default:
+		res = a
+	}
+	return res
+}
+
+// aluBinary computes binary integer operations. It returns the result and
+// whether the destination is written (CMP/TEST return false).
+func (m *Machine) aluBinary(op x86.Op, a, b uint64, done int64) (uint64, bool) {
+	c := &m.core
+	setAddFlags := func(res uint64, carry uint64) {
+		c.cf = carry != 0
+		c.zf = res == 0
+		c.sf = res>>63 == 1
+		c.of = (a^res)&(b^res)>>63 != 0
+		c.flagReady = done
+	}
+	setSubFlags := func(res uint64, borrow uint64) {
+		c.cf = borrow != 0
+		c.zf = res == 0
+		c.sf = res>>63 == 1
+		c.of = (a^b)&(a^res)>>63 != 0
+		c.flagReady = done
+	}
+	setLogicFlags := func(res uint64) {
+		c.cf, c.of = false, false
+		c.zf = res == 0
+		c.sf = res>>63 == 1
+		c.flagReady = done
+	}
+	switch op {
+	case x86.ADD:
+		res, carry := bits.Add64(a, b, 0)
+		setAddFlags(res, carry)
+		return res, true
+	case x86.ADC:
+		carryIn := uint64(0)
+		if c.cf {
+			carryIn = 1
+		}
+		res, carry := bits.Add64(a, b, carryIn)
+		setAddFlags(res, carry)
+		return res, true
+	case x86.SUB:
+		res, borrow := bits.Sub64(a, b, 0)
+		setSubFlags(res, borrow)
+		return res, true
+	case x86.SBB:
+		borrowIn := uint64(0)
+		if c.cf {
+			borrowIn = 1
+		}
+		res, borrow := bits.Sub64(a, b, borrowIn)
+		setSubFlags(res, borrow)
+		return res, true
+	case x86.CMP:
+		res, borrow := bits.Sub64(a, b, 0)
+		setSubFlags(res, borrow)
+		return res, false
+	case x86.AND:
+		res := a & b
+		setLogicFlags(res)
+		return res, true
+	case x86.OR:
+		res := a | b
+		setLogicFlags(res)
+		return res, true
+	case x86.XOR:
+		res := a ^ b
+		setLogicFlags(res)
+		return res, true
+	case x86.TEST:
+		setLogicFlags(a & b)
+		return 0, false
+	case x86.IMUL:
+		x, y := int64(a), int64(b)
+		res := x * y
+		ovf := x != 0 && res/x != y
+		c.cf, c.of = ovf, ovf
+		c.flagReady = done
+		return uint64(res), true
+	case x86.POPCNT:
+		res := uint64(bits.OnesCount64(b))
+		c.zf = b == 0
+		c.cf, c.sf, c.of = false, false, false
+		c.flagReady = done
+		return res, true
+	case x86.BSF:
+		if b == 0 {
+			c.zf = true
+			c.flagReady = done
+			return a, false
+		}
+		c.zf = false
+		c.flagReady = done
+		return uint64(bits.TrailingZeros64(b)), true
+	case x86.BSR:
+		if b == 0 {
+			c.zf = true
+			c.flagReady = done
+			return a, false
+		}
+		c.zf = false
+		c.flagReady = done
+		return uint64(63 - bits.LeadingZeros64(b)), true
+	}
+	return a, false
+}
+
+// execSSE handles vector arithmetic with an XMM destination.
+func (m *Machine) execSSE(in x86.Instr, spec x86.InstrSpec) error {
+	c := &m.core
+	dst := in.Args[0].(x86.Reg) - x86.XMM0
+	var src [2]uint64
+	var sready int64
+	switch s := in.Args[1].(type) {
+	case x86.Reg:
+		src = c.xmm[s-x86.XMM0]
+		sready = c.xmmReady[s-x86.XMM0]
+	case x86.Mem:
+		addr, aready, err := m.memOperandAddr(s)
+		if err != nil {
+			return err
+		}
+		lo, done, _, err := m.load(addr, 8, aready)
+		if err != nil {
+			return err
+		}
+		hi, _ := m.Mem.Read64(addr + 8)
+		src = [2]uint64{lo, hi}
+		sready = done
+	}
+	ready := maxI64(sready, c.xmmReady[dst])
+	done := m.dispatchCompute(spec, ready)
+	c.xmm[dst] = vecCompute(in.Op, c.xmm[dst], src)
+	c.xmmReady[dst] = done
+	m.retire(done)
+	return nil
+}
+
+func vecCompute(op x86.Op, a, b [2]uint64) [2]uint64 {
+	ps := func(f func(x, y float32) float32) [2]uint64 {
+		var out [2]uint64
+		for w := 0; w < 2; w++ {
+			lo := f(math.Float32frombits(uint32(a[w])), math.Float32frombits(uint32(b[w])))
+			hi := f(math.Float32frombits(uint32(a[w]>>32)), math.Float32frombits(uint32(b[w]>>32)))
+			out[w] = uint64(math.Float32bits(lo)) | uint64(math.Float32bits(hi))<<32
+		}
+		return out
+	}
+	pd := func(f func(x, y float64) float64) [2]uint64 {
+		var out [2]uint64
+		for w := 0; w < 2; w++ {
+			out[w] = math.Float64bits(f(math.Float64frombits(a[w]), math.Float64frombits(b[w])))
+		}
+		return out
+	}
+	sd := func(f func(x, y float64) float64) [2]uint64 {
+		return [2]uint64{math.Float64bits(f(math.Float64frombits(a[0]), math.Float64frombits(b[0]))), a[1]}
+	}
+	switch op {
+	case x86.ADDPS:
+		return ps(func(x, y float32) float32 { return x + y })
+	case x86.MULPS:
+		return ps(func(x, y float32) float32 { return x * y })
+	case x86.DIVPS:
+		return ps(func(x, y float32) float32 { return x / y })
+	case x86.SQRTPS:
+		return ps(func(_, y float32) float32 { return float32(math.Sqrt(float64(y))) })
+	case x86.ADDPD:
+		return pd(func(x, y float64) float64 { return x + y })
+	case x86.MULPD:
+		return pd(func(x, y float64) float64 { return x * y })
+	case x86.DIVPD:
+		return pd(func(x, y float64) float64 { return x / y })
+	case x86.ADDSD:
+		return sd(func(x, y float64) float64 { return x + y })
+	case x86.MULSD:
+		return sd(func(x, y float64) float64 { return x * y })
+	case x86.DIVSD:
+		return sd(func(x, y float64) float64 { return x / y })
+	case x86.SQRTSD:
+		return sd(func(_, y float64) float64 { return math.Sqrt(y) })
+	case x86.PADDQ:
+		return [2]uint64{a[0] + b[0], a[1] + b[1]}
+	case x86.PAND:
+		return [2]uint64{a[0] & b[0], a[1] & b[1]}
+	case x86.PXOR:
+		return [2]uint64{a[0] ^ b[0], a[1] ^ b[1]}
+	}
+	return a
+}
+
+// evalCond evaluates a conditional-branch predicate against the flags.
+func (m *Machine) evalCond(op x86.Op) bool {
+	c := &m.core
+	switch op {
+	case x86.JZ:
+		return c.zf
+	case x86.JNZ:
+		return !c.zf
+	case x86.JC:
+		return c.cf
+	case x86.JNC:
+		return !c.cf
+	case x86.JS:
+		return c.sf
+	case x86.JNS:
+		return !c.sf
+	case x86.JL:
+		return c.sf != c.of
+	case x86.JGE:
+		return c.sf == c.of
+	case x86.JLE:
+		return c.zf || c.sf != c.of
+	case x86.JG:
+		return !c.zf && c.sf == c.of
+	}
+	return false
+}

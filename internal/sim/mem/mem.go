@@ -1,0 +1,176 @@
+// Package mem implements the simulated machine's physical memory, a
+// page-granular virtual address space, and a kmalloc-style physical page
+// allocator including the greedy physically-contiguous allocation algorithm
+// from Section IV-D of the nanoBench paper.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the page granularity of the simulated MMU.
+const PageSize = 4096
+
+// Memory is the physical memory and page table of a simulated machine.
+// Virtual addresses are 32-bit (the machine lays out everything below 2 GB
+// so absolute disp32 addressing works); physical addresses are 64-bit but
+// bounded by the configured physical size.
+type Memory struct {
+	phys []byte
+	// pt maps virtual page number to physical page number; -1 = unmapped.
+	pt []int32
+}
+
+// NewMemory creates a memory with the given physical size and virtual
+// address-space size, both multiples of the page size.
+func NewMemory(physSize, virtSize uint64) (*Memory, error) {
+	if physSize%PageSize != 0 || virtSize%PageSize != 0 {
+		return nil, fmt.Errorf("mem: sizes must be multiples of the %d-byte page size", PageSize)
+	}
+	if virtSize > 1<<31 {
+		return nil, fmt.Errorf("mem: virtual address space must fit below 2 GB")
+	}
+	m := &Memory{
+		phys: make([]byte, physSize),
+		pt:   make([]int32, virtSize/PageSize),
+	}
+	for i := range m.pt {
+		m.pt[i] = -1
+	}
+	return m, nil
+}
+
+// PhysSize returns the physical memory size in bytes.
+func (m *Memory) PhysSize() uint64 { return uint64(len(m.phys)) }
+
+// Map maps size bytes at virtual address virt to physical address phys.
+// All three must be page-aligned.
+func (m *Memory) Map(virt uint32, phys uint64, size uint64) error {
+	if virt%PageSize != 0 || phys%PageSize != 0 || size%PageSize != 0 {
+		return fmt.Errorf("mem: Map arguments must be page-aligned")
+	}
+	if phys+size > uint64(len(m.phys)) {
+		return fmt.Errorf("mem: mapping beyond physical memory (phys=%#x size=%#x)", phys, size)
+	}
+	if uint64(virt)+size > uint64(len(m.pt))*PageSize {
+		return fmt.Errorf("mem: mapping beyond virtual address space (virt=%#x size=%#x)", virt, size)
+	}
+	for off := uint64(0); off < size; off += PageSize {
+		m.pt[(uint64(virt)+off)/PageSize] = int32((phys + off) / PageSize)
+	}
+	return nil
+}
+
+// Unmap removes the mapping for the given virtual range.
+func (m *Memory) Unmap(virt uint32, size uint64) {
+	for off := uint64(0); off < size; off += PageSize {
+		vpn := (uint64(virt) + off) / PageSize
+		if vpn < uint64(len(m.pt)) {
+			m.pt[vpn] = -1
+		}
+	}
+}
+
+// Translate translates a virtual address to a physical address.
+func (m *Memory) Translate(virt uint32) (uint64, bool) {
+	vpn := virt / PageSize
+	if uint64(vpn) >= uint64(len(m.pt)) {
+		return 0, false
+	}
+	pfn := m.pt[vpn]
+	if pfn < 0 {
+		return 0, false
+	}
+	return uint64(pfn)*PageSize + uint64(virt%PageSize), true
+}
+
+// contiguous reports whether the n bytes at virt are virtually mapped to
+// physically contiguous memory and translates the base.
+func (m *Memory) translateSpan(virt uint32, n int) (uint64, bool) {
+	p0, ok := m.Translate(virt)
+	if !ok {
+		return 0, false
+	}
+	last := virt + uint32(n) - 1
+	if virt/PageSize == last/PageSize {
+		return p0, true
+	}
+	pl, ok := m.Translate(last)
+	if !ok {
+		return 0, false
+	}
+	if pl-p0 != uint64(last-virt) {
+		return 0, false // spans non-contiguous pages; caller uses slow path
+	}
+	return p0, true
+}
+
+// Read copies n bytes at virtual address virt into dst. It returns false
+// on an unmapped access (a simulated fault).
+func (m *Memory) Read(virt uint32, dst []byte) bool {
+	if p, ok := m.translateSpan(virt, len(dst)); ok {
+		copy(dst, m.phys[p:p+uint64(len(dst))])
+		return true
+	}
+	for i := range dst {
+		p, ok := m.Translate(virt + uint32(i))
+		if !ok {
+			return false
+		}
+		dst[i] = m.phys[p]
+	}
+	return true
+}
+
+// Write copies src to virtual address virt. It returns false on an
+// unmapped access.
+func (m *Memory) Write(virt uint32, src []byte) bool {
+	if p, ok := m.translateSpan(virt, len(src)); ok {
+		copy(m.phys[p:p+uint64(len(src))], src)
+		return true
+	}
+	for i := range src {
+		p, ok := m.Translate(virt + uint32(i))
+		if !ok {
+			return false
+		}
+		m.phys[p] = src[i]
+	}
+	return true
+}
+
+// Read64 reads a 64-bit little-endian value at virt.
+func (m *Memory) Read64(virt uint32) (uint64, bool) {
+	var b [8]byte
+	if !m.Read(virt, b[:]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b[:]), true
+}
+
+// Write64 writes a 64-bit little-endian value at virt.
+func (m *Memory) Write64(virt uint32, v uint64) bool {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return m.Write(virt, b[:])
+}
+
+// ReadPhys reads directly from physical memory (used by the kernel-module
+// simulation and tests).
+func (m *Memory) ReadPhys(phys uint64, dst []byte) error {
+	if phys+uint64(len(dst)) > uint64(len(m.phys)) {
+		return fmt.Errorf("mem: physical read out of range")
+	}
+	copy(dst, m.phys[phys:])
+	return nil
+}
+
+// WritePhys writes directly to physical memory.
+func (m *Memory) WritePhys(phys uint64, src []byte) error {
+	if phys+uint64(len(src)) > uint64(len(m.phys)) {
+		return fmt.Errorf("mem: physical write out of range")
+	}
+	copy(m.phys[phys:], src)
+	return nil
+}

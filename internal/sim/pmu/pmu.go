@@ -1,0 +1,341 @@
+// Package pmu models the performance monitoring unit of the simulated CPU:
+// three fixed-function counters (instructions retired, core cycles,
+// reference cycles), a configurable number of programmable counters, the
+// APERF/MPERF MSR counters, and per-C-Box uncore counters.
+//
+// Event counters are modelled as streams of cycle-stamped events. Reading a
+// counter samples the number of events whose cycle is not after the read's
+// execute cycle. Because the core computes execute cycles out of order, an
+// unfenced RDPMC can logically precede the completion of earlier
+// instructions and undercount — exactly the serialization hazard Section
+// IV-A1 of the paper describes.
+package pmu
+
+// Event identifies a countable core event.
+type Event uint8
+
+// Core performance events of the simulated CPU.
+const (
+	EvNone Event = iota
+	EvInstRetired
+	EvUopsIssued
+	EvUopsPort0
+	EvUopsPort1
+	EvUopsPort2
+	EvUopsPort3
+	EvUopsPort4
+	EvUopsPort5
+	EvUopsPort6
+	EvUopsPort7
+	EvLoadRetired
+	EvStoreRetired
+	EvLoadL1Hit
+	EvLoadL1Miss
+	EvLoadL2Hit
+	EvLoadL2Miss
+	EvLoadL3Hit
+	EvLoadL3Miss
+	EvBrRetired
+	EvBrMispRetired
+	EvL2Prefetch
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	EvNone:          "NONE",
+	EvInstRetired:   "INST_RETIRED",
+	EvUopsIssued:    "UOPS_ISSUED.ANY",
+	EvUopsPort0:     "UOPS_DISPATCHED_PORT.PORT_0",
+	EvUopsPort1:     "UOPS_DISPATCHED_PORT.PORT_1",
+	EvUopsPort2:     "UOPS_DISPATCHED_PORT.PORT_2",
+	EvUopsPort3:     "UOPS_DISPATCHED_PORT.PORT_3",
+	EvUopsPort4:     "UOPS_DISPATCHED_PORT.PORT_4",
+	EvUopsPort5:     "UOPS_DISPATCHED_PORT.PORT_5",
+	EvUopsPort6:     "UOPS_DISPATCHED_PORT.PORT_6",
+	EvUopsPort7:     "UOPS_DISPATCHED_PORT.PORT_7",
+	EvLoadRetired:   "MEM_INST_RETIRED.ALL_LOADS",
+	EvStoreRetired:  "MEM_INST_RETIRED.ALL_STORES",
+	EvLoadL1Hit:     "MEM_LOAD_RETIRED.L1_HIT",
+	EvLoadL1Miss:    "MEM_LOAD_RETIRED.L1_MISS",
+	EvLoadL2Hit:     "MEM_LOAD_RETIRED.L2_HIT",
+	EvLoadL2Miss:    "MEM_LOAD_RETIRED.L2_MISS",
+	EvLoadL3Hit:     "MEM_LOAD_RETIRED.L3_HIT",
+	EvLoadL3Miss:    "MEM_LOAD_RETIRED.L3_MISS",
+	EvBrRetired:     "BR_INST_RETIRED.ALL_BRANCHES",
+	EvBrMispRetired: "BR_MISP_RETIRED.ALL_BRANCHES",
+	EvL2Prefetch:    "L2_PREFETCH.REQUESTS",
+}
+
+// String returns the canonical event name.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return "Event(?)"
+}
+
+// stream is a cycle-stamped event stream. Events are appended in program
+// order; their cycles are approximately but not strictly increasing.
+type stream struct {
+	cycles []int64
+	max    int64
+}
+
+func (s *stream) add(cycle int64) {
+	s.cycles = append(s.cycles, cycle)
+	if cycle > s.max {
+		s.max = cycle
+	}
+}
+
+// countUpTo counts events with cycle <= c.
+func (s *stream) countUpTo(c int64) uint64 {
+	if c >= s.max {
+		return uint64(len(s.cycles))
+	}
+	var n uint64
+	for _, ec := range s.cycles {
+		if ec <= c {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *stream) reset() {
+	s.cycles = s.cycles[:0]
+	s.max = 0
+}
+
+// EventCounter counts occurrences of one event while enabled.
+type EventCounter struct {
+	base    uint64
+	ev      Event
+	enabled bool
+	str     stream
+}
+
+// Configure programs the counter to count ev; it clears accumulated state.
+func (c *EventCounter) Configure(ev Event) {
+	c.ev = ev
+	c.base = 0
+	c.str.reset()
+}
+
+// Event returns the configured event.
+func (c *EventCounter) Event() Event { return c.ev }
+
+// SetEnabled switches counting on or off.
+func (c *EventCounter) SetEnabled(on bool) { c.enabled = on }
+
+// Enabled reports whether the counter is counting.
+func (c *EventCounter) Enabled() bool { return c.enabled }
+
+// Record adds one event occurrence at the given cycle if the counter is
+// enabled and programmed for ev.
+func (c *EventCounter) Record(ev Event, cycle int64) {
+	if c.enabled && c.ev == ev {
+		c.str.add(cycle)
+	}
+}
+
+// RecordAlways adds one occurrence regardless of the configured event; it
+// is used by uncore counters, which have dedicated event streams.
+func (c *EventCounter) RecordAlways(cycle int64) {
+	if c.enabled {
+		c.str.add(cycle)
+	}
+}
+
+// Read samples the counter at the given cycle.
+func (c *EventCounter) Read(cycle int64) uint64 {
+	return c.base + c.str.countUpTo(cycle)
+}
+
+// Write sets the counter's architectural value and discards event history.
+func (c *EventCounter) Write(v uint64) {
+	c.base = v
+	c.str.reset()
+}
+
+// CycleCounter counts cycles (optionally scaled, for reference-cycle
+// counters) across enable/disable windows.
+type CycleCounter struct {
+	base     uint64
+	ratio    float64 // ticks per core cycle (1.0 for core cycles)
+	enabled  bool
+	sinceCyc int64
+	accum    float64
+	alwaysOn bool // APERF/MPERF ignore enable control
+}
+
+// NewCycleCounter returns a cycle counter; ratio scales core cycles to
+// counter ticks (1.0 for the core-cycle counter, <1 for reference cycles).
+func NewCycleCounter(ratio float64, alwaysOn bool) *CycleCounter {
+	c := &CycleCounter{ratio: ratio, alwaysOn: alwaysOn}
+	if alwaysOn {
+		c.enabled = true
+	}
+	return c
+}
+
+// SetEnabled switches the counter on or off, effective at the given cycle.
+func (c *CycleCounter) SetEnabled(on bool, cycle int64) {
+	if c.alwaysOn {
+		return
+	}
+	if on == c.enabled {
+		return
+	}
+	if on {
+		c.sinceCyc = cycle
+	} else {
+		c.accum += float64(cycle-c.sinceCyc) * c.ratio
+	}
+	c.enabled = on
+}
+
+// Read samples the counter at the given cycle.
+func (c *CycleCounter) Read(cycle int64) uint64 {
+	v := c.accum
+	if c.enabled && cycle > c.sinceCyc {
+		v += float64(cycle-c.sinceCyc) * c.ratio
+	}
+	return c.base + uint64(v)
+}
+
+// Write sets the architectural value and restarts accumulation.
+func (c *CycleCounter) Write(v uint64, cycle int64) {
+	c.base = v
+	c.accum = 0
+	c.sinceCyc = cycle
+}
+
+// Reset clears value and history; enabled state is preserved.
+func (c *CycleCounter) Reset(cycle int64) {
+	c.base = 0
+	c.accum = 0
+	c.sinceCyc = cycle
+}
+
+// PMU is the per-core performance monitoring unit.
+type PMU struct {
+	// Fixed-function counters, RDPMC indices 0x40000000..2:
+	// instructions retired, core cycles, reference cycles.
+	FixedInst *EventCounter
+	FixedCyc  *CycleCounter
+	FixedRef  *CycleCounter
+	// Programmable counters, RDPMC indices 0..n-1.
+	Prog []*EventCounter
+	// APERF/MPERF (MSR-only, kernel mode).
+	APerf *CycleCounter
+	MPerf *CycleCounter
+}
+
+// New creates a PMU with nProg programmable counters; refRatio is the
+// reference-clock to core-clock ratio.
+func New(nProg int, refRatio float64) *PMU {
+	p := &PMU{
+		FixedInst: &EventCounter{ev: EvInstRetired},
+		FixedCyc:  NewCycleCounter(1.0, false),
+		FixedRef:  NewCycleCounter(refRatio, false),
+		APerf:     NewCycleCounter(1.0, true),
+		MPerf:     NewCycleCounter(refRatio, true),
+	}
+	for i := 0; i < nProg; i++ {
+		p.Prog = append(p.Prog, &EventCounter{})
+	}
+	return p
+}
+
+// Record delivers a core event to every counter.
+func (p *PMU) Record(ev Event, cycle int64) {
+	p.FixedInst.Record(ev, cycle)
+	for _, c := range p.Prog {
+		c.Record(ev, cycle)
+	}
+}
+
+// SetGlobalEnable enables or disables all fixed and programmable counters
+// at the given cycle (the IA32_PERF_GLOBAL_CTRL model used for nanoBench's
+// pause/resume feature).
+func (p *PMU) SetGlobalEnable(on bool, cycle int64) {
+	p.FixedInst.SetEnabled(on)
+	p.FixedCyc.SetEnabled(on, cycle)
+	p.FixedRef.SetEnabled(on, cycle)
+	for _, c := range p.Prog {
+		c.SetEnabled(on)
+	}
+}
+
+// ResetAll clears all counters (between benchmark runs).
+func (p *PMU) ResetAll(cycle int64) {
+	p.FixedInst.Write(0)
+	p.FixedCyc.Reset(cycle)
+	p.FixedRef.Reset(cycle)
+	for _, c := range p.Prog {
+		c.Write(0)
+	}
+}
+
+// ReadPMC implements RDPMC index semantics: indices 0..len(Prog)-1 select
+// programmable counters; 0x40000000+i selects fixed counter i.
+func (p *PMU) ReadPMC(index uint32, cycle int64) (uint64, bool) {
+	const fixedFlag = 1 << 30
+	if index&fixedFlag != 0 {
+		switch index &^ fixedFlag {
+		case 0:
+			return p.FixedInst.Read(cycle), true
+		case 1:
+			return p.FixedCyc.Read(cycle), true
+		case 2:
+			return p.FixedRef.Read(cycle), true
+		}
+		return 0, false
+	}
+	if int(index) < len(p.Prog) {
+		return p.Prog[index].Read(cycle), true
+	}
+	return 0, false
+}
+
+// CBox is one uncore C-Box performance monitoring block.
+type CBox struct {
+	// Lookup events for the L3 slice(s) behind this C-Box.
+	Lookups *EventCounter
+	Misses  *EventCounter
+}
+
+// CBoxEvent identifies an uncore event.
+type CBoxEvent uint8
+
+// Uncore events.
+const (
+	CBoLookup CBoxEvent = iota
+	CBoMiss
+)
+
+// NewCBox returns an enabled C-Box counter block.
+func NewCBox() *CBox {
+	l := &EventCounter{}
+	m := &EventCounter{}
+	l.SetEnabled(true)
+	m.SetEnabled(true)
+	return &CBox{Lookups: l, Misses: m}
+}
+
+// Record delivers an uncore event at the given cycle.
+func (b *CBox) Record(ev CBoxEvent, cycle int64) {
+	switch ev {
+	case CBoLookup:
+		b.Lookups.RecordAlways(cycle)
+	case CBoMiss:
+		b.Misses.RecordAlways(cycle)
+	}
+}
+
+// ResetAll clears the C-Box counters.
+func (b *CBox) ResetAll() {
+	b.Lookups.Write(0)
+	b.Misses.Write(0)
+}

@@ -1,0 +1,141 @@
+package pmu
+
+import "testing"
+
+func TestEventCounterSampling(t *testing.T) {
+	var c EventCounter
+	c.Configure(EvUopsIssued)
+	c.SetEnabled(true)
+	// Events out of cycle order, as an out-of-order core produces them.
+	c.Record(EvUopsIssued, 10)
+	c.Record(EvUopsIssued, 30)
+	c.Record(EvUopsIssued, 20)
+	if got := c.Read(15); got != 1 {
+		t.Fatalf("Read(15) = %d, want 1", got)
+	}
+	if got := c.Read(25); got != 2 {
+		t.Fatalf("Read(25) = %d, want 2 (the cycle-30 event is in flight)", got)
+	}
+	if got := c.Read(100); got != 3 {
+		t.Fatalf("Read(100) = %d, want 3", got)
+	}
+	// Wrong event: ignored.
+	c.Record(EvInstRetired, 5)
+	if got := c.Read(100); got != 3 {
+		t.Fatalf("wrong-event record counted: %d", got)
+	}
+	// Disabled: ignored.
+	c.SetEnabled(false)
+	c.Record(EvUopsIssued, 40)
+	if got := c.Read(100); got != 3 {
+		t.Fatalf("disabled record counted: %d", got)
+	}
+	c.Write(1000)
+	if got := c.Read(100); got != 1000 {
+		t.Fatalf("Write base = %d", got)
+	}
+}
+
+func TestCycleCounterWindows(t *testing.T) {
+	c := NewCycleCounter(1.0, false)
+	c.SetEnabled(true, 100)
+	if got := c.Read(150); got != 50 {
+		t.Fatalf("Read(150) = %d, want 50", got)
+	}
+	c.SetEnabled(false, 200)
+	if got := c.Read(500); got != 100 {
+		t.Fatalf("disabled Read = %d, want 100", got)
+	}
+	c.SetEnabled(true, 1000)
+	if got := c.Read(1010); got != 110 {
+		t.Fatalf("re-enabled Read = %d, want 110", got)
+	}
+	// Double-enable is a no-op.
+	c.SetEnabled(true, 2000)
+	if got := c.Read(1010); got != 110 {
+		t.Fatalf("double enable changed value: %d", got)
+	}
+}
+
+func TestCycleCounterRatio(t *testing.T) {
+	c := NewCycleCounter(0.5, false)
+	c.SetEnabled(true, 0)
+	if got := c.Read(1000); got != 500 {
+		t.Fatalf("ratio Read = %d, want 500", got)
+	}
+}
+
+func TestAlwaysOnCounters(t *testing.T) {
+	c := NewCycleCounter(1.0, true)
+	c.SetEnabled(false, 10) // ignored for always-on counters
+	if got := c.Read(100); got != 100 {
+		t.Fatalf("always-on Read = %d, want 100", got)
+	}
+}
+
+func TestPMUReadPMCIndices(t *testing.T) {
+	p := New(4, 0.9)
+	p.FixedInst.SetEnabled(true)
+	p.Record(EvInstRetired, 5)
+	v, ok := p.ReadPMC(1<<30|0, 10)
+	if !ok || v != 1 {
+		t.Fatalf("fixed 0 = %d, %v", v, ok)
+	}
+	if _, ok := p.ReadPMC(1<<30|7, 10); ok {
+		t.Fatal("bad fixed index accepted")
+	}
+	if _, ok := p.ReadPMC(99, 10); ok {
+		t.Fatal("bad programmable index accepted")
+	}
+	p.Prog[2].Configure(EvUopsPort0)
+	p.Prog[2].SetEnabled(true)
+	p.Record(EvUopsPort0, 7)
+	v, ok = p.ReadPMC(2, 10)
+	if !ok || v != 1 {
+		t.Fatalf("prog 2 = %d, %v", v, ok)
+	}
+}
+
+func TestGlobalEnableAndReset(t *testing.T) {
+	p := New(2, 1.0)
+	p.Prog[0].Configure(EvUopsIssued)
+	p.SetGlobalEnable(true, 0)
+	p.Record(EvUopsIssued, 5)
+	if v, _ := p.ReadPMC(0, 10); v != 1 {
+		t.Fatalf("enabled count = %d", v)
+	}
+	p.SetGlobalEnable(false, 20)
+	p.Record(EvUopsIssued, 25)
+	if v, _ := p.ReadPMC(0, 100); v != 1 {
+		t.Fatalf("count after disable = %d", v)
+	}
+	p.ResetAll(100)
+	if v, _ := p.ReadPMC(0, 200); v != 0 {
+		t.Fatalf("count after reset = %d", v)
+	}
+}
+
+func TestCBox(t *testing.T) {
+	b := NewCBox()
+	b.Record(CBoLookup, 5)
+	b.Record(CBoLookup, 9)
+	b.Record(CBoMiss, 9)
+	if v := b.Lookups.Read(10); v != 2 {
+		t.Fatalf("lookups = %d", v)
+	}
+	if v := b.Misses.Read(10); v != 1 {
+		t.Fatalf("misses = %d", v)
+	}
+	b.ResetAll()
+	if v := b.Lookups.Read(10); v != 0 {
+		t.Fatalf("lookups after reset = %d", v)
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	for e := Event(0); e < NumEvents; e++ {
+		if e.String() == "" || e.String() == "Event(?)" {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+}

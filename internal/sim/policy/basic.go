@@ -1,0 +1,301 @@
+package policy
+
+import "math/rand"
+
+func init() {
+	register("LRU", func(assoc int, _ *rand.Rand) (Policy, error) { return NewLRU(assoc), nil })
+	register("FIFO", func(assoc int, _ *rand.Rand) (Policy, error) { return NewFIFO(assoc), nil })
+	register("PLRU", func(assoc int, _ *rand.Rand) (Policy, error) { return NewPLRU(assoc) })
+	register("RANDOM", func(assoc int, rng *rand.Rand) (Policy, error) { return NewRandom(assoc, rng), nil })
+	register("MRU", func(assoc int, _ *rand.Rand) (Policy, error) { return NewMRU(assoc, false), nil })
+	register("MRU*", func(assoc int, _ *rand.Rand) (Policy, error) { return NewMRU(assoc, true), nil })
+	register("MRU_SB", func(assoc int, _ *rand.Rand) (Policy, error) { return NewMRU(assoc, true), nil })
+}
+
+// lru implements true least-recently-used replacement.
+type lru struct {
+	validTracker
+	// stamp[w] is a logical access time; the victim is the valid way with
+	// the smallest stamp.
+	stamp []uint64
+	clock uint64
+}
+
+// NewLRU returns a least-recently-used policy.
+func NewLRU(assoc int) Policy {
+	return &lru{validTracker: newValidTracker(assoc), stamp: make([]uint64, assoc)}
+}
+
+func (p *lru) Name() string { return "LRU" }
+func (p *lru) Assoc() int   { return len(p.valid) }
+
+func (p *lru) OnHit(way int) {
+	p.clock++
+	p.stamp[way] = p.clock
+}
+
+func (p *lru) Victim() int {
+	if w := p.leftmostEmpty(); w >= 0 {
+		return w
+	}
+	victim, best := 0, p.stamp[0]
+	for w := 1; w < len(p.stamp); w++ {
+		if p.stamp[w] < best {
+			victim, best = w, p.stamp[w]
+		}
+	}
+	return victim
+}
+
+func (p *lru) OnFill(way int) {
+	p.valid[way] = true
+	p.clock++
+	p.stamp[way] = p.clock
+}
+
+func (p *lru) OnInvalidate(way int) { p.valid[way] = false; p.stamp[way] = 0 }
+
+func (p *lru) Reset() {
+	p.reset()
+	p.clock = 0
+	for i := range p.stamp {
+		p.stamp[i] = 0
+	}
+}
+
+// fifo implements first-in first-out replacement: hits do not update state.
+type fifo struct {
+	validTracker
+	stamp []uint64
+	clock uint64
+}
+
+// NewFIFO returns a first-in-first-out policy.
+func NewFIFO(assoc int) Policy {
+	return &fifo{validTracker: newValidTracker(assoc), stamp: make([]uint64, assoc)}
+}
+
+func (p *fifo) Name() string  { return "FIFO" }
+func (p *fifo) Assoc() int    { return len(p.valid) }
+func (p *fifo) OnHit(way int) {}
+
+func (p *fifo) Victim() int {
+	if w := p.leftmostEmpty(); w >= 0 {
+		return w
+	}
+	victim, best := 0, p.stamp[0]
+	for w := 1; w < len(p.stamp); w++ {
+		if p.stamp[w] < best {
+			victim, best = w, p.stamp[w]
+		}
+	}
+	return victim
+}
+
+func (p *fifo) OnFill(way int) {
+	p.valid[way] = true
+	p.clock++
+	p.stamp[way] = p.clock
+}
+
+func (p *fifo) OnInvalidate(way int) { p.valid[way] = false; p.stamp[way] = 0 }
+
+func (p *fifo) Reset() {
+	p.reset()
+	p.clock = 0
+	for i := range p.stamp {
+		p.stamp[i] = 0
+	}
+}
+
+// plru implements tree-based pseudo-LRU for power-of-two associativities.
+//
+// The tree is stored as a heap: node 1 is the root, node n has children 2n
+// and 2n+1. A bit value of 0 points to the left subtree (the next victim
+// direction); accessing a leaf sets every bit on its root path to point
+// away from the leaf.
+type plru struct {
+	validTracker
+	bits []bool // index 1..assoc-1
+}
+
+// NewPLRU returns a tree-PLRU policy. The associativity must be a power of
+// two.
+func NewPLRU(assoc int) (Policy, error) {
+	if assoc <= 0 || assoc&(assoc-1) != 0 {
+		return nil, errNonPow2(assoc)
+	}
+	return &plru{validTracker: newValidTracker(assoc), bits: make([]bool, assoc)}, nil
+}
+
+type errNonPow2 int
+
+func (e errNonPow2) Error() string { return "policy: PLRU requires power-of-two associativity" }
+
+func (p *plru) Name() string { return "PLRU" }
+func (p *plru) Assoc() int   { return len(p.valid) }
+
+// touch updates the tree bits so they point away from way.
+func (p *plru) touch(way int) {
+	assoc := len(p.valid)
+	node := 1
+	// Walk from the root to the leaf. At each level the leaf lies in the
+	// left half (bit should point right = true... we encode "points left"
+	// as false) or right half.
+	lo, hi := 0, assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			p.bits[node] = true // point right, away from the accessed leaf
+			node = 2 * node
+			hi = mid
+		} else {
+			p.bits[node] = false // point left
+			node = 2*node + 1
+			lo = mid
+		}
+	}
+}
+
+func (p *plru) OnHit(way int) { p.touch(way) }
+
+func (p *plru) Victim() int {
+	if w := p.leftmostEmpty(); w >= 0 {
+		return w
+	}
+	assoc := len(p.valid)
+	node := 1
+	lo, hi := 0, assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if !p.bits[node] { // points left
+			node = 2 * node
+			hi = mid
+		} else {
+			node = 2*node + 1
+			lo = mid
+		}
+	}
+	return lo
+}
+
+func (p *plru) OnFill(way int) {
+	p.valid[way] = true
+	p.touch(way)
+}
+
+func (p *plru) OnInvalidate(way int) { p.valid[way] = false }
+
+func (p *plru) Reset() {
+	p.reset()
+	for i := range p.bits {
+		p.bits[i] = false
+	}
+}
+
+// randomPolicy evicts a uniformly random way.
+type randomPolicy struct {
+	validTracker
+	rng *rand.Rand
+}
+
+// NewRandom returns a random-replacement policy using rng (which must not
+// be nil).
+func NewRandom(assoc int, rng *rand.Rand) Policy {
+	return &randomPolicy{validTracker: newValidTracker(assoc), rng: rng}
+}
+
+func (p *randomPolicy) Name() string       { return "RANDOM" }
+func (p *randomPolicy) Assoc() int         { return len(p.valid) }
+func (p *randomPolicy) OnHit(int)          {}
+func (p *randomPolicy) OnFill(w int)       { p.valid[w] = true }
+func (p *randomPolicy) OnInvalidate(w int) { p.valid[w] = false }
+func (p *randomPolicy) Reset()             { p.reset() }
+
+func (p *randomPolicy) Victim() int {
+	if w := p.leftmostEmpty(); w >= 0 {
+		return w
+	}
+	return p.rng.Intn(len(p.valid))
+}
+
+// mru implements the MRU policy (also known as bit-PLRU, PLRUm, or NRU).
+//
+// One status bit per line; 1 means the line is a replacement candidate.
+// An access clears the line's bit; when the last 1-bit is cleared, all
+// other lines' bits are set. The victim is the leftmost line with bit 1.
+//
+// With sandyBridge set, the policy implements the MRU* variant observed on
+// Sandy Bridge L3 caches: while the set is not yet full (after WBINVD),
+// every fill sets all status bits to 1.
+type mru struct {
+	validTracker
+	bits        []bool
+	sandyBridge bool
+}
+
+// NewMRU returns the MRU/bit-PLRU policy; sandyBridge selects the MRU*
+// variant.
+func NewMRU(assoc int, sandyBridge bool) Policy {
+	p := &mru{validTracker: newValidTracker(assoc), bits: make([]bool, assoc), sandyBridge: sandyBridge}
+	p.Reset()
+	return p
+}
+
+func (p *mru) Name() string {
+	if p.sandyBridge {
+		return "MRU*"
+	}
+	return "MRU"
+}
+
+func (p *mru) Assoc() int { return len(p.valid) }
+
+func (p *mru) access(way int) {
+	p.bits[way] = false
+	for i, b := range p.bits {
+		if b && i != way {
+			return
+		}
+	}
+	// Last 1-bit was cleared: set all other bits.
+	for i := range p.bits {
+		if i != way {
+			p.bits[i] = true
+		}
+	}
+}
+
+func (p *mru) OnHit(way int) { p.access(way) }
+
+func (p *mru) Victim() int {
+	if w := p.leftmostEmpty(); w >= 0 {
+		return w
+	}
+	for i, b := range p.bits {
+		if b {
+			return i
+		}
+	}
+	return 0
+}
+
+func (p *mru) OnFill(way int) {
+	p.valid[way] = true
+	if p.sandyBridge && !p.full() {
+		for i := range p.bits {
+			p.bits[i] = true
+		}
+		return
+	}
+	p.access(way)
+}
+
+func (p *mru) OnInvalidate(way int) { p.valid[way] = false }
+
+func (p *mru) Reset() {
+	p.reset()
+	for i := range p.bits {
+		p.bits[i] = true
+	}
+}

@@ -1,0 +1,105 @@
+package policy
+
+import "fmt"
+
+// PSel is the shared policy-selection counter for adaptive (set-dueling)
+// caches. Misses in leader sets of policy A increment it; misses in leader
+// sets of policy B decrement it. Follower sets use policy B while the
+// counter is in the upper half of its range (policy A is "losing").
+type PSel struct {
+	v   int
+	max int
+}
+
+// NewPSel returns a selection counter with the given saturation bound.
+func NewPSel(max int) *PSel {
+	return &PSel{v: max / 2, max: max}
+}
+
+// MissA records a miss in an A-leader set.
+func (s *PSel) MissA() {
+	if s.v < s.max {
+		s.v++
+	}
+}
+
+// MissB records a miss in a B-leader set.
+func (s *PSel) MissB() {
+	if s.v > 0 {
+		s.v--
+	}
+}
+
+// UseB reports whether follower sets should currently use policy B.
+func (s *PSel) UseB() bool { return s.v > s.max/2 }
+
+// leader wraps a fixed policy and reports its misses to the selector.
+type leader struct {
+	Policy
+	psel *PSel
+	isA  bool
+}
+
+// NewLeader wraps p as a dueling leader set; fills (misses) update psel.
+func NewLeader(p Policy, psel *PSel, isA bool) Policy {
+	return &leader{Policy: p, psel: psel, isA: isA}
+}
+
+func (l *leader) OnFill(way int) {
+	if l.isA {
+		l.psel.MissA()
+	} else {
+		l.psel.MissB()
+	}
+	l.Policy.OnFill(way)
+}
+
+// follower maintains the state of both candidate policies and takes victim
+// decisions from whichever policy currently leads the duel. Both policy
+// states observe every access, which matches hardware where the per-line
+// state bits are shared between the two (structurally similar) policies.
+type follower struct {
+	a, b Policy
+	psel *PSel
+}
+
+// NewFollower builds a follower-set policy for the duel described by psel.
+func NewFollower(a, b Policy, psel *PSel) (Policy, error) {
+	if a.Assoc() != b.Assoc() {
+		return nil, fmt.Errorf("policy: follower policies have different associativity")
+	}
+	return &follower{a: a, b: b, psel: psel}, nil
+}
+
+func (f *follower) Name() string {
+	return fmt.Sprintf("DUEL(%s,%s)", f.a.Name(), f.b.Name())
+}
+
+func (f *follower) Assoc() int { return f.a.Assoc() }
+
+func (f *follower) OnHit(way int) {
+	f.a.OnHit(way)
+	f.b.OnHit(way)
+}
+
+func (f *follower) Victim() int {
+	if f.psel.UseB() {
+		return f.b.Victim()
+	}
+	return f.a.Victim()
+}
+
+func (f *follower) OnFill(way int) {
+	f.a.OnFill(way)
+	f.b.OnFill(way)
+}
+
+func (f *follower) OnInvalidate(way int) {
+	f.a.OnInvalidate(way)
+	f.b.OnInvalidate(way)
+}
+
+func (f *follower) Reset() {
+	f.a.Reset()
+	f.b.Reset()
+}

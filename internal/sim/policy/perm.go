@@ -1,0 +1,237 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Perms specifies a permutation policy in the sense of Abel & Reineke
+// (RTAS 2013): the policy maintains a total order over the blocks in a set;
+// a hit at order position p applies permutation Hit[p]; a miss replaces the
+// block at position 0 (the "smallest" block) and applies Miss.
+//
+// Permutations map current positions to new positions: after applying π,
+// the element formerly at position q is at position π[q].
+type Perms struct {
+	Assoc int
+	Hit   [][]int
+	Miss  []int
+}
+
+// LRUPerms returns the permutation representation of LRU.
+func LRUPerms(assoc int) Perms {
+	p := Perms{Assoc: assoc, Hit: make([][]int, assoc)}
+	moveToTop := func(pos int) []int {
+		π := make([]int, assoc)
+		for q := 0; q < assoc; q++ {
+			switch {
+			case q < pos:
+				π[q] = q
+			case q == pos:
+				π[q] = assoc - 1
+			default:
+				π[q] = q - 1
+			}
+		}
+		return π
+	}
+	for pos := 0; pos < assoc; pos++ {
+		p.Hit[pos] = moveToTop(pos)
+	}
+	p.Miss = moveToTop(0)
+	return p
+}
+
+// FIFOPerms returns the permutation representation of FIFO: hits leave the
+// order unchanged; a miss inserts the new block at the top.
+func FIFOPerms(assoc int) Perms {
+	p := Perms{Assoc: assoc, Hit: make([][]int, assoc)}
+	for pos := 0; pos < assoc; pos++ {
+		π := make([]int, assoc)
+		for q := range π {
+			π[q] = q
+		}
+		p.Hit[pos] = π
+	}
+	π := make([]int, assoc)
+	for q := 0; q < assoc; q++ {
+		if q == 0 {
+			π[q] = assoc - 1
+		} else {
+			π[q] = q - 1
+		}
+	}
+	p.Miss = π
+	return p
+}
+
+// PLRUPerms derives the permutation representation of tree-PLRU by
+// simulating accesses on a reference tree. Tree-PLRU is a permutation
+// policy: the tree state corresponds to a total order via the rank
+// construction below, and the rank changes caused by an access depend only
+// on the accessed rank. assoc must be a power of two.
+func PLRUPerms(assoc int) (Perms, error) {
+	if assoc <= 0 || assoc&(assoc-1) != 0 {
+		return Perms{}, errNonPow2(assoc)
+	}
+	p := Perms{Assoc: assoc, Hit: make([][]int, assoc)}
+	for pos := 0; pos < assoc; pos++ {
+		π, err := plruPermForAccess(assoc, pos)
+		if err != nil {
+			return Perms{}, err
+		}
+		p.Hit[pos] = π
+	}
+	// A PLRU miss fills the victim (rank 0) and touches it, which is
+	// exactly an access at position 0.
+	p.Miss = p.Hit[0]
+	return p, nil
+}
+
+// plruRank computes, for the given tree state, the order position of each
+// leaf: rank 0 is the leaf all tree bits point toward (the victim).
+func plruRank(t *plru) []int {
+	assoc := len(t.valid)
+	ranks := make([]int, assoc)
+	for leaf := 0; leaf < assoc; leaf++ {
+		node := 1
+		lo, hi := 0, assoc
+		rank := 0
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			towardLeft := !t.bits[node]
+			inLeft := leaf < mid
+			rank <<= 1
+			if towardLeft != inLeft {
+				rank |= 1 // bit points away from this leaf
+			}
+			if inLeft {
+				node = 2 * node
+				hi = mid
+			} else {
+				node = 2*node + 1
+				lo = mid
+			}
+		}
+		ranks[leaf] = rank
+	}
+	return ranks
+}
+
+// plruPermForAccess computes the rank permutation caused by accessing the
+// leaf at rank pos, and verifies state-independence on random tree states.
+func plruPermForAccess(assoc, pos int) ([]int, error) {
+	rng := rand.New(rand.NewSource(int64(assoc)*131 + int64(pos)))
+	var ref []int
+	for trial := 0; trial < 16; trial++ {
+		pp, _ := NewPLRU(assoc)
+		t := pp.(*plru)
+		for i := range t.bits {
+			t.bits[i] = rng.Intn(2) == 1
+		}
+		before := plruRank(t)
+		leafAt := make([]int, assoc)
+		for leaf, r := range before {
+			leafAt[r] = leaf
+		}
+		t.touch(leafAt[pos])
+		after := plruRank(t)
+		π := make([]int, assoc)
+		for leaf, r := range before {
+			π[r] = after[leaf]
+		}
+		if ref == nil {
+			ref = π
+			continue
+		}
+		for q := range π {
+			if π[q] != ref[q] {
+				return nil, fmt.Errorf("policy: PLRU rank permutation is state-dependent (assoc %d, pos %d)", assoc, pos)
+			}
+		}
+	}
+	return ref, nil
+}
+
+// permPolicy interprets a Perms specification as a Policy.
+type permPolicy struct {
+	validTracker
+	perms Perms
+	name  string
+	seq   []int // seq[pos] = way at this order position
+}
+
+// NewPermutation builds a policy from its permutation specification.
+func NewPermutation(name string, perms Perms) Policy {
+	p := &permPolicy{
+		validTracker: newValidTracker(perms.Assoc),
+		perms:        perms,
+		name:         name,
+		seq:          make([]int, perms.Assoc),
+	}
+	p.Reset()
+	return p
+}
+
+func (p *permPolicy) Name() string { return p.name }
+func (p *permPolicy) Assoc() int   { return p.perms.Assoc }
+
+func (p *permPolicy) apply(π []int) {
+	newSeq := make([]int, len(p.seq))
+	for q, way := range p.seq {
+		newSeq[π[q]] = way
+	}
+	copy(p.seq, newSeq)
+}
+
+func (p *permPolicy) posOf(way int) int {
+	for pos, w := range p.seq {
+		if w == way {
+			return pos
+		}
+	}
+	return -1
+}
+
+func (p *permPolicy) OnHit(way int) {
+	if pos := p.posOf(way); pos >= 0 {
+		p.apply(p.perms.Hit[pos])
+	}
+}
+
+func (p *permPolicy) Victim() int {
+	if w := p.leftmostEmpty(); w >= 0 {
+		return w
+	}
+	return p.seq[0]
+}
+
+func (p *permPolicy) OnFill(way int) {
+	replacing := p.valid[way]
+	p.valid[way] = true
+	pos := p.posOf(way)
+	if replacing {
+		// Replacement: the victim is at position 0; the new block takes
+		// its place and the miss permutation is applied. Be robust if the
+		// cache chose a different way than Victim() suggested.
+		if pos != 0 {
+			p.seq[pos], p.seq[0] = p.seq[0], p.seq[pos]
+		}
+		p.apply(p.perms.Miss)
+		return
+	}
+	// Filling an empty way behaves like an access at the way's current
+	// order position (tree-PLRU fills touch the tree exactly like a hit;
+	// for FIFO the hit permutation is the identity, which combined with
+	// leftmost-empty fill order reproduces insertion order).
+	p.apply(p.perms.Hit[pos])
+}
+
+func (p *permPolicy) OnInvalidate(way int) { p.valid[way] = false }
+
+func (p *permPolicy) Reset() {
+	p.reset()
+	for i := range p.seq {
+		p.seq[i] = i
+	}
+}

@@ -1,0 +1,134 @@
+// Package policy implements cache replacement policies: the textbook
+// policies (LRU, FIFO, tree-PLRU, random), the MRU/bit-PLRU policy and its
+// Sandy Bridge variant, the full QLRU family described in Section VI-B2 of
+// the nanoBench paper, the permutation-policy framework of Abel & Reineke
+// (RTAS 2013), and an adaptive set-dueling combinator.
+//
+// These implementations serve two roles: they are the ground truth wired
+// into the simulated machines' caches, and they are the candidate models
+// the case-study-II inference tools compare measurements against.
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Policy models the replacement state of a single cache set.
+//
+// The cache informs the policy of hits, fills, and invalidations; the
+// policy answers victim queries. Way indices are 0-based; "leftmost" in the
+// paper's terminology is the lowest index.
+type Policy interface {
+	// Name returns the canonical policy name.
+	Name() string
+	// Assoc returns the associativity the policy was built for.
+	Assoc() int
+	// OnHit informs the policy that way was accessed and hit.
+	OnHit(way int)
+	// Victim returns the way a new block should be placed in. It may be an
+	// invalid (empty) way. The cache must call Victim exactly once per
+	// miss, followed by OnFill on the returned way: some policies (QLRU
+	// _UMO variants) perform their miss-time age adjustment inside Victim.
+	// On replacement the cache does not call OnInvalidate for the evicted
+	// block; OnInvalidate is reserved for explicit flushes.
+	Victim() int
+	// OnFill informs the policy that a new block was filled into way.
+	OnFill(way int)
+	// OnInvalidate informs the policy that the block in way was removed
+	// (CLFLUSH or WBINVD).
+	OnInvalidate(way int)
+	// Reset restores the power-on state.
+	Reset()
+}
+
+// Factory constructs a policy instance for one cache set.
+type Factory func(assoc int, rng *rand.Rand) Policy
+
+var registry = map[string]func(assoc int, rng *rand.Rand) (Policy, error){}
+
+func register(name string, f func(assoc int, rng *rand.Rand) (Policy, error)) {
+	registry[strings.ToUpper(name)] = f
+}
+
+// New builds a policy by name. Recognized names: LRU, FIFO, PLRU, RANDOM,
+// MRU, MRU* (alias MRU_SB), and any QLRU variant name such as
+// "QLRU_H11_M1_R1_U2" or "QLRU_H11_MR161_R1_U2_UMO".
+func New(name string, assoc int, rng *rand.Rand) (Policy, error) {
+	upper := strings.ToUpper(strings.TrimSpace(name))
+	if strings.HasPrefix(upper, "QLRU_") {
+		p, err := ParseQLRU(upper)
+		if err != nil {
+			return nil, err
+		}
+		return p.New(assoc, rng), nil
+	}
+	f, ok := registry[upper]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+	return f(assoc, rng)
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, assoc int, rng *rand.Rand) Policy {
+	p, err := New(name, assoc, rng)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns the registered non-QLRU policy names, sorted.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validTracker is embedded by policies to track occupancy.
+type validTracker struct {
+	valid []bool
+}
+
+func newValidTracker(assoc int) validTracker {
+	return validTracker{valid: make([]bool, assoc)}
+}
+
+func (v *validTracker) full() bool {
+	for _, ok := range v.valid {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *validTracker) leftmostEmpty() int {
+	for i, ok := range v.valid {
+		if !ok {
+			return i
+		}
+	}
+	return -1
+}
+
+func (v *validTracker) rightmostEmpty() int {
+	for i := len(v.valid) - 1; i >= 0; i-- {
+		if !v.valid[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (v *validTracker) reset() {
+	for i := range v.valid {
+		v.valid[i] = false
+	}
+}

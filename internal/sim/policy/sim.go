@@ -1,0 +1,88 @@
+package policy
+
+// SimulateSeq plays an access sequence of abstract block IDs against a
+// fresh instance of the policy and reports, for each access, whether it
+// hit. This is the pure-model simulation the case-study-II matcher compares
+// hardware-counter measurements against.
+func SimulateSeq(p Policy, seq []int) []bool {
+	p.Reset()
+	wayOf := map[int]int{}
+	blockAt := map[int]int{}
+	hits := make([]bool, len(seq))
+	for i, b := range seq {
+		if w, ok := wayOf[b]; ok {
+			hits[i] = true
+			p.OnHit(w)
+			continue
+		}
+		w := p.Victim()
+		if old, ok := blockAt[w]; ok {
+			delete(wayOf, old)
+		}
+		wayOf[b] = w
+		blockAt[w] = b
+		p.OnFill(w)
+	}
+	return hits
+}
+
+// CountHits plays the sequence and returns the total number of hits.
+func CountHits(p Policy, seq []int) int {
+	n := 0
+	for _, h := range SimulateSeq(p, seq) {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// EliminationOrder plays prefix (block IDs) against a fresh policy, then
+// feeds fresh misses and records the order in which the prefix blocks are
+// evicted. Blocks never evicted within maxFresh misses get rank -1. The
+// returned slice maps each distinct prefix block (in first-access order) to
+// the number of fresh misses after which it was no longer cached.
+func EliminationOrder(p Policy, prefix []int, maxFresh int) map[int]int {
+	p.Reset()
+	wayOf := map[int]int{}
+	blockAt := map[int]int{}
+	access := func(b int) {
+		if w, ok := wayOf[b]; ok {
+			p.OnHit(w)
+			return
+		}
+		w := p.Victim()
+		if old, ok := blockAt[w]; ok {
+			delete(wayOf, old)
+		}
+		wayOf[b] = w
+		blockAt[w] = b
+		p.OnFill(w)
+	}
+	for _, b := range prefix {
+		access(b)
+	}
+	rank := map[int]int{}
+	seen := map[int]bool{}
+	var order []int
+	for _, b := range prefix {
+		if !seen[b] {
+			seen[b] = true
+			order = append(order, b)
+			rank[b] = -1
+		}
+	}
+	fresh := 1 << 30 // block IDs disjoint from any realistic prefix
+	for n := 1; n <= maxFresh; n++ {
+		access(fresh)
+		fresh++
+		for _, b := range order {
+			if rank[b] == -1 {
+				if _, cached := wayOf[b]; !cached {
+					rank[b] = n
+				}
+			}
+		}
+	}
+	return rank
+}

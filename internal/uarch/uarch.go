@@ -1,0 +1,351 @@
+// Package uarch catalogs the simulated machine models used in the
+// experiments: the ten Intel Core generations of Table I of the nanoBench
+// paper, plus an AMD Zen configuration. Each model carries the cache
+// geometries and ground-truth replacement policies that the case-study-II
+// tools must recover through measurements alone.
+package uarch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nanobench/internal/sim/cache"
+	"nanobench/internal/sim/machine"
+	"nanobench/internal/sim/pmu"
+	"nanobench/internal/sim/policy"
+)
+
+// SetRange denotes a range of set indices [Lo, Hi] within one slice
+// (Slice == -1 means every slice).
+type SetRange struct {
+	Slice  int
+	Lo, Hi int
+}
+
+// Contains reports whether the range covers (slice, set).
+func (r SetRange) Contains(slice, set int) bool {
+	return (r.Slice == -1 || r.Slice == slice) && set >= r.Lo && set <= r.Hi
+}
+
+// Adaptive describes an adaptive (set-dueling) L3 configuration: dedicated
+// leader sets with fixed policies A and B; all other sets follow the
+// currently winning policy.
+type Adaptive struct {
+	PolicyA, PolicyB string
+	ARanges, BRanges []SetRange
+}
+
+// Leader classifies a set: 'A', 'B', or 0 for follower sets.
+func (a *Adaptive) Leader(slice, set int) byte {
+	for _, r := range a.ARanges {
+		if r.Contains(slice, set) {
+			return 'A'
+		}
+	}
+	for _, r := range a.BRanges {
+		if r.Contains(slice, set) {
+			return 'B'
+		}
+	}
+	return 0
+}
+
+// CPU is one machine model.
+type CPU struct {
+	Name  string // microarchitecture, e.g. "Skylake"
+	Model string // the part the paper measured, e.g. "Core i7-6500U"
+	Gen   int    // Core generation (1..10)
+
+	L1Size  uint64
+	L1Assoc int
+	L2Size  uint64
+	L2Assoc int
+	L3Size  uint64 // total size across slices
+	L3Assoc int
+
+	L1Policy string
+	L2Policy string
+	// L3Policy is empty when the L3 is adaptive.
+	L3Policy   string
+	L3Adaptive *Adaptive
+
+	L3Slices int
+
+	L1Latency, L2Latency, L3Latency, MemLatency int
+
+	NumProgCounters int
+	RefRatio        float64
+}
+
+// ExpectedL3Policy returns the ground-truth L3 policy name for a set, and
+// whether the set is a dedicated (leader) set. Follower sets return "".
+func (c *CPU) ExpectedL3Policy(slice, set int) (string, bool) {
+	if c.L3Adaptive == nil {
+		return c.L3Policy, true
+	}
+	switch c.L3Adaptive.Leader(slice, set) {
+	case 'A':
+		return c.L3Adaptive.PolicyA, true
+	case 'B':
+		return c.L3Adaptive.PolicyB, true
+	}
+	return "", false
+}
+
+// MachineSpec assembles a fresh machine.Spec for this CPU. Each call
+// builds new policy factories (and, for adaptive models, a fresh PSEL), so
+// independent machines never share state.
+func (c *CPU) MachineSpec(seed int64) machine.Spec {
+	l3PerSlice := c.L3Size / uint64(c.L3Slices)
+
+	l3Factory := cache.SimplePolicy(c.L3Policy)
+	if c.L3Adaptive != nil {
+		ad := c.L3Adaptive
+		psel := policy.NewPSel(1024)
+		l3Factory = func(slice, set int, assoc int, rng *rand.Rand) policy.Policy {
+			switch ad.Leader(slice, set) {
+			case 'A':
+				return policy.NewLeader(policy.MustNew(ad.PolicyA, assoc, rng), psel, true)
+			case 'B':
+				return policy.NewLeader(policy.MustNew(ad.PolicyB, assoc, rng), psel, false)
+			}
+			f, err := policy.NewFollower(
+				policy.MustNew(ad.PolicyA, assoc, rng),
+				policy.MustNew(ad.PolicyB, assoc, rng), psel)
+			if err != nil {
+				panic(err)
+			}
+			return f
+		}
+	}
+
+	return machine.Spec{
+		Name: c.Name,
+		Cache: cache.Config{
+			L1I:            cache.Geometry{Name: "L1I", Size: c.L1Size, Assoc: c.L1Assoc, LineSize: 64, Latency: c.L1Latency},
+			L1D:            cache.Geometry{Name: "L1D", Size: c.L1Size, Assoc: c.L1Assoc, LineSize: 64, Latency: c.L1Latency},
+			L2:             cache.Geometry{Name: "L2", Size: c.L2Size, Assoc: c.L2Assoc, LineSize: 64, Latency: c.L2Latency},
+			L3:             cache.Geometry{Name: "L3", Size: l3PerSlice, Assoc: c.L3Assoc, LineSize: 64, Latency: c.L3Latency},
+			L3Slices:       c.L3Slices,
+			SliceHash:      cache.DefaultSliceHash(c.L3Slices),
+			MemLatency:     c.MemLatency,
+			L1IPolicy:      cache.SimplePolicy(c.L1Policy),
+			L1DPolicy:      cache.SimplePolicy(c.L1Policy),
+			L2Policy:       cache.SimplePolicy(c.L2Policy),
+			L3Policy:       l3Factory,
+			PrefetchDegree: 2,
+		},
+		NumProgCounters:   c.NumProgCounters,
+		RefRatio:          c.RefRatio,
+		PhysMem:           256 << 20,
+		EventTable:        IntelEventTable(),
+		InterruptInterval: 200_000,
+		Seed:              seed,
+	}
+}
+
+// NewMachine builds a machine for this CPU model.
+func (c *CPU) NewMachine(seed int64) (*machine.Machine, error) {
+	return machine.New(c.MachineSpec(seed))
+}
+
+// kb and mb improve the readability of the catalog below.
+const (
+	kb = uint64(1) << 10
+	mb = uint64(1) << 20
+)
+
+// table1 lists the CPUs of Table I in generation order. Slice counts
+// follow the physical core counts (Section VI-A), restricted to powers of
+// two (the slice hash is XOR-based).
+var table1 = []CPU{
+	{
+		Name: "Nehalem", Model: "Core i5-750", Gen: 1,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 8,
+		L3Size: 8 * mb, L3Assoc: 16, L3Slices: 1,
+		L1Policy: "PLRU", L2Policy: "PLRU", L3Policy: "MRU",
+		L1Latency: 4, L2Latency: 10, L3Latency: 35, MemLatency: 190,
+		NumProgCounters: 4, RefRatio: 0.90,
+	},
+	{
+		Name: "Westmere", Model: "Core i5-650", Gen: 2,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 8,
+		L3Size: 4 * mb, L3Assoc: 16, L3Slices: 1,
+		L1Policy: "PLRU", L2Policy: "PLRU", L3Policy: "MRU",
+		L1Latency: 4, L2Latency: 10, L3Latency: 34, MemLatency: 190,
+		NumProgCounters: 4, RefRatio: 0.90,
+	},
+	{
+		Name: "SandyBridge", Model: "Core i7-2600", Gen: 3,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 8,
+		L3Size: 8 * mb, L3Assoc: 16, L3Slices: 4,
+		L1Policy: "PLRU", L2Policy: "PLRU", L3Policy: "MRU*",
+		L1Latency: 4, L2Latency: 11, L3Latency: 30, MemLatency: 190,
+		NumProgCounters: 4, RefRatio: 0.90,
+	},
+	{
+		Name: "IvyBridge", Model: "Core i5-3470", Gen: 4,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 8,
+		L3Size: 6 * mb, L3Assoc: 12, L3Slices: 4,
+		L1Policy: "PLRU", L2Policy: "PLRU",
+		L3Adaptive: &Adaptive{
+			PolicyA: "QLRU_H11_M1_R1_U2",
+			PolicyB: "QLRU_H11_MR161_R1_U2",
+			ARanges: []SetRange{{Slice: -1, Lo: 512, Hi: 575}},
+			BRanges: []SetRange{{Slice: -1, Lo: 768, Hi: 831}},
+		},
+		L1Latency: 4, L2Latency: 11, L3Latency: 30, MemLatency: 190,
+		NumProgCounters: 4, RefRatio: 0.90,
+	},
+	{
+		Name: "Haswell", Model: "Xeon E3-1225 v3", Gen: 5,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 8,
+		L3Size: 8 * mb, L3Assoc: 16, L3Slices: 4,
+		L1Policy: "PLRU", L2Policy: "PLRU",
+		L3Adaptive: &Adaptive{
+			PolicyA: "QLRU_H11_M1_R0_U0",
+			PolicyB: "QLRU_H11_MR161_R0_U0",
+			ARanges: []SetRange{{Slice: 0, Lo: 512, Hi: 575}},
+			BRanges: []SetRange{{Slice: 0, Lo: 768, Hi: 831}},
+		},
+		L1Latency: 4, L2Latency: 11, L3Latency: 34, MemLatency: 190,
+		NumProgCounters: 4, RefRatio: 0.90,
+	},
+	{
+		Name: "Broadwell", Model: "Core i5-5200U", Gen: 6,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 8,
+		L3Size: 3 * mb, L3Assoc: 12, L3Slices: 2,
+		L1Policy: "PLRU", L2Policy: "PLRU",
+		L3Adaptive: &Adaptive{
+			PolicyA: "QLRU_H11_M1_R0_U0",
+			PolicyB: "QLRU_H11_MR161_R0_U0",
+			ARanges: []SetRange{{Slice: 0, Lo: 512, Hi: 575}, {Slice: 1, Lo: 768, Hi: 831}},
+			BRanges: []SetRange{{Slice: 1, Lo: 512, Hi: 575}, {Slice: 0, Lo: 768, Hi: 831}},
+		},
+		L1Latency: 4, L2Latency: 11, L3Latency: 30, MemLatency: 190,
+		NumProgCounters: 4, RefRatio: 0.90,
+	},
+	{
+		Name: "Skylake", Model: "Core i7-6500U", Gen: 7,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 4,
+		L3Size: 4 * mb, L3Assoc: 16, L3Slices: 2,
+		L1Policy: "PLRU", L2Policy: "QLRU_H00_M1_R2_U1", L3Policy: "QLRU_H11_M1_R0_U0",
+		L1Latency: 4, L2Latency: 12, L3Latency: 34, MemLatency: 200,
+		NumProgCounters: 4, RefRatio: 0.88,
+	},
+	{
+		Name: "KabyLake", Model: "Core i7-7700", Gen: 8,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 4,
+		L3Size: 8 * mb, L3Assoc: 16, L3Slices: 4,
+		L1Policy: "PLRU", L2Policy: "QLRU_H00_M1_R2_U1", L3Policy: "QLRU_H11_M1_R0_U0",
+		L1Latency: 4, L2Latency: 12, L3Latency: 34, MemLatency: 200,
+		NumProgCounters: 4, RefRatio: 0.88,
+	},
+	{
+		Name: "CoffeeLake", Model: "Core i7-8700K", Gen: 9,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 4,
+		L3Size: 8 * mb, L3Assoc: 16, L3Slices: 8,
+		L1Policy: "PLRU", L2Policy: "QLRU_H00_M1_R2_U1", L3Policy: "QLRU_H11_M1_R0_U0",
+		L1Latency: 4, L2Latency: 12, L3Latency: 36, MemLatency: 200,
+		NumProgCounters: 4, RefRatio: 0.88,
+	},
+	{
+		Name: "CannonLake", Model: "Core i3-8121U", Gen: 10,
+		L1Size: 32 * kb, L1Assoc: 8, L2Size: 256 * kb, L2Assoc: 4,
+		L3Size: 4 * mb, L3Assoc: 16, L3Slices: 2,
+		L1Policy: "PLRU", L2Policy: "QLRU_H00_M1_R0_U1", L3Policy: "QLRU_H11_M1_R0_U0",
+		L1Latency: 5, L2Latency: 13, L3Latency: 36, MemLatency: 200,
+		NumProgCounters: 4, RefRatio: 0.88,
+	},
+}
+
+// zen is an AMD Zen configuration (family 17h: six programmable counters).
+// Its cache policies are not part of Table I — the paper could not disable
+// AMD prefetchers — but the model exercises the AMD counter configuration.
+var zen = CPU{
+	Name: "Zen", Model: "Ryzen 7 1800X", Gen: 0,
+	L1Size: 32 * kb, L1Assoc: 8, L2Size: 512 * kb, L2Assoc: 8,
+	L3Size: 8 * mb, L3Assoc: 16, L3Slices: 2,
+	L1Policy: "LRU", L2Policy: "LRU", L3Policy: "LRU",
+	L1Latency: 4, L2Latency: 12, L3Latency: 35, MemLatency: 210,
+	NumProgCounters: 6, RefRatio: 0.92,
+}
+
+// Table1 returns the ten Intel CPUs of Table I, in generation order.
+func Table1() []CPU {
+	out := make([]CPU, len(table1))
+	copy(out, table1)
+	return out
+}
+
+// Zen returns the AMD Zen model.
+func Zen() CPU { return zen }
+
+// ByName finds a CPU model by microarchitecture name (case-insensitive).
+func ByName(name string) (CPU, error) {
+	for _, c := range table1 {
+		if equalFold(c.Name, name) {
+			return c, nil
+		}
+	}
+	if equalFold(zen.Name, name) {
+		return zen, nil
+	}
+	return CPU{}, fmt.Errorf("uarch: unknown CPU %q (known: %s)", name, NameList())
+}
+
+// NameList returns the catalog names, comma-separated.
+func NameList() string {
+	s := ""
+	for i, c := range table1 {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.Name
+	}
+	return s + ", " + zen.Name
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// IntelEventTable maps Intel-style (event, umask) encodings to the
+// simulator's events. The same encodings are used for every Intel model in
+// the catalog (a simplification; real parts vary).
+func IntelEventTable() map[uint16]pmu.Event {
+	t := map[uint16]pmu.Event{
+		machine.EvtSelKey(0xC0, 0x00): pmu.EvInstRetired,
+		machine.EvtSelKey(0x0E, 0x01): pmu.EvUopsIssued,
+		machine.EvtSelKey(0xD0, 0x81): pmu.EvLoadRetired,
+		machine.EvtSelKey(0xD0, 0x82): pmu.EvStoreRetired,
+		machine.EvtSelKey(0xD1, 0x01): pmu.EvLoadL1Hit,
+		machine.EvtSelKey(0xD1, 0x08): pmu.EvLoadL1Miss,
+		machine.EvtSelKey(0xD1, 0x02): pmu.EvLoadL2Hit,
+		machine.EvtSelKey(0xD1, 0x10): pmu.EvLoadL2Miss,
+		machine.EvtSelKey(0xD1, 0x04): pmu.EvLoadL3Hit,
+		machine.EvtSelKey(0xD1, 0x20): pmu.EvLoadL3Miss,
+		machine.EvtSelKey(0xC4, 0x00): pmu.EvBrRetired,
+		machine.EvtSelKey(0xC5, 0x00): pmu.EvBrMispRetired,
+		machine.EvtSelKey(0x24, 0x38): pmu.EvL2Prefetch,
+	}
+	for p := 0; p < 8; p++ {
+		t[machine.EvtSelKey(0xA1, 1<<p)] = pmu.EvUopsPort0 + pmu.Event(p)
+	}
+	return t
+}

@@ -1,0 +1,116 @@
+package uarch
+
+import (
+	"testing"
+
+	"nanobench/internal/sim/machine"
+)
+
+func TestTable1Catalog(t *testing.T) {
+	cpus := Table1()
+	if len(cpus) != 10 {
+		t.Fatalf("Table1 has %d CPUs, want 10", len(cpus))
+	}
+	for i, c := range cpus {
+		if c.Gen != i+1 {
+			t.Errorf("%s: generation %d at index %d", c.Name, c.Gen, i)
+		}
+		spec := c.MachineSpec(1)
+		if err := spec.Cache.L1D.Validate(); err != nil {
+			t.Errorf("%s L1D: %v", c.Name, err)
+		}
+		if err := spec.Cache.L2.Validate(); err != nil {
+			t.Errorf("%s L2: %v", c.Name, err)
+		}
+		if err := spec.Cache.L3.Validate(); err != nil {
+			t.Errorf("%s L3: %v", c.Name, err)
+		}
+		if got := spec.Cache.L3.Size * uint64(c.L3Slices); got != c.L3Size {
+			t.Errorf("%s: slices cover %d bytes, want %d", c.Name, got, c.L3Size)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("skylake")
+	if err != nil || c.Name != "Skylake" {
+		t.Fatalf("ByName(skylake) = %v, %v", c.Name, err)
+	}
+	if _, err := ByName("Pentium"); err == nil {
+		t.Fatal("expected error for unknown CPU")
+	}
+	if _, err := ByName("Zen"); err != nil {
+		t.Fatalf("Zen missing: %v", err)
+	}
+	if NameList() == "" {
+		t.Fatal("empty name list")
+	}
+}
+
+func TestExpectedL3Policy(t *testing.T) {
+	skl, _ := ByName("Skylake")
+	pol, dedicated := skl.ExpectedL3Policy(0, 100)
+	if !dedicated || pol != "QLRU_H11_M1_R0_U0" {
+		t.Fatalf("Skylake L3 policy = %q, %v", pol, dedicated)
+	}
+
+	ivb, _ := ByName("IvyBridge")
+	pol, ded := ivb.ExpectedL3Policy(2, 520)
+	if !ded || pol != "QLRU_H11_M1_R1_U2" {
+		t.Fatalf("IvB set 520 = %q, %v", pol, ded)
+	}
+	pol, ded = ivb.ExpectedL3Policy(1, 800)
+	if !ded || pol != "QLRU_H11_MR161_R1_U2" {
+		t.Fatalf("IvB set 800 = %q, %v", pol, ded)
+	}
+	if _, ded := ivb.ExpectedL3Policy(0, 100); ded {
+		t.Fatal("IvB set 100 should be a follower")
+	}
+
+	// Haswell: leaders only in slice 0.
+	hsw, _ := ByName("Haswell")
+	if _, ded := hsw.ExpectedL3Policy(1, 520); ded {
+		t.Fatal("Haswell slice 1 set 520 should be a follower")
+	}
+	if pol, ded := hsw.ExpectedL3Policy(0, 520); !ded || pol != "QLRU_H11_M1_R0_U0" {
+		t.Fatalf("Haswell slice 0 set 520 = %q, %v", pol, ded)
+	}
+
+	// Broadwell: policies cross between the slices.
+	bdw, _ := ByName("Broadwell")
+	a0, _ := bdw.ExpectedL3Policy(0, 520)
+	a1, _ := bdw.ExpectedL3Policy(1, 520)
+	b0, _ := bdw.ExpectedL3Policy(0, 800)
+	b1, _ := bdw.ExpectedL3Policy(1, 800)
+	if a0 != b1 || a1 != b0 || a0 == a1 {
+		t.Fatalf("Broadwell crossing wrong: %q %q %q %q", a0, a1, b0, b1)
+	}
+}
+
+func TestMachinesBoot(t *testing.T) {
+	for _, c := range append(Table1(), Zen()) {
+		m, err := c.NewMachine(1)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if len(m.CBox) != c.L3Slices {
+			t.Errorf("%s: %d C-Boxes, want %d", c.Name, len(m.CBox), c.L3Slices)
+		}
+		if got := len(m.PMU.Prog); got != c.NumProgCounters {
+			t.Errorf("%s: %d programmable counters, want %d", c.Name, got, c.NumProgCounters)
+		}
+	}
+}
+
+func TestEventTableCoversPorts(t *testing.T) {
+	tab := IntelEventTable()
+	for p := uint8(0); p < 8; p++ {
+		if _, ok := tab[machine.EvtSelKey(0xA1, 1<<p)]; !ok {
+			t.Errorf("missing port %d event", p)
+		}
+	}
+	if len(tab) < 20 {
+		t.Errorf("event table too small: %d", len(tab))
+	}
+}

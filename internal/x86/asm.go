@@ -1,0 +1,363 @@
+package x86
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses Intel-syntax assembly into instructions. Instructions are
+// separated by newlines or semicolons. Labels are written "name:"; branch
+// targets may be label names or numeric relative displacements. Comments
+// start with '#' or "//" and extend to the end of the line.
+func Parse(src string) ([]Instr, error) {
+	var out []Instr
+	for lineNo, line := range strings.Split(src, "\n") {
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			line = line[:idx]
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			in, err := parseStmt(stmt)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %q: %w", lineNo+1, stmt, err)
+			}
+			out = append(out, in...)
+		}
+	}
+	return out, nil
+}
+
+func parseStmt(stmt string) ([]Instr, error) {
+	// Leading label(s).
+	var out []Instr
+	for {
+		idx := strings.Index(stmt, ":")
+		if idx < 0 {
+			break
+		}
+		head := strings.TrimSpace(stmt[:idx])
+		if head == "" || strings.ContainsAny(head, " \t[,") {
+			break
+		}
+		out = append(out, Instr{Op: OpNone, Label: head})
+		stmt = strings.TrimSpace(stmt[idx+1:])
+		if stmt == "" {
+			return out, nil
+		}
+	}
+
+	fields := strings.Fields(stmt)
+	op, ok := OpNamed(fields[0])
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	rest := strings.TrimSpace(stmt[len(fields[0]):])
+	var args []Arg
+	if rest != "" {
+		for _, part := range splitOperands(rest) {
+			a, err := parseOperand(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+	}
+	out = append(out, Instr{Op: op, Args: args})
+	return out, nil
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(s string) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func parseOperand(s string) (Arg, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty operand")
+	}
+	ls := upper(s)
+	// Optional size qualifier before a memory operand.
+	for _, q := range []string{"QWORD PTR", "DWORD PTR", "WORD PTR", "BYTE PTR", "XMMWORD PTR"} {
+		if strings.HasPrefix(ls, q) {
+			s = strings.TrimSpace(s[len(q):])
+			break
+		}
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("unterminated memory operand %q", s)
+		}
+		return parseMem(s[1 : len(s)-1])
+	}
+	if r, ok := RegNamed(s); ok {
+		return r, nil
+	}
+	if v, err := parseInt(s); err == nil {
+		return Imm(v), nil
+	}
+	if isIdent(s) {
+		return LabelRef(s), nil
+	}
+	return nil, fmt.Errorf("cannot parse operand %q", s)
+}
+
+func parseMem(inner string) (Arg, error) {
+	m := Mem{Base: RegNone, Index: RegNone, Scale: 1}
+	inner = strings.TrimSpace(inner)
+	if inner == "" {
+		return nil, fmt.Errorf("empty memory operand")
+	}
+
+	// Tokenize into signed terms.
+	var terms []string
+	var signs []int64
+	cur := strings.Builder{}
+	sign := int64(1)
+	flush := func() {
+		if cur.Len() > 0 {
+			terms = append(terms, strings.TrimSpace(cur.String()))
+			signs = append(signs, sign)
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '+':
+			flush()
+			sign = 1
+		case '-':
+			if cur.Len() == 0 && len(terms) == 0 {
+				// leading minus on first term
+				sign = -1
+			} else {
+				flush()
+				sign = -1
+			}
+		default:
+			cur.WriteByte(inner[i])
+		}
+	}
+	flush()
+
+	var disp int64
+	var haveDisp bool
+	for i, t := range terms {
+		if t == "" {
+			return nil, fmt.Errorf("malformed memory operand [%s]", inner)
+		}
+		// register*scale?
+		if star := strings.Index(t, "*"); star >= 0 {
+			rName := strings.TrimSpace(t[:star])
+			sStr := strings.TrimSpace(t[star+1:])
+			r, ok := RegNamed(rName)
+			if !ok {
+				// Maybe "8*RAX" order.
+				r, ok = RegNamed(sStr)
+				if !ok {
+					return nil, fmt.Errorf("bad scaled index %q", t)
+				}
+				sStr = rName
+			}
+			sc, err := parseInt(sStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad scale in %q", t)
+			}
+			if m.Index != RegNone {
+				return nil, fmt.Errorf("multiple index registers in [%s]", inner)
+			}
+			if signs[i] < 0 {
+				return nil, fmt.Errorf("negative register term in [%s]", inner)
+			}
+			m.Index = r
+			m.Scale = uint8(sc)
+			continue
+		}
+		if r, ok := RegNamed(t); ok {
+			if signs[i] < 0 {
+				return nil, fmt.Errorf("negative register term in [%s]", inner)
+			}
+			if m.Base == RegNone {
+				m.Base = r
+			} else if m.Index == RegNone {
+				m.Index = r
+				m.Scale = 1
+			} else {
+				return nil, fmt.Errorf("too many registers in [%s]", inner)
+			}
+			continue
+		}
+		v, err := parseInt(t)
+		if err != nil {
+			return nil, fmt.Errorf("bad term %q in [%s]", t, inner)
+		}
+		disp += signs[i] * v
+		haveDisp = true
+	}
+
+	if m.Base == RegNone && m.Index == RegNone {
+		if !haveDisp {
+			return nil, fmt.Errorf("empty memory operand [%s]", inner)
+		}
+		if disp < 0 || disp > 0xFFFFFFFF {
+			return nil, fmt.Errorf("absolute address out of range in [%s]", inner)
+		}
+		return MemAt(uint32(disp)), nil
+	}
+	if disp < -(1<<31) || disp >= 1<<31 {
+		return nil, fmt.Errorf("displacement out of range in [%s]", inner)
+	}
+	m.Disp = int32(disp)
+	return m, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	ls := strings.ToLower(s)
+	switch {
+	case strings.HasPrefix(ls, "0x"):
+		v, err = strconv.ParseUint(ls[2:], 16, 64)
+	case strings.HasSuffix(ls, "h") && len(ls) > 1:
+		v, err = strconv.ParseUint(ls[:len(ls)-1], 16, 64)
+	default:
+		v, err = strconv.ParseUint(ls, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func isIdent(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Assemble parses src and encodes it to machine code, resolving labels to
+// rel32 displacements.
+func Assemble(src string) ([]byte, error) {
+	instrs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleInstrs(instrs)
+}
+
+// AssembleInstrs encodes a parsed instruction sequence, resolving labels.
+func AssembleInstrs(instrs []Instr) ([]byte, error) {
+	labels := map[string]int{} // label -> instruction index
+	offsets := make([]int, len(instrs)+1)
+	type patch struct {
+		bufPos int // position of the rel32 field
+		end    int // offset of the end of the branch instruction
+		label  string
+	}
+	var patches []patch
+
+	for i, in := range instrs {
+		if in.Op == OpNone && in.Label != "" {
+			if _, dup := labels[in.Label]; dup {
+				return nil, fmt.Errorf("duplicate label %q", in.Label)
+			}
+			labels[in.Label] = i
+		}
+	}
+
+	var buf []byte
+	for i, in := range instrs {
+		offsets[i] = len(buf)
+		if in.Op == OpNone {
+			continue
+		}
+		// Replace a LabelRef with a placeholder for encoding.
+		enc := in
+		labelIdx := -1
+		for ai, a := range in.Args {
+			if _, ok := a.(LabelRef); ok {
+				labelIdx = ai
+			}
+		}
+		if labelIdx >= 0 {
+			enc = Instr{Op: in.Op, Args: append([]Arg(nil), in.Args...)}
+			enc.Args[labelIdx] = Imm(0)
+		}
+		var err error
+		buf, err = EncodeInstr(buf, enc)
+		if err != nil {
+			return nil, err
+		}
+		if labelIdx >= 0 {
+			patches = append(patches, patch{
+				bufPos: len(buf) - 4,
+				end:    len(buf),
+				label:  string(in.Args[labelIdx].(LabelRef)),
+			})
+		}
+	}
+	offsets[len(instrs)] = len(buf)
+
+	for _, p := range patches {
+		idx, ok := labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", p.label)
+		}
+		rel := offsets[idx] - p.end
+		buf[p.bufPos] = byte(rel)
+		buf[p.bufPos+1] = byte(rel >> 8)
+		buf[p.bufPos+2] = byte(rel >> 16)
+		buf[p.bufPos+3] = byte(rel >> 24)
+	}
+	return buf, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and examples.
+func MustAssemble(src string) []byte {
+	b, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,340 @@
+package x86
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// normalize canonicalizes operand details that have several equivalent
+// spellings (scale 0 vs 1) so encoded/decoded instructions compare equal.
+func normalize(in Instr) Instr {
+	out := Instr{Op: in.Op, Args: append([]Arg(nil), in.Args...)}
+	for i, a := range out.Args {
+		if m, ok := a.(Mem); ok {
+			if m.Scale == 0 {
+				m.Scale = 1
+			}
+			out.Args[i] = m
+		}
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, in Instr) {
+	t.Helper()
+	buf, err := EncodeInstr(nil, in)
+	if err != nil {
+		t.Fatalf("encode %s: %v", in.String(), err)
+	}
+	dec, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode %s (bytes % X): %v", in.String(), buf, err)
+	}
+	if n != len(buf) {
+		t.Fatalf("decode %s: length %d, want %d (bytes % X)", in.String(), n, len(buf), buf)
+	}
+	want := normalize(in)
+	got := normalize(dec)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip %s: got %s (bytes % X)", want.String(), got.String(), buf)
+	}
+}
+
+func TestRoundTripRegForms(t *testing.T) {
+	regs := []Reg{RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI, R8, R12, R13, R14, R15}
+	ops := []Op{MOV, ADD, ADC, SUB, SBB, AND, OR, XOR, CMP, TEST, XCHG}
+	for _, op := range ops {
+		for _, a := range regs {
+			for _, b := range regs {
+				roundTrip(t, I(op, a, b))
+			}
+		}
+	}
+}
+
+func TestRoundTripMemForms(t *testing.T) {
+	mems := []Mem{
+		MemBase(RAX),
+		MemBase(RSP),
+		MemBase(RBP),
+		MemBase(R12),
+		MemBase(R13),
+		MemBaseDisp(RAX, 8),
+		MemBaseDisp(RBP, -16),
+		MemBaseDisp(R14, 4096),
+		MemBaseDisp(RSP, 127),
+		MemBaseDisp(RSP, 128),
+		{Base: RAX, Index: RCX, Scale: 1},
+		{Base: RAX, Index: RCX, Scale: 8, Disp: 64},
+		{Base: RBP, Index: R9, Scale: 4, Disp: -4},
+		{Base: R13, Index: R15, Scale: 2, Disp: 1000000},
+		{Base: RegNone, Index: RDX, Scale: 8, Disp: 32},
+		MemAt(0x1234),
+		MemAt(0x7FFF0000),
+	}
+	for _, m := range mems {
+		roundTrip(t, I(MOV, RAX, m))
+		roundTrip(t, I(MOV, m, R11))
+		roundTrip(t, I(ADD, R8, m))
+		roundTrip(t, I(ADD, m, RBX))
+		roundTrip(t, I(LEA, RDI, m))
+	}
+}
+
+func TestRoundTripImmForms(t *testing.T) {
+	roundTrip(t, I(MOV, RAX, Imm(0)))
+	roundTrip(t, I(MOV, R15, Imm(-1)))
+	roundTrip(t, I(MOV, RCX, Imm(0x7FFFFFFF)))
+	roundTrip(t, I(MOV, RCX, Imm(0x100000000))) // needs B8+r imm64
+	roundTrip(t, I(MOV, MemBase(RAX), Imm(42)))
+	roundTrip(t, I(ADD, RAX, Imm(1)))
+	roundTrip(t, I(SUB, R14, Imm(-128)))
+	roundTrip(t, I(CMP, MemBaseDisp(RSP, 8), Imm(7)))
+	roundTrip(t, I(TEST, RDX, Imm(0xFF)))
+	roundTrip(t, I(SHL, RAX, Imm(3)))
+	roundTrip(t, I(SHR, R9, Imm(63)))
+	roundTrip(t, I(SAR, RBX, Imm(1)))
+	roundTrip(t, I(ROL, RCX, Imm(8)))
+	roundTrip(t, I(ROR, RDX, Imm(8)))
+	roundTrip(t, I(SHL, RAX, RCX)) // CL form
+}
+
+func TestRoundTripSingleOperand(t *testing.T) {
+	for _, op := range []Op{INC, DEC, NEG, NOT, MUL, DIV} {
+		roundTrip(t, I(op, RAX))
+		roundTrip(t, I(op, R13))
+		roundTrip(t, I(op, MemBaseDisp(R14, 64)))
+	}
+	for _, r := range []Reg{RAX, RBP, R8, R15} {
+		roundTrip(t, I(PUSH, r))
+		roundTrip(t, I(POP, r))
+		roundTrip(t, I(BSWAP, r))
+	}
+}
+
+func TestRoundTripNoOperand(t *testing.T) {
+	ops := []Op{RET, NOP, PAUSE, UD2, LFENCE, MFENCE, SFENCE, CPUID,
+		RDTSC, RDPMC, RDMSR, WRMSR, WBINVD, CLI, STI}
+	for _, op := range ops {
+		roundTrip(t, I(op))
+	}
+}
+
+func TestRoundTripBranches(t *testing.T) {
+	ops := []Op{JMP, JZ, JNZ, JC, JNC, JL, JGE, JLE, JG, JS, JNS, CALL}
+	for _, op := range ops {
+		roundTrip(t, I(op, Imm(0)))
+		roundTrip(t, I(op, Imm(-100)))
+		roundTrip(t, I(op, Imm(1<<20)))
+	}
+}
+
+func TestRoundTripSSE(t *testing.T) {
+	ops := []Op{MOVAPS, ADDPS, MULPS, DIVPS, SQRTPS, ADDPD, MULPD, DIVPD,
+		ADDSD, MULSD, DIVSD, SQRTSD, PADDQ, PAND, PXOR}
+	for _, op := range ops {
+		roundTrip(t, I(op, XMM0, XMM1))
+		roundTrip(t, I(op, XMM8, XMM15))
+		roundTrip(t, I(op, XMM3, MemBase(R14)))
+	}
+	roundTrip(t, I(MOVAPS, MemBase(RSI), XMM2))
+	roundTrip(t, I(MOVQ, XMM5, RAX))
+	roundTrip(t, I(MOVQ, R10, XMM11))
+	roundTrip(t, I(CLFLUSH, MemBase(R14)))
+	roundTrip(t, I(PREFETCHT0, MemBaseDisp(RDI, 64)))
+}
+
+func TestParseBasic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Instr
+	}{
+		{"mov R14, [R14]", I(MOV, R14, MemBase(R14))},
+		{"MOV [R14], R14", I(MOV, MemBase(R14), R14)},
+		{"add rax, 5", I(ADD, RAX, Imm(5))},
+		{"mov rbx, 0x10", I(MOV, RBX, Imm(16))},
+		{"mov rbx, -2", I(MOV, RBX, Imm(-2))},
+		{"lea rcx, [rax+rbx*8+16]", I(LEA, RCX, Mem{Base: RAX, Index: RBX, Scale: 8, Disp: 16})},
+		{"mov rdx, [rbp - 8]", I(MOV, RDX, MemBaseDisp(RBP, -8))},
+		{"mov rax, qword ptr [rsi]", I(MOV, RAX, MemBase(RSI))},
+		{"clflush byte ptr [r14]", I(CLFLUSH, MemBase(R14))},
+		{"nop", I(NOP)},
+		{"lfence", I(LFENCE)},
+		{"shl rax, cl", I(SHL, RAX, RCX)},
+		{"mov rax, [0x2000]", I(MOV, RAX, MemAt(0x2000))},
+		{"mov rax, [rbx+rcx]", I(MOV, RAX, Mem{Base: RBX, Index: RCX, Scale: 1})},
+		{"addps xmm0, xmm1", I(ADDPS, XMM0, XMM1)},
+		{"je target", I(JZ, LabelRef("target"))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if len(got) != 1 || !reflect.DeepEqual(normalize(got[0]), normalize(c.want)) {
+			t.Errorf("Parse(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseMultiStatement(t *testing.T) {
+	src := "mov rax, 1; add rax, 2\ndec rax # comment\nnop // trailing"
+	got, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d instructions, want 4: %v", len(got), got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bogus rax",
+		"mov rax",       // matches no form
+		"mov rax, [rsp", // unterminated
+		"mov [rbx+rcx+rdx+rsi], rax",
+		"shl rax, [rbx+rcx*3]",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q): expected error", src)
+		}
+	}
+}
+
+func TestAssembleLabels(t *testing.T) {
+	src := `
+		mov rcx, 3
+	loop_start:
+		dec rcx
+		jnz loop_start
+		ret
+	`
+	buf, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, err := Disassemble(buf)
+	if err != nil {
+		t.Fatalf("disassemble: %v (bytes % X)", err, buf)
+	}
+	joined := strings.Join(lst, "; ")
+	if !strings.Contains(joined, "JNZ") || !strings.Contains(joined, "RET") {
+		t.Fatalf("unexpected disassembly: %s", joined)
+	}
+	// Find the JNZ and check that it jumps back to the DEC RCX.
+	found := false
+	for off := 0; off < len(buf); {
+		in, n, err := Decode(buf[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Op == JNZ {
+			found = true
+			disp := int64(in.Args[0].(Imm))
+			// Target = off + n + disp must equal the offset of DEC RCX.
+			target := off + n + int(disp)
+			if target < 0 || target >= len(buf) {
+				t.Fatalf("JNZ target out of range: %d", target)
+			}
+			dec, _, err := Decode(buf[target:])
+			if err != nil || dec.Op != DEC {
+				t.Fatalf("JNZ target decodes to %v (err %v), want DEC", dec, err)
+			}
+		}
+		off += n
+	}
+	if !found {
+		t.Fatal("JNZ not found in assembled output")
+	}
+}
+
+func TestAssembleForwardLabel(t *testing.T) {
+	src := `
+		jmp done
+		nop
+		nop
+	done:
+		ret
+	`
+	buf, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, n, err := Decode(buf)
+	if err != nil || in.Op != JMP {
+		t.Fatalf("first instruction: %v, %v", in, err)
+	}
+	target := n + int(in.Args[0].(Imm))
+	dec, _, err := Decode(buf[target:])
+	if err != nil || dec.Op != RET {
+		t.Fatalf("JMP target decodes to %v, want RET", dec)
+	}
+}
+
+func TestAssembleErrorCases(t *testing.T) {
+	if _, err := Assemble("jmp nowhere"); err == nil {
+		t.Error("expected undefined-label error")
+	}
+	if _, err := Assemble("x: nop\nx: nop"); err == nil {
+		t.Error("expected duplicate-label error")
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	if _, _, err := Decode([]byte{0x06}); err == nil {
+		t.Error("expected error for invalid opcode")
+	}
+	if _, _, err := Decode([]byte{}); err == nil {
+		t.Error("expected error for empty buffer")
+	}
+	if _, _, err := Decode([]byte{0x48}); err == nil {
+		t.Error("expected error for bare REX prefix")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	for i := 0; i < NumGP; i++ {
+		r := Reg(i)
+		got, ok := RegNamed(r.String())
+		if !ok || got != r {
+			t.Errorf("RegNamed(%s) = %v, %v", r, got, ok)
+		}
+	}
+	if r, ok := RegNamed("eax"); !ok || r != RAX {
+		t.Errorf("RegNamed(eax) = %v, %v; want RAX", r, ok)
+	}
+	if r, ok := RegNamed("xmm13"); !ok || r != XMM13 {
+		t.Errorf("RegNamed(xmm13) = %v, %v", r, ok)
+	}
+	if _, ok := RegNamed("zzz"); ok {
+		t.Error("RegNamed(zzz) should fail")
+	}
+}
+
+func TestEveryOpHasSpec(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		if !HasSpec(op) {
+			t.Errorf("missing InstrSpec for %s", op)
+		}
+	}
+}
+
+func TestEveryOpHasEncoding(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		if len(encIndex[op]) == 0 {
+			t.Errorf("no encoding forms for %s", op)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := I(MOV, RAX, Mem{Base: RBX, Index: RCX, Scale: 4, Disp: -8})
+	want := "MOV RAX, [RBX+RCX*4-8]"
+	if in.String() != want {
+		t.Errorf("String() = %q, want %q", in.String(), want)
+	}
+}

@@ -1,0 +1,226 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeInstr appends the machine-code encoding of in to buf and returns
+// the extended buffer. Branch targets must already be resolved to relative
+// Imm displacements (the Assemble function handles labels).
+func EncodeInstr(buf []byte, in Instr) ([]byte, error) {
+	if in.Op == OpNone {
+		return buf, nil
+	}
+	f := findForm(in)
+	if f == nil {
+		return nil, fmt.Errorf("x86: no encoding for %s", in.String())
+	}
+	return encodeForm(buf, f, in)
+}
+
+// findForm returns the first encoding form matching the instruction's
+// operands, or nil.
+func findForm(in Instr) *form {
+	for _, cand := range encIndex[in.Op] {
+		if len(cand.Opds) != len(in.Args) {
+			continue
+		}
+		ok := true
+		for i, k := range cand.Opds {
+			if !matchArg(in.Args[i], k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand
+		}
+	}
+	return nil
+}
+
+func encodeForm(buf []byte, f *form, in Instr) ([]byte, error) {
+	var rexR, rexX, rexB byte
+	opcode := f.Opcode
+
+	var modrm, sib byte
+	var hasModRM, hasSib bool
+	var disp []byte
+
+	if f.PlusR {
+		r := in.Args[f.PlusRIdx].(Reg)
+		opcode = f.Opcode + r.Enc()&7
+		rexB = r.Enc() >> 3
+	}
+
+	if f.HasModRM {
+		hasModRM = true
+		var regField byte
+		if f.Digit >= 0 {
+			regField = byte(f.Digit)
+		} else {
+			r := in.Args[f.RegIdx].(Reg)
+			regField = r.Enc() & 7
+			rexR = r.Enc() >> 3
+		}
+		switch rm := in.Args[f.RMIdx].(type) {
+		case Reg:
+			modrm = 0xC0 | regField<<3 | rm.Enc()&7
+			rexB = rm.Enc() >> 3
+		case Mem:
+			var err error
+			var xb [2]byte
+			modrm, sib, hasSib, disp, xb, err = encodeMem(rm, regField)
+			if err != nil {
+				return nil, fmt.Errorf("x86: %s: %v", in.String(), err)
+			}
+			rexX, rexB = xb[0], xb[1]
+		default:
+			return nil, fmt.Errorf("x86: %s: bad r/m operand", in.String())
+		}
+	}
+
+	if f.Prefix != 0 {
+		buf = append(buf, f.Prefix)
+	}
+	if f.RexW || rexR != 0 || rexX != 0 || rexB != 0 {
+		rex := byte(0x40) | rexR<<2 | rexX<<1 | rexB
+		if f.RexW {
+			rex |= 0x08
+		}
+		buf = append(buf, rex)
+	}
+	if f.Esc0F {
+		buf = append(buf, 0x0F)
+	}
+	buf = append(buf, opcode)
+	if f.hasFixed {
+		buf = append(buf, f.Fixed)
+	}
+	if hasModRM {
+		buf = append(buf, modrm)
+		if hasSib {
+			buf = append(buf, sib)
+		}
+		buf = append(buf, disp...)
+	}
+
+	switch f.Imm {
+	case imm8:
+		v := in.Args[f.ImmIdx].(Imm)
+		buf = append(buf, byte(int8(v)))
+	case imm32:
+		v := in.Args[f.ImmIdx].(Imm)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(v)))
+	case imm64:
+		v := in.Args[f.ImmIdx].(Imm)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	case rel32:
+		v, ok := in.Args[f.ImmIdx].(Imm)
+		if !ok {
+			return nil, fmt.Errorf("x86: %s: unresolved label", in.String())
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(v)))
+	}
+	return buf, nil
+}
+
+// encodeMem encodes a memory operand. It returns the ModRM byte (with the
+// reg field filled in), the optional SIB byte, displacement bytes, and the
+// REX.X / REX.B extension bits in xb.
+func encodeMem(m Mem, regField byte) (modrm, sib byte, hasSib bool, disp []byte, xb [2]byte, err error) {
+	mk := func(mod, rm byte) byte { return mod<<6 | regField<<3 | rm }
+
+	if m.AbsValid {
+		// [disp32] with no base: ModRM rm=100, SIB base=101 index=100.
+		modrm = mk(0, 4)
+		sib = 0x25
+		hasSib = true
+		disp = binary.LittleEndian.AppendUint32(nil, m.Abs)
+		return
+	}
+	if m.Base == RegNone && m.Index == RegNone {
+		err = fmt.Errorf("memory operand with no base, index, or absolute address")
+		return
+	}
+
+	scaleBits := byte(0)
+	if m.Index != RegNone {
+		if !m.Index.IsGP() || m.Index == RSP {
+			err = fmt.Errorf("invalid index register %s", m.Index)
+			return
+		}
+		switch m.Scale {
+		case 0, 1:
+			scaleBits = 0
+		case 2:
+			scaleBits = 1
+		case 4:
+			scaleBits = 2
+		case 8:
+			scaleBits = 3
+		default:
+			err = fmt.Errorf("invalid scale %d", m.Scale)
+			return
+		}
+		xb[0] = m.Index.Enc() >> 3
+	}
+
+	if m.Base == RegNone {
+		// [index*scale + disp32]: SIB with base=101, mod=00, disp32 mandatory.
+		modrm = mk(0, 4)
+		sib = scaleBits<<6 | (m.Index.Enc()&7)<<3 | 5
+		hasSib = true
+		disp = binary.LittleEndian.AppendUint32(nil, uint32(m.Disp))
+		return
+	}
+
+	if !m.Base.IsGP() {
+		err = fmt.Errorf("invalid base register %s", m.Base)
+		return
+	}
+	xb[1] = m.Base.Enc() >> 3
+	baseLow := m.Base.Enc() & 7
+
+	// Choose displacement size. mod=00 is unavailable when base is RBP/R13.
+	var mod byte
+	switch {
+	case m.Disp == 0 && baseLow != 5:
+		mod = 0
+	case m.Disp >= -128 && m.Disp <= 127:
+		mod = 1
+		disp = []byte{byte(int8(m.Disp))}
+	default:
+		mod = 2
+		disp = binary.LittleEndian.AppendUint32(nil, uint32(m.Disp))
+	}
+
+	needSib := m.Index != RegNone || baseLow == 4
+	if needSib {
+		modrm = mk(mod, 4)
+		idxBits := byte(4) // none
+		if m.Index != RegNone {
+			idxBits = m.Index.Enc() & 7
+		}
+		sib = scaleBits<<6 | idxBits<<3 | baseLow
+		hasSib = true
+	} else {
+		modrm = mk(mod, baseLow)
+	}
+	return
+}
+
+// EncodeAll encodes a sequence of instructions. Label pseudo-instructions
+// are skipped; branch targets must be pre-resolved (see Assemble).
+func EncodeAll(instrs []Instr) ([]byte, error) {
+	var buf []byte
+	var err error
+	for _, in := range instrs {
+		buf, err = EncodeInstr(buf, in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,289 @@
+package x86
+
+// OpdKind classifies an operand slot in an encoding form.
+type OpdKind uint8
+
+// Operand kinds.
+const (
+	KNone  OpdKind = iota
+	KR64           // general-purpose register
+	KRM64          // general-purpose register or memory
+	KM64           // memory only
+	KM8            // memory only, byte-granular (CLFLUSH, PREFETCH)
+	KXMM           // vector register
+	KXM128         // vector register or memory
+	KIMM8          // 8-bit immediate
+	KIMM32         // 32-bit immediate (sign-extended to 64)
+	KIMM64         // 64-bit immediate
+	KREL32         // 32-bit relative branch target (label)
+	KCL            // the CL register (shift count); assembles from RCX
+)
+
+type immKind uint8
+
+const (
+	immNone immKind = iota
+	imm8
+	imm32
+	imm64
+	rel32
+)
+
+// form describes one machine-code encoding of a mnemonic. The same table
+// drives the encoder (first matching form wins) and, via lookup structures
+// built in init, the decoder.
+type form struct {
+	Op     Op
+	Opds   []OpdKind
+	Prefix byte // 0x66, 0xF2, 0xF3, or 0
+	RexW   bool
+	Esc0F  bool // two-byte opcode (0F xx)
+	Opcode byte
+
+	HasModRM bool
+	Digit    int8 // modrm.reg digit for /digit forms; -1 for /r
+	RegIdx   int8 // operand index encoded in modrm.reg (-1 if digit form)
+	RMIdx    int8 // operand index encoded in modrm.rm
+
+	PlusR    bool // register encoded in opcode low 3 bits
+	PlusRIdx int8
+
+	Imm    immKind
+	ImmIdx int8
+
+	Fixed    byte // fixed byte following the opcode (fences); 0 = none
+	hasFixed bool
+}
+
+// matchArg reports whether a matches kind k.
+func matchArg(a Arg, k OpdKind) bool {
+	switch k {
+	case KR64:
+		r, ok := a.(Reg)
+		return ok && r.IsGP()
+	case KRM64:
+		if r, ok := a.(Reg); ok {
+			return r.IsGP()
+		}
+		_, ok := a.(Mem)
+		return ok
+	case KM64, KM8:
+		_, ok := a.(Mem)
+		return ok
+	case KXMM:
+		r, ok := a.(Reg)
+		return ok && r.IsXMM()
+	case KXM128:
+		if r, ok := a.(Reg); ok {
+			return r.IsXMM()
+		}
+		_, ok := a.(Mem)
+		return ok
+	case KIMM8:
+		i, ok := a.(Imm)
+		return ok && i >= -128 && i <= 127
+	case KIMM32:
+		i, ok := a.(Imm)
+		return ok && int64(i) >= -(1<<31) && int64(i) < 1<<31
+	case KIMM64:
+		_, ok := a.(Imm)
+		return ok
+	case KREL32:
+		switch a.(type) {
+		case LabelRef, Imm:
+			return true
+		}
+		return false
+	case KCL:
+		r, ok := a.(Reg)
+		return ok && r == RCX
+	}
+	return false
+}
+
+var forms []form
+
+// encIndex maps Op to its forms in priority order.
+var encIndex = map[Op][]*form{}
+
+func addForm(f form) {
+	forms = append(forms, f)
+}
+
+// rr builds a standard /r two-operand form.
+func rr(op Op, opds []OpdKind, prefix byte, rexW, esc bool, opcode byte, regIdx, rmIdx int8) form {
+	return form{Op: op, Opds: opds, Prefix: prefix, RexW: rexW, Esc0F: esc, Opcode: opcode,
+		HasModRM: true, Digit: -1, RegIdx: regIdx, RMIdx: rmIdx, ImmIdx: -1, PlusRIdx: -1}
+}
+
+// dig builds a /digit form.
+func dig(op Op, opds []OpdKind, rexW, esc bool, opcode byte, digit int8, rmIdx int8, imm immKind, immIdx int8) form {
+	return form{Op: op, Opds: opds, RexW: rexW, Esc0F: esc, Opcode: opcode,
+		HasModRM: true, Digit: digit, RegIdx: -1, RMIdx: rmIdx, Imm: imm, ImmIdx: immIdx, PlusRIdx: -1}
+}
+
+// bare builds a no-operand form.
+func bare(op Op, prefix byte, esc bool, opcode byte) form {
+	return form{Op: op, Prefix: prefix, Esc0F: esc, Opcode: opcode, Digit: -1, RegIdx: -1, RMIdx: -1, ImmIdx: -1, PlusRIdx: -1}
+}
+
+func addALU(op Op, opcMR, opcRM byte, immDigit int8) {
+	addForm(rr(op, []OpdKind{KRM64, KR64}, 0, true, false, opcMR, 1, 0))
+	addForm(rr(op, []OpdKind{KR64, KRM64}, 0, true, false, opcRM, 0, 1))
+	addForm(dig(op, []OpdKind{KRM64, KIMM32}, true, false, 0x81, immDigit, 0, imm32, 1))
+}
+
+func addShift(op Op, digit int8) {
+	addForm(dig(op, []OpdKind{KRM64, KIMM8}, true, false, 0xC1, digit, 0, imm8, 1))
+	addForm(dig(op, []OpdKind{KRM64, KCL}, true, false, 0xD3, digit, 0, immNone, -1))
+}
+
+func addJcc(op Op, cc byte) {
+	f := bare(op, 0, true, 0x80+cc)
+	f.Opds = []OpdKind{KREL32}
+	f.Imm = rel32
+	f.ImmIdx = 0
+	addForm(f)
+}
+
+// sse builds an XMM /r form (dst = operand 0 in modrm.reg).
+func sse(op Op, prefix byte, opcode byte) {
+	addForm(rr(op, []OpdKind{KXMM, KXM128}, prefix, false, true, opcode, 0, 1))
+}
+
+func init() {
+	// MOV: order matters — reg,rm first; then rm,reg; then rm,imm32; then r,imm64.
+	addForm(rr(MOV, []OpdKind{KR64, KRM64}, 0, true, false, 0x8B, 0, 1))
+	addForm(rr(MOV, []OpdKind{KRM64, KR64}, 0, true, false, 0x89, 1, 0))
+	addForm(dig(MOV, []OpdKind{KRM64, KIMM32}, true, false, 0xC7, 0, 0, imm32, 1))
+	{
+		f := form{Op: MOV, Opds: []OpdKind{KR64, KIMM64}, RexW: true, Opcode: 0xB8,
+			PlusR: true, PlusRIdx: 0, Imm: imm64, ImmIdx: 1, Digit: -1, RegIdx: -1, RMIdx: -1}
+		addForm(f)
+	}
+
+	addForm(rr(LEA, []OpdKind{KR64, KM64}, 0, true, false, 0x8D, 0, 1))
+
+	addForm(rr(XCHG, []OpdKind{KRM64, KR64}, 0, true, false, 0x87, 1, 0))
+	addForm(rr(XCHG, []OpdKind{KR64, KM64}, 0, true, false, 0x87, 0, 1))
+
+	{
+		f := form{Op: PUSH, Opds: []OpdKind{KR64}, Opcode: 0x50, PlusR: true, PlusRIdx: 0, Digit: -1, RegIdx: -1, RMIdx: -1, ImmIdx: -1}
+		addForm(f)
+		g := form{Op: POP, Opds: []OpdKind{KR64}, Opcode: 0x58, PlusR: true, PlusRIdx: 0, Digit: -1, RegIdx: -1, RMIdx: -1, ImmIdx: -1}
+		addForm(g)
+	}
+
+	addALU(ADD, 0x01, 0x03, 0)
+	addALU(OR, 0x09, 0x0B, 1)
+	addALU(ADC, 0x11, 0x13, 2)
+	addALU(SBB, 0x19, 0x1B, 3)
+	addALU(AND, 0x21, 0x23, 4)
+	addALU(SUB, 0x29, 0x2B, 5)
+	addALU(XOR, 0x31, 0x33, 6)
+	addALU(CMP, 0x39, 0x3B, 7)
+
+	addForm(rr(TEST, []OpdKind{KRM64, KR64}, 0, true, false, 0x85, 1, 0))
+	addForm(dig(TEST, []OpdKind{KRM64, KIMM32}, true, false, 0xF7, 0, 0, imm32, 1))
+
+	addForm(dig(INC, []OpdKind{KRM64}, true, false, 0xFF, 0, 0, immNone, -1))
+	addForm(dig(DEC, []OpdKind{KRM64}, true, false, 0xFF, 1, 0, immNone, -1))
+	addForm(dig(NOT, []OpdKind{KRM64}, true, false, 0xF7, 2, 0, immNone, -1))
+	addForm(dig(NEG, []OpdKind{KRM64}, true, false, 0xF7, 3, 0, immNone, -1))
+	addForm(dig(MUL, []OpdKind{KRM64}, true, false, 0xF7, 4, 0, immNone, -1))
+	addForm(dig(DIV, []OpdKind{KRM64}, true, false, 0xF7, 6, 0, immNone, -1))
+
+	addForm(rr(IMUL, []OpdKind{KR64, KRM64}, 0, true, true, 0xAF, 0, 1))
+
+	addShift(ROL, 0)
+	addShift(ROR, 1)
+	addShift(SHL, 4)
+	addShift(SHR, 5)
+	addShift(SAR, 7)
+
+	addForm(rr(POPCNT, []OpdKind{KR64, KRM64}, 0xF3, true, true, 0xB8, 0, 1))
+	addForm(rr(BSF, []OpdKind{KR64, KRM64}, 0, true, true, 0xBC, 0, 1))
+	addForm(rr(BSR, []OpdKind{KR64, KRM64}, 0, true, true, 0xBD, 0, 1))
+	{
+		f := form{Op: BSWAP, Opds: []OpdKind{KR64}, RexW: true, Esc0F: true, Opcode: 0xC8,
+			PlusR: true, PlusRIdx: 0, Digit: -1, RegIdx: -1, RMIdx: -1, ImmIdx: -1}
+		addForm(f)
+	}
+
+	{
+		f := bare(JMP, 0, false, 0xE9)
+		f.Opds = []OpdKind{KREL32}
+		f.Imm = rel32
+		f.ImmIdx = 0
+		addForm(f)
+		g := bare(CALL, 0, false, 0xE8)
+		g.Opds = []OpdKind{KREL32}
+		g.Imm = rel32
+		g.ImmIdx = 0
+		addForm(g)
+	}
+	addJcc(JC, 0x2)
+	addJcc(JNC, 0x3)
+	addJcc(JZ, 0x4)
+	addJcc(JNZ, 0x5)
+	addJcc(JS, 0x8)
+	addJcc(JNS, 0x9)
+	addJcc(JL, 0xC)
+	addJcc(JGE, 0xD)
+	addJcc(JLE, 0xE)
+	addJcc(JG, 0xF)
+
+	addForm(bare(RET, 0, false, 0xC3))
+	addForm(bare(NOP, 0, false, 0x90))
+	addForm(bare(PAUSE, 0xF3, false, 0x90))
+	addForm(bare(UD2, 0, true, 0x0B))
+
+	{
+		lf := bare(LFENCE, 0, true, 0xAE)
+		lf.Fixed, lf.hasFixed = 0xE8, true
+		addForm(lf)
+		mf := bare(MFENCE, 0, true, 0xAE)
+		mf.Fixed, mf.hasFixed = 0xF0, true
+		addForm(mf)
+		sf := bare(SFENCE, 0, true, 0xAE)
+		sf.Fixed, sf.hasFixed = 0xF8, true
+		addForm(sf)
+	}
+
+	addForm(bare(CPUID, 0, true, 0xA2))
+	addForm(bare(WRMSR, 0, true, 0x30))
+	addForm(bare(RDTSC, 0, true, 0x31))
+	addForm(bare(RDMSR, 0, true, 0x32))
+	addForm(bare(RDPMC, 0, true, 0x33))
+	addForm(bare(WBINVD, 0, true, 0x09))
+	addForm(bare(CLI, 0, false, 0xFA))
+	addForm(bare(STI, 0, false, 0xFB))
+
+	addForm(dig(CLFLUSH, []OpdKind{KM8}, false, true, 0xAE, 7, 0, immNone, -1))
+	addForm(dig(PREFETCHT0, []OpdKind{KM8}, false, true, 0x18, 1, 0, immNone, -1))
+
+	sse(MOVAPS, 0, 0x28)
+	addForm(rr(MOVAPS, []OpdKind{KXM128, KXMM}, 0, false, true, 0x29, 1, 0))
+	addForm(rr(MOVQ, []OpdKind{KXMM, KRM64}, 0x66, true, true, 0x6E, 0, 1))
+	addForm(rr(MOVQ, []OpdKind{KRM64, KXMM}, 0x66, true, true, 0x7E, 1, 0))
+	sse(ADDPS, 0, 0x58)
+	sse(MULPS, 0, 0x59)
+	sse(DIVPS, 0, 0x5E)
+	sse(SQRTPS, 0, 0x51)
+	sse(ADDPD, 0x66, 0x58)
+	sse(MULPD, 0x66, 0x59)
+	sse(DIVPD, 0x66, 0x5E)
+	sse(ADDSD, 0xF2, 0x58)
+	sse(MULSD, 0xF2, 0x59)
+	sse(DIVSD, 0xF2, 0x5E)
+	sse(SQRTSD, 0xF2, 0x51)
+	sse(PADDQ, 0x66, 0xD4)
+	sse(PAND, 0x66, 0xDB)
+	sse(PXOR, 0x66, 0xEF)
+
+	for i := range forms {
+		f := &forms[i]
+		encIndex[f.Op] = append(encIndex[f.Op], f)
+	}
+	buildDecodeIndex()
+}

@@ -1,0 +1,109 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Arg is an instruction operand: a Reg, an Imm, a Mem, or a LabelRef.
+type Arg interface {
+	argString() string
+}
+
+// Imm is an immediate operand.
+type Imm int64
+
+func (i Imm) argString() string { return fmt.Sprintf("%d", int64(i)) }
+
+// Mem is a memory operand of the form [Base + Index*Scale + Disp], or an
+// absolute address [Abs] when Base and Index are both RegNone and AbsValid
+// is set.
+type Mem struct {
+	Base     Reg
+	Index    Reg
+	Scale    uint8 // 1, 2, 4, or 8; 0 is treated as 1
+	Disp     int32
+	Abs      uint32 // absolute address (encoded as SIB with no base)
+	AbsValid bool
+}
+
+func (m Mem) argString() string {
+	if m.AbsValid {
+		return fmt.Sprintf("[0x%X]", m.Abs)
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	needPlus := false
+	if m.Base != RegNone {
+		sb.WriteString(m.Base.String())
+		needPlus = true
+	}
+	if m.Index != RegNone {
+		if needPlus {
+			sb.WriteByte('+')
+		}
+		sb.WriteString(m.Index.String())
+		scale := m.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		if scale != 1 {
+			fmt.Fprintf(&sb, "*%d", scale)
+		}
+		needPlus = true
+	}
+	if m.Disp != 0 || !needPlus {
+		if m.Disp >= 0 && needPlus {
+			sb.WriteByte('+')
+		}
+		fmt.Fprintf(&sb, "%d", m.Disp)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// MemAt returns an absolute-address memory operand.
+func MemAt(addr uint32) Mem { return Mem{Base: RegNone, Index: RegNone, Abs: addr, AbsValid: true} }
+
+// MemBase returns a [base] memory operand.
+func MemBase(base Reg) Mem { return Mem{Base: base, Index: RegNone, Scale: 1} }
+
+// MemBaseDisp returns a [base+disp] memory operand.
+func MemBaseDisp(base Reg, disp int32) Mem {
+	return Mem{Base: base, Index: RegNone, Scale: 1, Disp: disp}
+}
+
+func (r Reg) argString() string { return r.String() }
+
+// LabelRef is a reference to an assembler label used by branch instructions.
+type LabelRef string
+
+func (l LabelRef) argString() string { return string(l) }
+
+// Instr is one decoded or parsed instruction. Label, if non-empty, defines
+// an assembler label bound to the location of this instruction (the
+// instruction itself may be a pure label definition with Op == OpNone).
+type Instr struct {
+	Op    Op
+	Args  []Arg
+	Label string
+}
+
+// String renders the instruction in Intel syntax.
+func (in Instr) String() string {
+	if in.Op == OpNone {
+		return in.Label + ":"
+	}
+	s := in.Op.String()
+	for i, a := range in.Args {
+		if i == 0 {
+			s += " " + a.argString()
+		} else {
+			s += ", " + a.argString()
+		}
+	}
+	return s
+}
+
+// I is a convenience constructor for an Instr.
+func I(op Op, args ...Arg) Instr { return Instr{Op: op, Args: args} }

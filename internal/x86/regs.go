@@ -1,0 +1,135 @@
+// Package x86 implements the instruction-set substrate of the simulated
+// machine: an Intel-syntax assembler, a byte-level encoder and decoder for a
+// subset of real x86-64 machine code, and the instruction specification
+// table (µops, ports, latencies) that serves as the ground truth the
+// case-study tools must recover through measurements.
+//
+// The encoding follows the real x86-64 format (REX prefixes, ModRM, SIB,
+// little-endian displacements and immediates) so that nanoBench features
+// that operate on machine-code bytes — unrolling, magic byte sequences for
+// pausing performance counters, binary-file inputs — work exactly as in the
+// original tool.
+package x86
+
+import "fmt"
+
+// Reg identifies an architectural register of the simulated CPU.
+type Reg uint8
+
+// General-purpose 64-bit registers, in x86 encoding order (the low three
+// bits of the constant are the ModRM encoding; bit 3 selects the REX
+// extension).
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// XMM vector registers follow the GP block.
+	XMM0
+	XMM1
+	XMM2
+	XMM3
+	XMM4
+	XMM5
+	XMM6
+	XMM7
+	XMM8
+	XMM9
+	XMM10
+	XMM11
+	XMM12
+	XMM13
+	XMM14
+	XMM15
+	// RegNone marks an absent base or index register in a memory operand.
+	RegNone Reg = 0xFF
+)
+
+// NumGP is the number of general-purpose registers.
+const NumGP = 16
+
+// NumXMM is the number of vector registers.
+const NumXMM = 16
+
+var gpNames = [NumGP]string{
+	"RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI",
+	"R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+}
+
+// IsGP reports whether r is a general-purpose register.
+func (r Reg) IsGP() bool { return r < XMM0 }
+
+// IsXMM reports whether r is a vector register.
+func (r Reg) IsXMM() bool { return r >= XMM0 && r <= XMM15 }
+
+// Enc returns the 4-bit hardware encoding of the register (ModRM/REX).
+func (r Reg) Enc() byte {
+	if r.IsXMM() {
+		return byte(r - XMM0)
+	}
+	return byte(r)
+}
+
+// String returns the canonical upper-case register name.
+func (r Reg) String() string {
+	switch {
+	case r.IsGP():
+		return gpNames[r]
+	case r.IsXMM():
+		return fmt.Sprintf("XMM%d", r-XMM0)
+	case r == RegNone:
+		return "<none>"
+	}
+	return fmt.Sprintf("Reg(%d)", uint8(r))
+}
+
+// regByName maps upper-case register names to Reg values. It includes the
+// 32-bit aliases (EAX, ...) used by some microbenchmarks; the simulated
+// machine operates on full 64-bit registers, and 32-bit names assemble to
+// the same register (operations remain 64-bit wide; this matches how the
+// simulator's timing model treats them and keeps the encoder simple).
+var regByName = map[string]Reg{}
+
+func init() {
+	alias32 := [NumGP]string{
+		"EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI",
+		"R8D", "R9D", "R10D", "R11D", "R12D", "R13D", "R14D", "R15D",
+	}
+	for i := 0; i < NumGP; i++ {
+		regByName[gpNames[i]] = Reg(i)
+		regByName[alias32[i]] = Reg(i)
+	}
+	for i := 0; i < NumXMM; i++ {
+		regByName[fmt.Sprintf("XMM%d", i)] = XMM0 + Reg(i)
+	}
+	// CL is accepted for shift-count operands and maps to RCX.
+	regByName["CL"] = RCX
+}
+
+// RegNamed looks up a register by its (case-insensitive) assembly name.
+func RegNamed(name string) (Reg, bool) {
+	r, ok := regByName[upper(name)]
+	return r, ok
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

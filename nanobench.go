@@ -1,0 +1,109 @@
+// Package nanobench is a Go reproduction of "nanoBench: A Low-Overhead
+// Tool for Running Microbenchmarks on x86 Systems" (Abel & Reineke, ISPASS
+// 2020), built on a simulated x86 machine.
+//
+// The package is a thin facade over the internal implementation:
+//
+//   - internal/sim/* — the simulated hardware (out-of-order core, caches,
+//     replacement policies, PMU, physical memory)
+//   - internal/x86 — assembler, encoder, decoder, instruction table
+//   - internal/nano — nanoBench itself (code generation, runner)
+//   - internal/cachetools, internal/instbench — the paper's case studies
+//   - internal/uarch — the ten Table I machine models
+//
+// A minimal session, reproducing the paper's Section III-A example:
+//
+//	m, _ := nanobench.NewMachine("Skylake", 42)
+//	r, _ := nanobench.NewRunner(m, nanobench.Kernel)
+//	res, _ := r.Run(nanobench.Config{
+//		Code:     nanobench.MustAsm("mov R14, [R14]"),
+//		CodeInit: nanobench.MustAsm("mov [R14], R14"),
+//		Events:   nanobench.MustParseEvents("D1.01 MEM_LOAD_RETIRED.L1_HIT"),
+//	})
+//	fmt.Print(res) // Core cycles: 4.00, ...
+package nanobench
+
+import (
+	"nanobench/internal/nano"
+	"nanobench/internal/perfcfg"
+	"nanobench/internal/sim/machine"
+	"nanobench/internal/uarch"
+)
+
+// Re-exported core types; see the internal packages for full
+// documentation.
+type (
+	// Machine is a simulated x86 system.
+	Machine = machine.Machine
+	// Runner evaluates microbenchmarks on a machine.
+	Runner = nano.Runner
+	// Config describes one microbenchmark evaluation.
+	Config = nano.Config
+	// Result holds aggregated per-instruction counter values.
+	Result = nano.Result
+	// EventSpec selects a performance event to measure.
+	EventSpec = perfcfg.EventSpec
+	// CPU is a machine model from the catalog.
+	CPU = uarch.CPU
+	// Mode selects user- or kernel-space operation.
+	Mode = machine.Mode
+)
+
+// Privilege modes for NewRunner.
+const (
+	User   = machine.User
+	Kernel = machine.Kernel
+)
+
+// Aggregate functions for Config.Aggregate.
+const (
+	Min    = nano.Min
+	Median = nano.Median
+	Avg    = nano.Avg
+)
+
+// NewMachine builds a simulated machine for one of the catalog
+// microarchitectures (see CPUNames).
+func NewMachine(cpuName string, seed int64) (*Machine, error) {
+	cpu, err := uarch.ByName(cpuName)
+	if err != nil {
+		return nil, err
+	}
+	return cpu.NewMachine(seed)
+}
+
+// NewRunner prepares a machine for running microbenchmarks in the given
+// mode. The kernel-space runner supports privileged instructions, MSR and
+// uncore counters, pause/resume magic bytes, and physically-contiguous
+// allocation; the user-space runner is subject to timer-interrupt noise.
+func NewRunner(m *Machine, mode Mode) (*Runner, error) {
+	return nano.NewRunner(m, mode)
+}
+
+// Asm assembles Intel-syntax source into microbenchmark machine code.
+func Asm(src string) ([]byte, error) { return nano.Asm(src) }
+
+// MustAsm is Asm that panics on error.
+func MustAsm(src string) []byte { return nano.MustAsm(src) }
+
+// ParseEvents parses a performance-counter configuration (Section III-J
+// syntax: "EvtSel.Umask Name" lines).
+func ParseEvents(text string) ([]EventSpec, error) { return perfcfg.Parse(text) }
+
+// MustParseEvents is ParseEvents that panics on error.
+func MustParseEvents(text string) []EventSpec { return perfcfg.MustParse(text) }
+
+// CPUNames returns the catalog of machine models (the ten Intel CPUs of
+// Table I plus AMD Zen).
+func CPUNames() string { return uarch.NameList() }
+
+// Table1 returns the ten Intel CPU models of the paper's Table I.
+func Table1() []CPU { return uarch.Table1() }
+
+// PauseCounting and ResumeCounting are the magic byte sequences that
+// pause/resume performance counting when embedded in benchmark code
+// (kernel mode only; Section III-I).
+var (
+	PauseCounting  = nano.PauseCountingBytes
+	ResumeCounting = nano.ResumeCountingBytes
+)

@@ -1,0 +1,80 @@
+package nanobench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	m, err := NewMachine("Skylake", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(m, Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(Config{
+		Code:        MustAsm("mov R14, [R14]"),
+		CodeInit:    MustAsm("mov [R14], R14"),
+		WarmUpCount: 1,
+		Events:      MustParseEvents("D1.01 MEM_LOAD_RETIRED.L1_HIT"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.MustGet("Core cycles"); math.Abs(v-4.0) > 0.1 {
+		t.Fatalf("L1 latency = %.2f, want 4", v)
+	}
+	if v := res.MustGet("MEM_LOAD_RETIRED.L1_HIT"); math.Abs(v-1.0) > 0.05 {
+		t.Fatalf("L1 hits = %.2f, want 1", v)
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	if len(Table1()) != 10 {
+		t.Fatalf("Table1: %d CPUs", len(Table1()))
+	}
+	if !strings.Contains(CPUNames(), "Skylake") {
+		t.Fatalf("CPUNames: %s", CPUNames())
+	}
+	if _, err := NewMachine("unknown", 1); err == nil {
+		t.Fatal("expected error for unknown CPU")
+	}
+	if len(PauseCounting) == 0 || len(ResumeCounting) == 0 {
+		t.Fatal("magic byte sequences missing")
+	}
+}
+
+func TestFacadeUserMode(t *testing.T) {
+	m, err := NewMachine("Zen", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(m, User)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(Config{
+		Code:        MustAsm("add rax, rbx"),
+		UnrollCount: 100,
+		WarmUpCount: 2,
+		Aggregate:   Min,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.MustGet("Core cycles"); math.Abs(v-1.0) > 0.3 {
+		t.Fatalf("dependent ADD = %.2f cycles, want ~1", v)
+	}
+}
+
+func TestFacadeAsmErrors(t *testing.T) {
+	if _, err := Asm("bogus instruction"); err == nil {
+		t.Fatal("expected assembly error")
+	}
+	if _, err := ParseEvents("not an event"); err == nil {
+		t.Fatal("expected event parse error")
+	}
+}
