@@ -1,0 +1,32 @@
+# Development and CI entry points. CI (.github/workflows/ci.yml) invokes
+# exactly these targets so local runs and the pipeline cannot drift.
+
+GO ?= go
+
+.PHONY: build test test-short test-race vet fmt fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build test-short test

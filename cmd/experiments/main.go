@@ -30,8 +30,10 @@ func main() {
 		alloc   = flag.Bool("alloc", false, "E10: contiguous allocation")
 		dueling = flag.Bool("dueling", false, "E11: set-dueling leader detection")
 		quick   = flag.Bool("quick", false, "reduced parameters for the slow experiments")
+		workers = flag.Int("workers", 0, "parallel simulated machines for the sweeps (0 = all cores)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
 
 	w := os.Stdout
 	any := false

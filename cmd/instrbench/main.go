@@ -1,8 +1,11 @@
 // Command instrbench runs the case-study-I sweep (Section V): latency,
 // throughput, and port usage for every instruction variant in the table,
-// in the style of uops.info.
+// in the style of uops.info. By default the per-variant evaluations fan
+// out across all cores through the batch scheduler; -serial reproduces
+// the single shared-machine loop.
 //
 //	instrbench -cpu Skylake
+//	instrbench -cpu Skylake -workers 4
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 
 	"nanobench/internal/instbench"
 	"nanobench/internal/nano"
+	"nanobench/internal/sched"
 	"nanobench/internal/sim/machine"
 	"nanobench/internal/uarch"
 )
@@ -19,24 +23,34 @@ import (
 func main() {
 	var (
 		cpuName = flag.String("cpu", "Skylake", "simulated CPU model ("+uarch.NameList()+")")
-		seed    = flag.Int64("seed", 42, "machine seed")
+		seed    = flag.Int64("seed", 42, "machine seed (root seed in parallel mode)")
 		usr     = flag.Bool("usr", false, "use the user-space version (noisier)")
+		workers = flag.Int("workers", 0, "parallel simulated machines (0 = all cores)")
+		serial  = flag.Bool("serial", false, "run serially on one shared machine")
 	)
 	flag.Parse()
 
 	cpu, err := uarch.ByName(*cpuName)
 	fatal(err)
-	m, err := cpu.NewMachine(*seed)
-	fatal(err)
 	mode := machine.Kernel
 	if *usr {
 		mode = machine.User
 	}
-	r, err := nano.NewRunner(m, mode)
-	fatal(err)
 
-	ms, err := instbench.MeasureAll(r)
-	fatal(err)
+	var ms []instbench.Measurement
+	if *serial {
+		m, err := cpu.NewMachine(*seed)
+		fatal(err)
+		r, err := nano.NewRunner(m, mode)
+		fatal(err)
+		ms, err = instbench.MeasureAll(r)
+		fatal(err)
+	} else {
+		ms, err = instbench.Sweep(cpu.Name, mode, sched.Options{
+			Workers: *workers, RootSeed: *seed, Cache: sched.NewCache(),
+		})
+		fatal(err)
+	}
 	fmt.Printf("# %s (%s), %d instruction variants\n", cpu.Name, cpu.Model, len(ms))
 	fmt.Print(instbench.FormatTable(ms))
 }

@@ -1,0 +1,3 @@
+module nanobench
+
+go 1.21

@@ -135,11 +135,17 @@ func TestCrossCheckL1(t *testing.T) {
 }
 
 func TestCrossCheckL2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cache experiment; run without -short")
+	}
 	tool := newTool(t, "Skylake")
 	crossCheck(t, tool, L2, 0, 520, "QLRU_H00_M1_R2_U1", 6, 12)
 }
 
 func TestCrossCheckL3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cache experiment; run without -short")
+	}
 	tool := newTool(t, "Skylake")
 	crossCheck(t, tool, L3, 1, 600, "QLRU_H11_M1_R0_U0", 5, 24)
 }
@@ -251,6 +257,9 @@ func TestAgeGraphShape(t *testing.T) {
 }
 
 func TestVerifyPermutationsPLRU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cache experiment; run without -short")
+	}
 	tool := newTool(t, "Skylake")
 	perms, err := policy.PLRUPerms(8)
 	if err != nil {
@@ -274,6 +283,9 @@ func TestVerifyPermutationsPLRU(t *testing.T) {
 }
 
 func TestFindDedicatedSetsIvyBridge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cache experiment; run without -short")
+	}
 	tool := newTool(t, "IvyBridge")
 	sets := []int{500, 512, 540, 575, 600, 768, 800, 831, 900}
 	rep, err := tool.FindDedicatedSets([]int{0}, sets, 3)
@@ -301,6 +313,9 @@ func TestFindDedicatedSetsIvyBridge(t *testing.T) {
 }
 
 func TestDuelingHaswellSliceDifference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cache experiment; run without -short")
+	}
 	tool := newTool(t, "Haswell")
 	// Haswell's dedicated sets exist only in slice 0 (Section VI-D).
 	rep, err := tool.FindDedicatedSets([]int{0, 1}, []int{520, 780}, 3)

@@ -1,17 +1,103 @@
 package experiments
 
 import (
+	"bytes"
 	"io"
 	"math"
 	"strings"
 	"testing"
+
+	"nanobench/internal/sched"
 )
 
 // The experiments are exercised end-to-end by the benchmark harness in the
 // repository root; these tests cover the fast ones and the report
 // formatting.
 
+// withWorkers runs fn at each worker count, capturing the experiment
+// output, and fails if any count changes a single byte. It is for the
+// sequential (non-Parallel) tests only: Workers is package state.
+func withWorkers(t *testing.T, counts []int, fn func(w io.Writer) error) []string {
+	t.Helper()
+	old, oldCache := Workers, resultCache
+	defer func() { Workers, resultCache = old, oldCache }()
+	var outs []string
+	for _, n := range counts {
+		Workers = n
+		// A fresh cache per worker count: a warm cache would make the
+		// byte-equality vacuous (served clones are equal by construction).
+		resultCache = sched.NewCache()
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Fatalf("workers=%d: %v", n, err)
+		}
+		outs = append(outs, buf.String())
+		if outs[0] != outs[len(outs)-1] {
+			t.Errorf("output at %d workers differs from %d workers:\n%s\nvs\n%s",
+				n, counts[0], outs[len(outs)-1], outs[0])
+		}
+	}
+	return outs
+}
+
+// TestTable1QuickDeterministicAcrossWorkers: the scheduler contract,
+// end-to-end — the Table I sweep emits byte-identical reports at any
+// worker count.
+func TestTable1QuickDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker Table I sweep; run without -short")
+	}
+	var rows []Table1Row
+	withWorkers(t, []int{1, 4}, func(w io.Writer) error {
+		var err error
+		rows, err = Table1(w, true)
+		return err
+	})
+	if len(rows) != 2 {
+		t.Fatalf("quick Table I produced %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.L1OK || !r.L2OK || !r.L3OK {
+			t.Errorf("%s: inference failed: L1=%q(%v) L2=%q(%v) L3=%q(%v)",
+				r.CPU, r.L1, r.L1OK, r.L2, r.L2OK, r.L3, r.L3OK)
+		}
+	}
+}
+
+// TestInstructionTableQuickDeterministicAcrossWorkers covers the batch
+// path of the case-study-I sweep the same way.
+func TestInstructionTableQuickDeterministicAcrossWorkers(t *testing.T) {
+	var total, latOK, portOK int
+	withWorkers(t, []int{1, 4, 16}, func(w io.Writer) error {
+		var err error
+		total, latOK, portOK, err = InstructionTable(w, true)
+		return err
+	})
+	if total != 20 {
+		t.Fatalf("quick sweep measured %d variants", total)
+	}
+	if latOK < 9 || portOK < 19 {
+		t.Errorf("quick sweep agreement dropped: lat %d, ports %d of %d", latOK, portOK, total)
+	}
+}
+
+func TestLoopVsUnrollShape(t *testing.T) {
+	out, err := LoopVsUnroll(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unroll := out["unroll=100, loop=0"]
+	loop := out["unroll=1, loop=100"]
+	if math.Abs(unroll-0.5) > 0.05 {
+		t.Errorf("unrolled SHL throughput = %.3f cycles/instr, want ~0.5", unroll)
+	}
+	if loop >= unroll {
+		t.Errorf("loop configuration (%.3f) should under-report vs unrolled (%.3f), §III-F", loop, unroll)
+	}
+}
+
 func TestExampleMatchesPaper(t *testing.T) {
+	t.Parallel()
 	var sb strings.Builder
 	res, err := ExampleL1Latency(&sb)
 	if err != nil {
@@ -39,6 +125,7 @@ func TestExampleMatchesPaper(t *testing.T) {
 }
 
 func TestSerializationShape(t *testing.T) {
+	t.Parallel()
 	cpuid, lfence, err := Serialization(io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +139,7 @@ func TestSerializationShape(t *testing.T) {
 }
 
 func TestNoMemShape(t *testing.T) {
+	t.Parallel()
 	memHits, noMemHits, err := NoMemAblation(io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +153,7 @@ func TestNoMemShape(t *testing.T) {
 }
 
 func TestKernelVsUserShape(t *testing.T) {
+	t.Parallel()
 	kernel, user, err := KernelVsUserAccuracy(io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +167,7 @@ func TestKernelVsUserShape(t *testing.T) {
 }
 
 func TestContiguousAllocShape(t *testing.T) {
+	t.Parallel()
 	fresh, frag, reboot, err := ContiguousAlloc(io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +178,7 @@ func TestContiguousAllocShape(t *testing.T) {
 }
 
 func TestPoliciesEquivalent(t *testing.T) {
+	t.Parallel()
 	if !policiesEquivalent("LRU", "LRU", 8) {
 		t.Error("identity")
 	}

@@ -12,6 +12,8 @@ import (
 
 	"nanobench/internal/nano"
 	"nanobench/internal/perfcfg"
+	"nanobench/internal/sched"
+	"nanobench/internal/sim/machine"
 	"nanobench/internal/x86"
 )
 
@@ -287,55 +289,86 @@ func portEvents() []perfcfg.EventSpec {
 	return evs
 }
 
-// Measure characterizes one variant on the runner's machine.
-func Measure(r *nano.Runner, v Variant) (Measurement, error) {
-	m := Measurement{Variant: v, Latency: -1}
-
-	// Latency: self-dependent chain.
-	if asm := latencyAsm(v); asm != "" {
-		code, err := nano.Asm(asm)
-		if err != nil {
-			return m, fmt.Errorf("instbench: %s latency: %w", v.Name(), err)
-		}
-		res, err := r.Run(nano.Config{
-			Code:        code,
-			CodeInit:    nano.MustAsm(initAsm(v)),
-			UnrollCount: 50,
-			WarmUpCount: 1,
-			Aggregate:   nano.Min,
-		})
-		if err != nil {
-			return m, fmt.Errorf("instbench: %s latency: %w", v.Name(), err)
-		}
-		m.Latency = (res.MustGet("Core cycles") - chainOverhead(v)) / float64(latencyChainLen(v))
+// LatencyConfig builds the nanoBench configuration measuring the
+// variant's dependency-chain latency. ok is false when the variant has no
+// measurable self-chain (e.g. MOV r64, imm).
+func LatencyConfig(v Variant) (cfg nano.Config, ok bool, err error) {
+	asm := latencyAsm(v)
+	if asm == "" {
+		return nano.Config{}, false, nil
 	}
+	code, err := nano.Asm(asm)
+	if err != nil {
+		return nano.Config{}, false, fmt.Errorf("instbench: %s latency: %w", v.Name(), err)
+	}
+	return nano.Config{
+		Code:        code,
+		CodeInit:    nano.MustAsm(initAsm(v)),
+		UnrollCount: 50,
+		WarmUpCount: 1,
+		Aggregate:   nano.Min,
+	}, true, nil
+}
 
-	// Throughput and port usage: independent instances.
+// ThroughputConfig builds the nanoBench configuration measuring the
+// variant's reciprocal throughput and port usage with independent
+// instances.
+func ThroughputConfig(v Variant) (nano.Config, error) {
 	code, err := nano.Asm(throughputAsm(v))
 	if err != nil {
-		return m, fmt.Errorf("instbench: %s throughput: %w", v.Name(), err)
+		return nano.Config{}, fmt.Errorf("instbench: %s throughput: %w", v.Name(), err)
 	}
-	res, err := r.Run(nano.Config{
+	return nano.Config{
 		Code:        code,
 		CodeInit:    nano.MustAsm(initAsm(v)),
 		UnrollCount: 25, // ×4 instances = 100 instructions
 		WarmUpCount: 1,
 		Aggregate:   nano.Min,
 		Events:      portEvents(),
-	})
-	if err != nil {
-		return m, fmt.Errorf("instbench: %s throughput: %w", v.Name(), err)
-	}
-	// Per-block values are per 4 instructions.
-	m.Throughput = res.MustGet("Core cycles") / 4
-	m.Uops = res.MustGet("UOPS") / 4
-	for p := 0; p < x86.NumPorts; p++ {
-		m.Ports[p] = res.MustGet(fmt.Sprintf("PORT_%d", p)) / 4
-	}
-	return m, nil
+	}, nil
 }
 
-// MeasureAll characterizes every variant.
+// measurementFrom assembles a Measurement from the two evaluations' raw
+// results (latRes may be nil for chainless variants).
+func measurementFrom(v Variant, latRes, tpRes *nano.Result) Measurement {
+	m := Measurement{Variant: v, Latency: -1}
+	if latRes != nil {
+		m.Latency = (latRes.MustGet("Core cycles") - chainOverhead(v)) / float64(latencyChainLen(v))
+	}
+	// Per-block values are per 4 instructions.
+	m.Throughput = tpRes.MustGet("Core cycles") / 4
+	m.Uops = tpRes.MustGet("UOPS") / 4
+	for p := 0; p < x86.NumPorts; p++ {
+		m.Ports[p] = tpRes.MustGet(fmt.Sprintf("PORT_%d", p)) / 4
+	}
+	return m
+}
+
+// Measure characterizes one variant on the runner's machine.
+func Measure(r *nano.Runner, v Variant) (Measurement, error) {
+	var latRes *nano.Result
+	latCfg, hasLat, err := LatencyConfig(v)
+	if err != nil {
+		return Measurement{Variant: v, Latency: -1}, err
+	}
+	if hasLat {
+		latRes, err = r.Run(latCfg)
+		if err != nil {
+			return Measurement{Variant: v, Latency: -1}, fmt.Errorf("instbench: %s latency: %w", v.Name(), err)
+		}
+	}
+	tpCfg, err := ThroughputConfig(v)
+	if err != nil {
+		return Measurement{Variant: v, Latency: -1}, err
+	}
+	tpRes, err := r.Run(tpCfg)
+	if err != nil {
+		return Measurement{Variant: v, Latency: -1}, fmt.Errorf("instbench: %s throughput: %w", v.Name(), err)
+	}
+	return measurementFrom(v, latRes, tpRes), nil
+}
+
+// MeasureAll characterizes every variant serially on one shared machine.
 func MeasureAll(r *nano.Runner) ([]Measurement, error) {
 	var out []Measurement
 	for _, v := range Variants() {
@@ -346,6 +379,51 @@ func MeasureAll(r *nano.Runner) ([]Measurement, error) {
 		out = append(out, meas)
 	}
 	return out, nil
+}
+
+// Sweep characterizes every variant by fanning the per-variant latency and
+// throughput evaluations out through the batch scheduler, one fresh
+// independently-seeded machine per evaluation. Results are deterministic
+// for any worker count (see the sched package documentation).
+func Sweep(cpuName string, mode machine.Mode, opts sched.Options) ([]Measurement, error) {
+	return SweepVariants(cpuName, mode, Variants(), opts)
+}
+
+// SweepVariants is Sweep over a caller-chosen variant subset.
+func SweepVariants(cpuName string, mode machine.Mode, variants []Variant, opts sched.Options) ([]Measurement, error) {
+	var jobs []sched.Job
+	latIdx := make([]int, len(variants))
+	tpIdx := make([]int, len(variants))
+	for i, v := range variants {
+		latCfg, hasLat, err := LatencyConfig(v)
+		if err != nil {
+			return nil, err
+		}
+		latIdx[i] = -1
+		if hasLat {
+			latIdx[i] = len(jobs)
+			jobs = append(jobs, sched.Job{CPU: cpuName, Mode: mode, Cfg: latCfg})
+		}
+		tpCfg, err := ThroughputConfig(v)
+		if err != nil {
+			return nil, err
+		}
+		tpIdx[i] = len(jobs)
+		jobs = append(jobs, sched.Job{CPU: cpuName, Mode: mode, Cfg: tpCfg})
+	}
+	results, err := sched.New(opts).Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]Measurement, len(variants))
+	for i, v := range variants {
+		var latRes *nano.Result
+		if latIdx[i] >= 0 {
+			latRes = results[latIdx[i]]
+		}
+		ms[i] = measurementFrom(v, latRes, results[tpIdx[i]])
+	}
+	return ms, nil
 }
 
 // Expected ground truth, derived from the simulator's instruction table.

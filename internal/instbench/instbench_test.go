@@ -138,6 +138,9 @@ func TestMemoryRMWChain(t *testing.T) {
 // every measurable latency and port set against the simulator's
 // instruction table — the case-study-I closed loop.
 func TestSweepAgainstGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full variant sweep; run without -short")
+	}
 	r := newRunner(t)
 	ms, err := MeasureAll(r)
 	if err != nil {

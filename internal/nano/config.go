@@ -80,6 +80,13 @@ type Config struct {
 	UseBigArea bool
 }
 
+// Canonical returns the configuration with every defaulted field made
+// explicit, so that two configs describing the same evaluation compare (and
+// hash) identically. The batch scheduler keys its result cache on the
+// canonical form; a config and its canonicalization always produce the same
+// Result.
+func (c Config) Canonical() Config { return c.applyDefaults() }
+
 // applyDefaults fills zero fields with the tool's defaults.
 func (c Config) applyDefaults() Config {
 	if c.UnrollCount == 0 {

@@ -24,6 +24,37 @@ func (r *Result) add(name string, v float64) {
 	r.values[name] = v
 }
 
+// Clone returns a deep copy sharing no state with r; mutating one never
+// affects the other. The batch scheduler's result cache hands out clones so
+// callers can hold the results of repeated sweeps independently.
+func (r *Result) Clone() *Result {
+	c := &Result{
+		names:  append([]string(nil), r.names...),
+		values: make(map[string]float64, len(r.values)),
+	}
+	for k, v := range r.values {
+		c.values[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two results carry the same counters, in the same
+// reporting order, with bit-identical values.
+func (r *Result) Equal(o *Result) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if len(r.names) != len(o.names) {
+		return false
+	}
+	for i, n := range r.names {
+		if o.names[i] != n || r.values[n] != o.values[n] {
+			return false
+		}
+	}
+	return true
+}
+
 // Get returns the value for a counter name.
 func (r *Result) Get(name string) (float64, bool) {
 	v, ok := r.values[name]

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sync"
+
+	"nanobench/internal/nano"
+	"nanobench/internal/perfcfg"
+)
+
+// Key is the content address of one evaluation: a SHA-256 over the CPU
+// name, privilege mode, big-area size, and the canonicalized
+// configuration.
+type Key [sha256.Size]byte
+
+// KeyOf computes the content key of a job: everything that determines its
+// result except the machine seed. The config is canonicalized first
+// (nano.Config.Canonical) so that defaulted and explicit forms of the
+// same evaluation collide.
+//
+// Every Job, Config, and EventSpec field participates in the hash; the
+// field guard in sched_test.go fails when any of the structs grows a
+// field this function does not yet cover.
+func KeyOf(j Job) Key {
+	cfg := j.Cfg.Canonical()
+	h := sha256.New()
+	writeString(h, j.CPU)
+	writeUint(h, uint64(j.Mode))
+	writeUint(h, j.BigArea)
+	writeBytes(h, cfg.Code)
+	writeBytes(h, cfg.CodeInit)
+	writeUint(h, uint64(cfg.UnrollCount))
+	writeUint(h, uint64(cfg.LoopCount))
+	writeUint(h, uint64(cfg.NMeasurements))
+	writeUint(h, uint64(cfg.WarmUpCount))
+	writeUint(h, uint64(cfg.Aggregate))
+	writeBool(h, cfg.BasicMode)
+	writeBool(h, cfg.NoMem)
+	writeUint(h, uint64(len(cfg.Events)))
+	for _, ev := range cfg.Events {
+		writeEvent(h, ev)
+	}
+	writeBool(h, cfg.UseBigArea)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// withSeed extends a content key with the derived machine seed, forming
+// the cache key. Pinning the seed guarantees a cache hit returns exactly
+// the value a cold evaluation of that (content, seed) pair would compute:
+// the same job content at a different batch index gets a different seed,
+// a different cache key, and a fresh simulation — never a stale result
+// from another seed.
+func withSeed(k Key, seed int64) Key {
+	h := sha256.New()
+	h.Write(k[:])
+	writeUint(h, uint64(seed))
+	var out Key
+	h.Sum(out[:0])
+	return out
+}
+
+func writeEvent(h hash.Hash, ev perfcfg.EventSpec) {
+	writeUint(h, uint64(ev.Kind))
+	writeUint(h, uint64(ev.EvtSel))
+	writeUint(h, uint64(ev.Umask))
+	writeString(h, ev.CBoEv)
+	writeUint(h, uint64(ev.Addr))
+	writeString(h, ev.Name)
+}
+
+// The writers length-prefix variable-sized fields so that adjacent fields
+// can never alias ("ab"+"c" vs "a"+"bc").
+func writeBytes(h hash.Hash, b []byte) {
+	writeUint(h, uint64(len(b)))
+	h.Write(b)
+}
+
+func writeString(h hash.Hash, s string) {
+	writeUint(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func writeUint(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func writeBool(h hash.Hash, v bool) {
+	if v {
+		writeUint(h, 1)
+	} else {
+		writeUint(h, 0)
+	}
+}
+
+// Cache memoizes evaluation results by content key. It is safe for
+// concurrent use; all accessors hand out deep copies, so cached values are
+// immutable no matter what callers do with the results.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*nano.Result
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache builds an empty result cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[Key]*nano.Result)}
+}
+
+// get returns the cached result for k, or nil. The caller must clone
+// before handing the value out.
+func (c *Cache) get(k Key) *nano.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.entries[k]
+	if r == nil {
+		c.misses++
+	} else {
+		c.hits++
+	}
+	return r
+}
+
+// put stores a private copy of r under k.
+func (c *Cache) put(k Key, r *nano.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = r.Clone()
+}
+
+// Len returns the number of cached evaluations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the lookup hit and miss counts so far.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

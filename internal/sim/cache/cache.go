@@ -81,9 +81,17 @@ type Cache struct {
 	// epoch lags are cleared lazily on first touch.
 	epoch      uint32
 	validCount int
+	// pf and rng materialize sets on first touch: building every set's
+	// policy eagerly would dominate machine construction for megabyte
+	// caches (thousands of sets), and a benchmark touches only a few.
+	pf  PolicyFactory
+	rng *rand.Rand
 }
 
-// New builds a cache with per-set policies from the factory.
+// New builds a cache whose per-set policies come from the factory; sets
+// materialize lazily on first touch. Policy constructors must not draw
+// from rng (none do — draws happen on accesses, in execution order), so
+// lazy construction is observationally identical to eager.
 func New(geom Geometry, slice int, pf PolicyFactory, rng *rand.Rand) (*Cache, error) {
 	if err := geom.Validate(); err != nil {
 		return nil, err
@@ -94,15 +102,11 @@ func New(geom Geometry, slice int, pf PolicyFactory, rng *rand.Rand) (*Cache, er
 		Slice:   slice,
 		sets:    make([]cacheSet, nSets),
 		setMask: uint64(nSets - 1),
+		pf:      pf,
+		rng:     rng,
 	}
 	for ls := geom.LineSize; ls > 1; ls >>= 1 {
 		c.lineBits++
-	}
-	for s := range c.sets {
-		c.sets[s] = cacheSet{
-			lines: make([]line, geom.Assoc),
-			pol:   pf(slice, s, geom.Assoc, rng),
-		}
 	}
 	return c, nil
 }
@@ -118,10 +122,16 @@ func (c *Cache) tag(phys uint64) uint64 {
 	return phys >> c.lineBits
 }
 
-// set returns the set for an index, materializing any pending epoch-based
-// invalidation first.
+// set returns the set for an index, materializing it on first touch and
+// applying any pending epoch-based invalidation first.
 func (c *Cache) set(si int) *cacheSet {
 	s := &c.sets[si]
+	if s.pol == nil {
+		s.lines = make([]line, c.Geom.Assoc)
+		s.pol = c.pf(c.Slice, si, c.Geom.Assoc, c.rng)
+		s.epoch = c.epoch
+		return s
+	}
 	if s.epoch != c.epoch {
 		for i := range s.lines {
 			s.lines[i] = line{}

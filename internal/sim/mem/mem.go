@@ -16,8 +16,16 @@ const PageSize = 4096
 // Virtual addresses are 32-bit (the machine lays out everything below 2 GB
 // so absolute disp32 addressing works); physical addresses are 64-bit but
 // bounded by the configured physical size.
+//
+// Physical storage is sparse: frames materialize on first write and reads
+// of untouched frames return zeros, exactly as if the whole array had been
+// zeroed eagerly. Eager allocation would make building a machine cost a
+// PhysMem-sized memclr — prohibitive for a scheduler pool that builds one
+// machine per job.
 type Memory struct {
-	phys []byte
+	physSize uint64
+	// frames holds per-page physical storage, nil until first written.
+	frames [][]byte
 	// pt maps virtual page number to physical page number; -1 = unmapped.
 	pt []int32
 }
@@ -32,8 +40,9 @@ func NewMemory(physSize, virtSize uint64) (*Memory, error) {
 		return nil, fmt.Errorf("mem: virtual address space must fit below 2 GB")
 	}
 	m := &Memory{
-		phys: make([]byte, physSize),
-		pt:   make([]int32, virtSize/PageSize),
+		physSize: physSize,
+		frames:   make([][]byte, physSize/PageSize),
+		pt:       make([]int32, virtSize/PageSize),
 	}
 	for i := range m.pt {
 		m.pt[i] = -1
@@ -42,7 +51,48 @@ func NewMemory(physSize, virtSize uint64) (*Memory, error) {
 }
 
 // PhysSize returns the physical memory size in bytes.
-func (m *Memory) PhysSize() uint64 { return uint64(len(m.phys)) }
+func (m *Memory) PhysSize() uint64 { return m.physSize }
+
+var zeroFrame [PageSize]byte
+
+// readFrame returns the page backing pfn for reading (the shared zero
+// frame when untouched).
+func (m *Memory) readFrame(pfn uint64) []byte {
+	if f := m.frames[pfn]; f != nil {
+		return f
+	}
+	return zeroFrame[:]
+}
+
+// writeFrame returns the page backing pfn for writing, materializing it.
+func (m *Memory) writeFrame(pfn uint64) []byte {
+	f := m.frames[pfn]
+	if f == nil {
+		f = make([]byte, PageSize)
+		m.frames[pfn] = f
+	}
+	return f
+}
+
+// physRead copies from physical memory into dst, page by page.
+func (m *Memory) physRead(phys uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := phys % PageSize
+		n := copy(dst, m.readFrame(phys / PageSize)[off:])
+		dst = dst[n:]
+		phys += uint64(n)
+	}
+}
+
+// physWrite copies src into physical memory, page by page.
+func (m *Memory) physWrite(phys uint64, src []byte) {
+	for len(src) > 0 {
+		off := phys % PageSize
+		n := copy(m.writeFrame(phys / PageSize)[off:], src)
+		src = src[n:]
+		phys += uint64(n)
+	}
+}
 
 // Map maps size bytes at virtual address virt to physical address phys.
 // All three must be page-aligned.
@@ -50,7 +100,7 @@ func (m *Memory) Map(virt uint32, phys uint64, size uint64) error {
 	if virt%PageSize != 0 || phys%PageSize != 0 || size%PageSize != 0 {
 		return fmt.Errorf("mem: Map arguments must be page-aligned")
 	}
-	if phys+size > uint64(len(m.phys)) {
+	if phys+size > m.physSize {
 		return fmt.Errorf("mem: mapping beyond physical memory (phys=%#x size=%#x)", phys, size)
 	}
 	if uint64(virt)+size > uint64(len(m.pt))*PageSize {
@@ -110,7 +160,7 @@ func (m *Memory) translateSpan(virt uint32, n int) (uint64, bool) {
 // on an unmapped access (a simulated fault).
 func (m *Memory) Read(virt uint32, dst []byte) bool {
 	if p, ok := m.translateSpan(virt, len(dst)); ok {
-		copy(dst, m.phys[p:p+uint64(len(dst))])
+		m.physRead(p, dst)
 		return true
 	}
 	for i := range dst {
@@ -118,7 +168,7 @@ func (m *Memory) Read(virt uint32, dst []byte) bool {
 		if !ok {
 			return false
 		}
-		dst[i] = m.phys[p]
+		dst[i] = m.readFrame(p / PageSize)[p%PageSize]
 	}
 	return true
 }
@@ -127,7 +177,7 @@ func (m *Memory) Read(virt uint32, dst []byte) bool {
 // unmapped access.
 func (m *Memory) Write(virt uint32, src []byte) bool {
 	if p, ok := m.translateSpan(virt, len(src)); ok {
-		copy(m.phys[p:p+uint64(len(src))], src)
+		m.physWrite(p, src)
 		return true
 	}
 	for i := range src {
@@ -135,7 +185,7 @@ func (m *Memory) Write(virt uint32, src []byte) bool {
 		if !ok {
 			return false
 		}
-		m.phys[p] = src[i]
+		m.writeFrame(p / PageSize)[p%PageSize] = src[i]
 	}
 	return true
 }
@@ -159,18 +209,18 @@ func (m *Memory) Write64(virt uint32, v uint64) bool {
 // ReadPhys reads directly from physical memory (used by the kernel-module
 // simulation and tests).
 func (m *Memory) ReadPhys(phys uint64, dst []byte) error {
-	if phys+uint64(len(dst)) > uint64(len(m.phys)) {
+	if phys+uint64(len(dst)) > m.physSize {
 		return fmt.Errorf("mem: physical read out of range")
 	}
-	copy(dst, m.phys[phys:])
+	m.physRead(phys, dst)
 	return nil
 }
 
 // WritePhys writes directly to physical memory.
 func (m *Memory) WritePhys(phys uint64, src []byte) error {
-	if phys+uint64(len(src)) > uint64(len(m.phys)) {
+	if phys+uint64(len(src)) > m.physSize {
 		return fmt.Errorf("mem: physical write out of range")
 	}
-	copy(m.phys[phys:], src)
+	m.physWrite(phys, src)
 	return nil
 }

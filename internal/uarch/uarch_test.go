@@ -88,6 +88,9 @@ func TestExpectedL3Policy(t *testing.T) {
 }
 
 func TestMachinesBoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots every catalog machine; run without -short")
+	}
 	for _, c := range append(Table1(), Zen()) {
 		m, err := c.NewMachine(1)
 		if err != nil {

@@ -8,6 +8,8 @@
 //     replacement policies, PMU, physical memory)
 //   - internal/x86 — assembler, encoder, decoder, instruction table
 //   - internal/nano — nanoBench itself (code generation, runner)
+//   - internal/sched — deterministic parallel batch execution with a
+//     content-addressed result cache (RunBatch, RunBatchStream)
 //   - internal/cachetools, internal/instbench — the paper's case studies
 //   - internal/uarch — the ten Table I machine models
 //
@@ -26,6 +28,7 @@ package nanobench
 import (
 	"nanobench/internal/nano"
 	"nanobench/internal/perfcfg"
+	"nanobench/internal/sched"
 	"nanobench/internal/sim/machine"
 	"nanobench/internal/uarch"
 )
@@ -99,6 +102,65 @@ func CPUNames() string { return uarch.NameList() }
 
 // Table1 returns the ten Intel CPU models of the paper's Table I.
 func Table1() []CPU { return uarch.Table1() }
+
+// Batch execution (internal/sched): sweeps of many configurations fan out
+// across a pool of independently-seeded simulated machines with a
+// content-addressed result cache. See the sched package documentation for
+// the seeding/determinism contract.
+type (
+	// BatchJob is one (CPU, mode, Config) evaluation in a heterogeneous
+	// batch; build an Executor via NewBatchExecutor to run them.
+	BatchJob = sched.Job
+	// BatchItem is one delivered result of a streaming batch.
+	BatchItem = sched.Item
+	// BatchOptions configures a batch executor.
+	BatchOptions = sched.Options
+	// BatchExecutor runs batches of jobs deterministically.
+	BatchExecutor = sched.Executor
+	// BatchCache memoizes batch results by content key.
+	BatchCache = sched.Cache
+)
+
+// DefaultBatchSeed is the root seed RunBatch derives per-job machine seeds
+// from; it matches the seed the repository's experiments use.
+const DefaultBatchSeed = 42
+
+// NewBatchCache builds an empty content-addressed result cache.
+func NewBatchCache() *BatchCache { return sched.NewCache() }
+
+// NewBatchExecutor builds a batch executor for heterogeneous jobs.
+func NewBatchExecutor(opts BatchOptions) *BatchExecutor { return sched.New(opts) }
+
+// defaultBatch serves RunBatch/RunBatchStream: all cores, the default root
+// seed, and a process-wide cache so repeated sweeps hit memory.
+var defaultBatch = sched.New(sched.Options{
+	RootSeed: DefaultBatchSeed,
+	Cache:    sched.NewCache(),
+})
+
+// RunBatch evaluates the configurations on the named CPU model in the
+// given mode, in parallel across runtime.NumCPU() simulated machines, and
+// returns the results in config order. Results are byte-identical for any
+// level of parallelism; failed configs leave a nil entry and their errors
+// are joined into the returned error.
+func RunBatch(cpuName string, mode Mode, cfgs []Config) ([]*Result, error) {
+	return defaultBatch.Run(batchJobs(cpuName, mode, cfgs))
+}
+
+// RunBatchStream is RunBatch's streaming variant: results are delivered in
+// config order over the returned channel, each as soon as it and all its
+// predecessors are available. The channel closes after the last item.
+func RunBatchStream(cpuName string, mode Mode, cfgs []Config) <-chan BatchItem {
+	return defaultBatch.Stream(batchJobs(cpuName, mode, cfgs))
+}
+
+func batchJobs(cpuName string, mode Mode, cfgs []Config) []BatchJob {
+	jobs := make([]BatchJob, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = BatchJob{CPU: cpuName, Mode: mode, Cfg: cfg}
+	}
+	return jobs
+}
 
 // PauseCounting and ResumeCounting are the magic byte sequences that
 // pause/resume performance counting when embedded in benchmark code

@@ -70,6 +70,53 @@ func TestFacadeUserMode(t *testing.T) {
 	}
 }
 
+func TestFacadeRunBatch(t *testing.T) {
+	cfgs := []Config{
+		{Code: MustAsm("add rbx, rbx"), UnrollCount: 20},
+		{Code: MustAsm("imul rbx, rbx"), UnrollCount: 20},
+		{Code: MustAsm("mov R14, [R14]"), CodeInit: MustAsm("mov [R14], R14"), WarmUpCount: 1},
+	}
+	res, err := RunBatch("Skylake", Kernel, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(cfgs) {
+		t.Fatalf("%d results for %d configs", len(res), len(cfgs))
+	}
+	wants := []float64{1, 3, 4} // ADD, IMUL, L1-load chain latencies
+	for i, want := range wants {
+		if v := res[i].MustGet("Core cycles"); math.Abs(v-want) > 0.1 {
+			t.Errorf("config %d: %.2f cycles, want %.0f", i, v, want)
+		}
+	}
+
+	// The streaming variant delivers the same results in config order
+	// (via the shared default cache on this second pass).
+	next := 0
+	for it := range RunBatchStream("Skylake", Kernel, cfgs) {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+		if it.Index != next {
+			t.Fatalf("stream index %d, want %d", it.Index, next)
+		}
+		if !it.Result.Equal(res[it.Index]) {
+			t.Errorf("stream result %d differs from RunBatch", it.Index)
+		}
+		next++
+	}
+	if next != len(cfgs) {
+		t.Fatalf("stream delivered %d of %d items", next, len(cfgs))
+	}
+}
+
+func TestFacadeRunBatchError(t *testing.T) {
+	_, err := RunBatch("NoSuchCPU", Kernel, []Config{{Code: MustAsm("nop")}})
+	if err == nil {
+		t.Fatal("expected an error for an unknown CPU")
+	}
+}
+
 func TestFacadeAsmErrors(t *testing.T) {
 	if _, err := Asm("bogus instruction"); err == nil {
 		t.Fatal("expected assembly error")
