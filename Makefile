@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race vet fmt fmt-check ci
+.PHONY: build test test-short test-race vet fmt fmt-check ci bench
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,12 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# One pass over every benchmark (no test functions): the perf baseline CI
+# uploads as an artifact. Use -benchtime with more iterations for stable
+# local comparisons.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 fmt:
 	gofmt -w .

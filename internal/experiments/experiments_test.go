@@ -138,6 +138,38 @@ func TestSerializationShape(t *testing.T) {
 	}
 }
 
+// TestSerializationCounterEquivalence pins the §IV-A1 spreads to the
+// exact values the pre-watermark PMU (full cycle-stamped event streams,
+// O(history) reads) produced on the same seeds. The watermark-counter
+// redesign settles events eagerly but must be observationally identical,
+// including the unfenced-RDPMC undercount this experiment measures; any
+// drift here means the O(1) accounting changed measurement semantics.
+func TestSerializationCounterEquivalence(t *testing.T) {
+	t.Parallel()
+	cpuid, lfence, err := Serialization(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantCPUID = 169.39999999999998 // captured from the stream-based PMU
+	if cpuid != wantCPUID {
+		t.Errorf("CPUID spread = %v, want %v (stream-counter reference)", cpuid, wantCPUID)
+	}
+	if lfence != 0 {
+		t.Errorf("LFENCE spread = %v, want 0 (stream-counter reference)", lfence)
+	}
+	kernel, user, err := KernelVsUserAccuracy(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernel != 0 {
+		t.Errorf("kernel spread = %v, want 0 (stream-counter reference)", kernel)
+	}
+	const wantUser = 1.4218000000000002
+	if user != wantUser {
+		t.Errorf("user spread = %v, want %v (stream-counter reference)", user, wantUser)
+	}
+}
+
 func TestNoMemShape(t *testing.T) {
 	t.Parallel()
 	memHits, noMemHits, err := NoMemAblation(io.Discard)

@@ -74,6 +74,40 @@ func TestExampleL1Latency(t *testing.T) {
 	}
 }
 
+// TestRegeneratedCodeReDecodes runs configs whose generated code differs
+// only in the unrolled body (the runner's two-variant scheme regenerates
+// the image at the same base for each variant): per-instruction values
+// must reflect the freshly installed code, never a stale pre-decoded
+// program from the previous variant or the previous config.
+func TestRegeneratedCodeReDecodes(t *testing.T) {
+	r := skylakeRunner(t, machine.Kernel)
+	for _, unroll := range []int{1, 4, 16, 4, 1} {
+		res, err := r.Run(Config{
+			Code:        MustAsm("add rax, rbx"),
+			UnrollCount: unroll,
+			WarmUpCount: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The two-variant subtraction normalizes per benchmark
+		// instruction; a stale program would corrupt the counts.
+		near(t, "Instructions retired", res.MustGet("Instructions retired"), 1.00, 0.05)
+	}
+	// Identical config twice in a row: the second install is skipped
+	// (byte-identical image, valid program) and must measure the same.
+	first, err := r.Run(Config{Code: MustAsm("nop"), WarmUpCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(Config{Code: MustAsm("nop"), WarmUpCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "reused-image instructions", second.MustGet("Instructions retired"),
+		first.MustGet("Instructions retired"), 0.05)
+}
+
 func TestNopBenchmark(t *testing.T) {
 	r := skylakeRunner(t, machine.Kernel)
 	res, err := r.Run(Config{

@@ -34,14 +34,13 @@ func (p *predictor) update(rip uint32, taken bool) {
 
 // execBranch executes JMP and conditional branches. It returns whether the
 // branch is taken and its target.
-func (m *Machine) execBranch(in x86.Instr, fallthroughRIP uint32) (bool, uint32, error) {
+func (m *Machine) execBranch(d *x86.DecodedInstr, fallthroughRIP uint32) (bool, uint32, error) {
 	c := &m.core
-	disp, ok := in.Args[0].(x86.Imm)
-	if !ok {
+	if d.Kind[0] != x86.ArgI {
 		return false, 0, &Fault{RIP: c.rip, Reason: "branch with unresolved label"}
 	}
-	target := uint32(int64(fallthroughRIP) + int64(disp))
-	spec := x86.Spec(in.Op)
+	target := uint32(int64(fallthroughRIP) + d.Imm)
+	spec := d.Spec
 	var ready int64
 	if spec.ReadsFlags {
 		ready = c.flagReady
@@ -50,8 +49,8 @@ func (m *Machine) execBranch(in x86.Instr, fallthroughRIP uint32) (bool, uint32,
 	_, done := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
 
 	taken := true
-	if in.Op != x86.JMP {
-		taken = m.evalCond(in.Op)
+	if d.Op != x86.JMP {
+		taken = m.evalCond(d.Op)
 		pred := c.pred.predict(c.rip)
 		c.pred.update(c.rip, taken)
 		if pred != taken {
@@ -66,10 +65,12 @@ func (m *Machine) execBranch(in x86.Instr, fallthroughRIP uint32) (bool, uint32,
 }
 
 // execCall pushes the return address and jumps.
-func (m *Machine) execCall(in x86.Instr, returnRIP uint32) (uint32, error) {
+func (m *Machine) execCall(d *x86.DecodedInstr, returnRIP uint32) (uint32, error) {
 	c := &m.core
-	disp := in.Args[0].(x86.Imm)
-	target := uint32(int64(returnRIP) + int64(disp))
+	if d.Kind[0] != x86.ArgI {
+		return 0, &Fault{RIP: c.rip, Reason: "call with unresolved label"}
+	}
+	target := uint32(int64(returnRIP) + d.Imm)
 
 	newRSP := c.regs[x86.RSP] - 8
 	rspReady := c.regReady[x86.RSP]
@@ -80,7 +81,7 @@ func (m *Machine) execCall(in x86.Instr, returnRIP uint32) (uint32, error) {
 	_, rspDone := m.dispatch(x86.PortsALU, rspReady, 1, 1)
 	m.setReg(x86.RSP, newRSP, rspDone)
 
-	spec := x86.Spec(x86.CALL)
+	spec := d.Spec
 	u := spec.Uops[0]
 	_, bdone := m.dispatch(u.Ports, 0, u.Latency, u.Occupancy)
 	at := m.retire(maxI64(sdone, bdone))
@@ -101,7 +102,7 @@ func (m *Machine) execRet() (uint32, error) {
 	_, rspDone := m.dispatch(x86.PortsALU, c.regReady[x86.RSP], 1, 1)
 	m.setReg(x86.RSP, rsp+8, rspDone)
 
-	spec := x86.Spec(x86.RET)
+	spec := x86.SpecPtr(x86.RET)
 	u := spec.Uops[0]
 	_, bdone := m.dispatch(u.Ports, ldone, u.Latency, u.Occupancy)
 	at := m.retire(maxI64(ldone, bdone))
@@ -110,9 +111,9 @@ func (m *Machine) execRet() (uint32, error) {
 }
 
 // execPush pushes a register.
-func (m *Machine) execPush(in x86.Instr) error {
+func (m *Machine) execPush(d *x86.DecodedInstr) error {
 	c := &m.core
-	r := in.Args[0].(x86.Reg)
+	r := d.Reg[0]
 	newRSP := c.regs[x86.RSP] - 8
 	sdone, err := m.store(uint32(newRSP), 8, c.regs[r], c.regReady[x86.RSP], c.regReady[r])
 	if err != nil {
@@ -125,9 +126,9 @@ func (m *Machine) execPush(in x86.Instr) error {
 }
 
 // execPop pops into a register.
-func (m *Machine) execPop(in x86.Instr) error {
+func (m *Machine) execPop(d *x86.DecodedInstr) error {
 	c := &m.core
-	r := in.Args[0].(x86.Reg)
+	r := d.Reg[0]
 	rsp := c.regs[x86.RSP]
 	v, ldone, _, err := m.load(uint32(rsp), 8, c.regReady[x86.RSP])
 	if err != nil {

@@ -45,9 +45,12 @@ type coreState struct {
 
 	// stbuf is a small ring of recent stores used for store-to-load
 	// forwarding: a load overlapping a recent store cannot begin before
-	// the store's data is ready.
+	// the store's data is ready. stbufLen counts the occupied entries
+	// (saturating at the ring size) so loads skip the scan entirely until
+	// the first store.
 	stbuf    [storeBufSize]storeEntry
 	stbufPos int
+	stbufLen int
 
 	pred predictor
 }
@@ -137,6 +140,24 @@ func (m *Machine) dispatch(ports x86.PortMask, ready int64, lat, occ int) (start
 	return bestStart, done
 }
 
+// dispatchAll dispatches every µop of spec with a common operand-ready
+// cycle and returns the earliest dispatch start (the cycle counter-read
+// instructions sample at) and the latest completion.
+func (m *Machine) dispatchAll(spec *x86.InstrSpec, ready int64) (start, done int64) {
+	first := true
+	for _, u := range spec.Uops {
+		s, dn := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
+		if first || s < start {
+			start = s
+		}
+		first = false
+		if dn > done {
+			done = dn
+		}
+	}
+	return start, done
+}
+
 // retire completes an instruction whose last µop finishes at done, records
 // the retirement event, and returns the retire cycle.
 func (m *Machine) retire(done int64) int64 {
@@ -194,44 +215,31 @@ func (m *Machine) readCodeBytes(rip uint32) []byte {
 	return nil
 }
 
-// decodeAt decodes (with caching) the instruction at rip.
-func (m *Machine) decodeAt(rip uint32) (x86.Instr, int, error) {
-	if e, ok := m.decCache[rip]; ok && e.version == m.decVersion {
-		return e.in, e.n, nil
-	}
-	code := m.readCodeBytes(rip)
-	if len(code) == 0 {
-		return x86.Instr{}, 0, &Fault{RIP: rip, Reason: "code read from unmapped memory"}
-	}
-	in, n, err := x86.Decode(code)
-	if err != nil {
-		return x86.Instr{}, 0, &Fault{RIP: rip, Reason: fmt.Sprintf("undecodable instruction: %v", err)}
-	}
-	m.decCache[rip] = decEntry{version: m.decVersion, in: in, n: n}
-	return in, n, nil
-}
-
 // step executes one instruction. It returns done=true when the top-level
 // RET transfers to the sentinel address.
 func (m *Machine) step() (bool, error) {
 	c := &m.core
-	in, ilen, err := m.decodeAt(c.rip)
+	// Every future counter read samples at a dispatch cycle, which cannot
+	// be below the current front-end cycle: tell the PMU so it can settle
+	// its out-of-order event tails (see pmu.EventCounter).
+	m.PMU.Advance(c.feCycle)
+	d, err := m.decodedAt(c.rip)
 	if err != nil {
 		return false, err
 	}
-	if err := m.fetch(c.rip, ilen); err != nil {
+	if err := m.fetch(c.rip, int(d.Len)); err != nil {
 		return false, err
 	}
 
-	op := in.Op
+	op := d.Op
 	if op.IsPrivileged() && m.mode != Kernel {
 		return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: %s is privileged", op)}
 	}
 
-	nextRIP := c.rip + uint32(ilen)
-	spec := x86.Spec(op)
+	nextRIP := c.rip + uint32(d.Len)
+	spec := d.Spec
 
-	switch spec.Class {
+	switch d.Class {
 	case x86.ClassNop:
 		m.issueSlot()
 		m.retire(c.feCycle)
@@ -287,17 +295,8 @@ func (m *Machine) step() (bool, error) {
 		m.retire(done)
 
 	case x86.ClassRDTSC:
-		ready := c.feCycle
-		var start, done int64
-		for _, u := range spec.Uops {
-			s, d := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
-			if start == 0 || s > start {
-				start = s
-			}
-			if d > done {
-				done = d
-			}
-		}
+		// The TSC is sampled at the earliest µop dispatch, like RDPMC.
+		start, done := m.dispatchAll(spec, c.feCycle)
 		tsc := uint64(float64(start) * m.Spec.RefRatio)
 		m.setReg(x86.RAX, tsc&0xFFFFFFFF, done)
 		m.setReg(x86.RDX, tsc>>32, done)
@@ -307,19 +306,7 @@ func (m *Machine) step() (bool, error) {
 		if m.mode != Kernel && !m.cr4pce {
 			return false, &Fault{RIP: c.rip, Reason: "#GP: RDPMC with CR4.PCE=0 in user mode"}
 		}
-		ready := c.regReady[x86.RCX]
-		var start, done int64
-		first := true
-		for _, u := range spec.Uops {
-			s, d := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
-			if first || s < start {
-				start = s
-			}
-			first = false
-			if d > done {
-				done = d
-			}
-		}
+		start, done := m.dispatchAll(spec, c.regReady[x86.RCX])
 		idx := uint32(c.regs[x86.RCX])
 		// The counter value is sampled at the µop's dispatch cycle: this
 		// is what makes unfenced reads unreliable.
@@ -368,7 +355,7 @@ func (m *Machine) step() (bool, error) {
 		m.retire(done)
 
 	case x86.ClassCLFLUSH:
-		addr, aready, err := m.memOperandAddr(in.Args[0].(x86.Mem))
+		addr, aready, err := m.memOperandAddr(d.Mem)
 		if err != nil {
 			return false, err
 		}
@@ -382,7 +369,7 @@ func (m *Machine) step() (bool, error) {
 		m.retire(done)
 
 	case x86.ClassPrefetch:
-		addr, aready, err := m.memOperandAddr(in.Args[0].(x86.Mem))
+		addr, aready, err := m.memOperandAddr(d.Mem)
 		if err != nil {
 			return false, err
 		}
@@ -403,7 +390,7 @@ func (m *Machine) step() (bool, error) {
 		m.retire(c.feCycle)
 
 	case x86.ClassBranch:
-		taken, target, err := m.execBranch(in, nextRIP)
+		taken, target, err := m.execBranch(d, nextRIP)
 		if err != nil {
 			return false, err
 		}
@@ -412,7 +399,7 @@ func (m *Machine) step() (bool, error) {
 		}
 
 	case x86.ClassCall:
-		target, err := m.execCall(in, nextRIP)
+		target, err := m.execCall(d, nextRIP)
 		if err != nil {
 			return false, err
 		}
@@ -430,17 +417,17 @@ func (m *Machine) step() (bool, error) {
 		nextRIP = target
 
 	case x86.ClassPush:
-		if err := m.execPush(in); err != nil {
+		if err := m.execPush(d); err != nil {
 			return false, err
 		}
 
 	case x86.ClassPop:
-		if err := m.execPop(in); err != nil {
+		if err := m.execPop(d); err != nil {
 			return false, err
 		}
 
 	default:
-		if err := m.execNormal(in, spec); err != nil {
+		if err := m.execNormal(d, spec); err != nil {
 			return false, err
 		}
 	}
@@ -525,22 +512,28 @@ func (m *Machine) load(addr uint32, size int, addrReady int64) (uint64, int64, c
 	}
 	res := m.Hier.Data(phys, false)
 	// Store-to-load forwarding: a load overlapping a buffered store waits
-	// for the store data and bypasses the cache latency.
+	// for the store data and bypasses the cache latency. The ring is
+	// walked newest-first with a plain decrement-and-wrap cursor, and not
+	// at all before the first store.
 	lat := res.Latency
 	ready := addrReady
-	for i := 0; i < storeBufSize; i++ {
-		e := &c.stbuf[(c.stbufPos-1-i+2*storeBufSize)%storeBufSize]
-		if e.size == 0 {
-			continue
-		}
-		if addr >= e.addr && addr+uint32(size) <= e.addr+uint32(e.size) {
-			if e.done > ready {
-				ready = e.done
+	if c.stbufLen > 0 {
+		idx := c.stbufPos
+		for k := 0; k < c.stbufLen; k++ {
+			idx--
+			if idx < 0 {
+				idx = storeBufSize - 1
 			}
-			if lat > fwdLatency {
-				lat = fwdLatency
+			e := &c.stbuf[idx]
+			if addr >= e.addr && addr+uint32(size) <= e.addr+uint32(e.size) {
+				if e.done > ready {
+					ready = e.done
+				}
+				if lat > fwdLatency {
+					lat = fwdLatency
+				}
+				break
 			}
-			break
 		}
 	}
 	start, done := m.dispatch(x86.PortsLoad, ready, lat, 1)
@@ -619,6 +612,9 @@ func (m *Machine) store(addr uint32, size int, v uint64, addrReady, dataReady in
 	}
 	c.stbuf[c.stbufPos] = storeEntry{addr: addr, size: uint8(size), done: done}
 	c.stbufPos = (c.stbufPos + 1) % storeBufSize
+	if c.stbufLen < storeBufSize {
+		c.stbufLen++
+	}
 	var buf [8]byte
 	for i := 0; i < size; i++ {
 		buf[i] = byte(v >> (8 * i))
@@ -626,6 +622,9 @@ func (m *Machine) store(addr uint32, size int, v uint64, addrReady, dataReady in
 	if !m.Mem.Write(addr, buf[:size]) {
 		return 0, &Fault{RIP: c.rip, Reason: "#PF: partial store"}
 	}
+	// Self-modifying code: a store into the installed code region drops
+	// the pre-decoded program.
+	m.noteCodeWrite(addr, size)
 	at := c.retireCycle
 	if c.feCycle > at {
 		at = c.feCycle

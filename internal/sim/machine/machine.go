@@ -83,9 +83,13 @@ type Machine struct {
 
 	core coreState
 
-	// decode cache, invalidated when code memory is rewritten
+	// prog is the pre-decoded form of the code image installed by the most
+	// recent WriteCode; decVersion/decCache back the slow path for code
+	// executed outside it. Both are invalidated when code memory is
+	// rewritten.
+	prog       program
 	decVersion uint64
-	decCache   map[uint32]decEntry
+	decCache   map[uint32]*decEntry
 
 	// MaxInstructions bounds one Run (a runaway-loop backstop).
 	MaxInstructions uint64
@@ -98,8 +102,7 @@ type Machine struct {
 
 type decEntry struct {
 	version uint64
-	in      x86.Instr
-	n       int
+	d       x86.DecodedInstr
 }
 
 // New builds a machine from the spec. The low megabyte of physical memory
@@ -131,7 +134,7 @@ func New(spec Spec) (*Machine, error) {
 		PMU:             pmu.New(spec.NumProgCounters, spec.RefRatio),
 		rng:             rng,
 		msr:             map[uint32]uint64{},
-		decCache:        map[uint32]decEntry{},
+		decCache:        map[uint32]*decEntry{},
 		MaxInstructions: 64 << 20,
 		irqScratch:      0x40000, // inside the reserved low megabyte
 	}
@@ -168,27 +171,35 @@ func (m *Machine) Cycle() int64 { return m.core.cycleFloor() }
 // tooling use it so everything derives from one seed).
 func (m *Machine) Rand() *rand.Rand { return m.rng }
 
-// WriteCode copies machine code into virtual memory and invalidates the
-// decode cache.
+// WriteCode copies machine code into virtual memory and installs it as
+// the machine's pre-decoded program: instructions are decoded once, on
+// first execution, into a flat program indexed by code offset. Previously
+// cached decodes are invalidated.
 func (m *Machine) WriteCode(virt uint32, code []byte) error {
 	if !m.Mem.Write(virt, code) {
 		return fmt.Errorf("machine: code write to unmapped address %#x", virt)
 	}
+	m.prog.install(virt, len(code))
 	m.decVersion++
 	return nil
 }
 
-// WriteData writes data bytes to virtual memory (no decode invalidation).
+// WriteData writes data bytes to virtual memory. A write that lands in
+// the installed code region invalidates the pre-decoded program so the
+// modified bytes are re-decoded.
 func (m *Machine) WriteData(virt uint32, data []byte) error {
 	if !m.Mem.Write(virt, data) {
 		return fmt.Errorf("machine: data write to unmapped address %#x", virt)
 	}
+	m.noteCodeWrite(virt, len(data))
 	return nil
 }
 
 // Reboot resets the allocator freelist (the paper's remedy for failed
 // physically-contiguous allocations), flushes the caches, and clears
-// counters. Mappings of machine-owned regions survive.
+// counters. Mappings of machine-owned regions survive, but the installed
+// code does not (regions are re-mapped to fresh frames), so the
+// pre-decoded program is dropped.
 func (m *Machine) Reboot() {
 	m.Alloc.Reboot()
 	m.Hier.Flush()
@@ -196,6 +207,16 @@ func (m *Machine) Reboot() {
 	for _, b := range m.CBox {
 		b.ResetAll()
 	}
+	m.prog.drop()
+	m.decVersion++
+}
+
+// ProgramValid reports whether the pre-decoded program installed by the
+// last WriteCode still covers exactly size bytes at base. Because every
+// write into the code region drops the program, a valid program also
+// certifies that the installed bytes are unmodified.
+func (m *Machine) ProgramValid(base uint32, size int) bool {
+	return m.prog.size > 0 && m.prog.base == base && m.prog.size == uint32(size)
 }
 
 // scheduleIrq draws the next timer-interrupt cycle.
@@ -240,6 +261,11 @@ func (m *Machine) Run(entry uint32) (RunResult, error) {
 	c.barrier = maxI64(c.barrier, c.feCycle)
 	startCycle := c.cycleFloor()
 	irqs := 0
+	// Settle the uncore event tails: any counter read this run samples at
+	// a dispatch cycle at or above the current front-end cycle.
+	for _, b := range m.CBox {
+		b.Advance(c.feCycle)
+	}
 
 	// Set up stack with the sentinel return address.
 	stackTop := uint32(StackBase + StackSize - 64)

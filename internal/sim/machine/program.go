@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"fmt"
+
+	"nanobench/internal/x86"
+)
+
+// program is the pre-decoded form of the most recently installed code
+// image. Instructions are decoded once on first execution and stored in a
+// flat slice; byteIdx maps each code offset that starts an instruction to
+// its slice index, so the steady-state front end is two array loads — no
+// map lookups, no per-step Spec resolution, and no operand type
+// assertions.
+//
+// Any write into [base, base+size) — a WriteData call or a store executed
+// by simulated code — drops the program (self-modifying code then runs
+// through the slow decode path until the next WriteCode reinstalls it).
+type program struct {
+	base uint32
+	size uint32
+	// byteIdx[off] is the index into instrs of the instruction starting at
+	// base+off, or -1 if that offset has not been decoded.
+	byteIdx []int32
+	instrs  []x86.DecodedInstr
+}
+
+// install resets the program to cover size bytes at base, reusing the
+// backing arrays from the previous installation.
+func (p *program) install(base uint32, size int) {
+	p.base = base
+	p.size = uint32(size)
+	if cap(p.byteIdx) < size {
+		p.byteIdx = make([]int32, size)
+	}
+	p.byteIdx = p.byteIdx[:size]
+	for i := range p.byteIdx {
+		p.byteIdx[i] = -1
+	}
+	p.instrs = p.instrs[:0]
+}
+
+// drop invalidates the program entirely.
+func (p *program) drop() {
+	p.size = 0
+	p.byteIdx = p.byteIdx[:0]
+	p.instrs = p.instrs[:0]
+}
+
+// overlaps reports whether the n bytes at addr intersect the program.
+func (p *program) overlaps(addr uint32, n int) bool {
+	return p.size > 0 && addr < p.base+p.size && addr+uint32(n) > p.base
+}
+
+// noteCodeWrite invalidates cached decodes covering the n bytes written at
+// addr. The program-region check is two compares on the store hot path;
+// invalidation itself is rare (self-modifying code).
+func (m *Machine) noteCodeWrite(addr uint32, n int) {
+	if m.prog.overlaps(addr, n) {
+		m.prog.drop()
+		m.decVersion++
+	}
+}
+
+// decodedAt returns the pre-decoded instruction at rip. Inside the
+// installed program this is two array loads after the first execution;
+// other addresses fall back to a versioned map cache.
+func (m *Machine) decodedAt(rip uint32) (*x86.DecodedInstr, error) {
+	p := &m.prog
+	if off := rip - p.base; off < p.size {
+		if i := p.byteIdx[off]; i >= 0 {
+			return &p.instrs[i], nil
+		}
+		return m.decodeInto(rip, off)
+	}
+	return m.decodeSlow(rip)
+}
+
+// decodeInto decodes the instruction at rip (program offset off) into the
+// program's flat instruction store.
+func (m *Machine) decodeInto(rip, off uint32) (*x86.DecodedInstr, error) {
+	d, err := m.decodeRaw(rip)
+	if err != nil {
+		return nil, err
+	}
+	m.prog.instrs = append(m.prog.instrs, d)
+	i := int32(len(m.prog.instrs) - 1)
+	m.prog.byteIdx[off] = i
+	return &m.prog.instrs[i], nil
+}
+
+// decodeSlow serves code outside the installed program through a
+// rip-keyed map, invalidated by version bumps on code writes.
+func (m *Machine) decodeSlow(rip uint32) (*x86.DecodedInstr, error) {
+	if e, ok := m.decCache[rip]; ok && e.version == m.decVersion {
+		return &e.d, nil
+	}
+	d, err := m.decodeRaw(rip)
+	if err != nil {
+		return nil, err
+	}
+	e := &decEntry{version: m.decVersion, d: d}
+	m.decCache[rip] = e
+	return &e.d, nil
+}
+
+// decodeRaw decodes and pre-decodes the instruction at rip from simulated
+// memory.
+func (m *Machine) decodeRaw(rip uint32) (x86.DecodedInstr, error) {
+	code := m.readCodeBytes(rip)
+	if len(code) == 0 {
+		return x86.DecodedInstr{}, &Fault{RIP: rip, Reason: "code read from unmapped memory"}
+	}
+	in, n, err := x86.Decode(code)
+	if err != nil {
+		return x86.DecodedInstr{}, &Fault{RIP: rip, Reason: fmt.Sprintf("undecodable instruction: %v", err)}
+	}
+	d, err := x86.Predecode(in, n)
+	if err != nil {
+		return x86.DecodedInstr{}, &Fault{RIP: rip, Reason: err.Error()}
+	}
+	return d, nil
+}

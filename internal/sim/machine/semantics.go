@@ -10,39 +10,40 @@ import (
 
 // execNormal handles data-processing instructions (integer ALU, moves,
 // shifts, multiply/divide, and SSE arithmetic) for all operand shapes.
-func (m *Machine) execNormal(in x86.Instr, spec x86.InstrSpec) error {
-	switch in.Op {
+// Operands arrive pre-classified in the decoded instruction, so no
+// interface dispatch happens on this path.
+func (m *Machine) execNormal(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+	switch d.Op {
 	case x86.MOV, x86.MOVAPS, x86.MOVQ:
-		return m.execMove(in, spec)
+		return m.execMove(d, spec)
 	case x86.LEA:
-		return m.execLEA(in, spec)
+		return m.execLEA(d, spec)
 	case x86.XCHG:
-		return m.execXCHG(in, spec)
+		return m.execXCHG(d, spec)
 	case x86.MUL, x86.DIV:
-		return m.execMulDiv(in, spec)
+		return m.execMulDiv(d, spec)
 	}
-	if len(in.Args) > 0 {
-		if r, ok := in.Args[0].(x86.Reg); ok && r.IsXMM() {
-			return m.execSSE(in, spec)
-		}
+	if d.NArgs > 0 && d.Kind[0] == x86.ArgX {
+		return m.execSSE(d, spec)
 	}
-	return m.execIntALU(in, spec)
+	return m.execIntALU(d, spec)
 }
 
-// readOperand reads a source operand value and its ready cycle,
+// readArg reads the source operand at index i and its ready cycle,
 // dispatching a load µop for memory operands.
-func (m *Machine) readOperand(a x86.Arg) (uint64, int64, error) {
+func (m *Machine) readArg(d *x86.DecodedInstr, i int) (uint64, int64, error) {
 	c := &m.core
-	switch v := a.(type) {
-	case x86.Reg:
-		if v.IsXMM() {
-			return c.xmm[v-x86.XMM0][0], c.xmmReady[v-x86.XMM0], nil
-		}
-		return c.regs[v], c.regReady[v], nil
-	case x86.Imm:
-		return uint64(v), 0, nil
-	case x86.Mem:
-		addr, aready, err := m.memOperandAddr(v)
+	switch d.Kind[i] {
+	case x86.ArgGP:
+		r := d.Reg[i]
+		return c.regs[r], c.regReady[r], nil
+	case x86.ArgX:
+		x := d.Reg[i] - x86.XMM0
+		return c.xmm[x][0], c.xmmReady[x], nil
+	case x86.ArgI:
+		return uint64(d.Imm), 0, nil
+	case x86.ArgM:
+		addr, aready, err := m.memOperandAddr(d.Mem)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -54,7 +55,7 @@ func (m *Machine) readOperand(a x86.Arg) (uint64, int64, error) {
 
 // dispatchCompute dispatches the instruction's compute µops with the given
 // operand-ready cycle and returns the completion cycle of the result.
-func (m *Machine) dispatchCompute(spec x86.InstrSpec, ready int64) int64 {
+func (m *Machine) dispatchCompute(spec *x86.InstrSpec, ready int64) int64 {
 	done := ready
 	for _, u := range spec.Uops {
 		_, d := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
@@ -68,29 +69,29 @@ func (m *Machine) dispatchCompute(spec x86.InstrSpec, ready int64) int64 {
 	return done
 }
 
-func (m *Machine) execMove(in x86.Instr, spec x86.InstrSpec) error {
+func (m *Machine) execMove(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	c := &m.core
-	dst, src := in.Args[0], in.Args[1]
-	switch d := dst.(type) {
-	case x86.Reg:
-		switch s := src.(type) {
-		case x86.Mem:
-			addr, aready, err := m.memOperandAddr(s)
+	switch d.Kind[0] {
+	case x86.ArgGP, x86.ArgX:
+		dst := d.Reg[0]
+		switch d.Kind[1] {
+		case x86.ArgM:
+			addr, aready, err := m.memOperandAddr(d.Mem)
 			if err != nil {
 				return err
 			}
-			if d.IsXMM() {
+			if d.Kind[0] == x86.ArgX {
 				// 128-bit (MOVAPS) or 64-bit (MOVQ) load.
 				v, done, _, err := m.load(addr, 8, aready)
 				if err != nil {
 					return err
 				}
 				var hi uint64
-				if in.Op == x86.MOVAPS {
+				if d.Op == x86.MOVAPS {
 					hi, _ = m.Mem.Read64(addr + 8)
 				}
-				c.xmm[d-x86.XMM0] = [2]uint64{v, hi}
-				c.xmmReady[d-x86.XMM0] = done
+				c.xmm[dst-x86.XMM0] = [2]uint64{v, hi}
+				c.xmmReady[dst-x86.XMM0] = done
 				m.retire(done)
 				return nil
 			}
@@ -98,39 +99,40 @@ func (m *Machine) execMove(in x86.Instr, spec x86.InstrSpec) error {
 			if err != nil {
 				return err
 			}
-			m.setReg(d, v, done)
+			m.setReg(dst, v, done)
 			m.retire(done)
 			return nil
-		case x86.Reg:
+		case x86.ArgGP, x86.ArgX:
+			src := d.Reg[1]
 			var v [2]uint64
 			var ready int64
-			if s.IsXMM() {
-				v = c.xmm[s-x86.XMM0]
-				ready = c.xmmReady[s-x86.XMM0]
+			if d.Kind[1] == x86.ArgX {
+				v = c.xmm[src-x86.XMM0]
+				ready = c.xmmReady[src-x86.XMM0]
 			} else {
-				v = [2]uint64{c.regs[s], 0}
-				ready = c.regReady[s]
+				v = [2]uint64{c.regs[src], 0}
+				ready = c.regReady[src]
 			}
 			done := m.dispatchCompute(spec, ready)
-			if d.IsXMM() {
-				if in.Op == x86.MOVQ {
+			if d.Kind[0] == x86.ArgX {
+				if d.Op == x86.MOVQ {
 					v[1] = 0
 				}
-				c.xmm[d-x86.XMM0] = v
-				c.xmmReady[d-x86.XMM0] = done
+				c.xmm[dst-x86.XMM0] = v
+				c.xmmReady[dst-x86.XMM0] = done
 			} else {
-				m.setReg(d, v[0], done)
+				m.setReg(dst, v[0], done)
 			}
 			m.retire(done)
 			return nil
-		case x86.Imm:
+		case x86.ArgI:
 			done := m.dispatchCompute(spec, 0)
-			m.setReg(d, uint64(s), done)
+			m.setReg(dst, uint64(d.Imm), done)
 			m.retire(done)
 			return nil
 		}
-	case x86.Mem:
-		addr, aready, err := m.memOperandAddr(d)
+	case x86.ArgM:
+		addr, aready, err := m.memOperandAddr(d.Mem)
 		if err != nil {
 			return err
 		}
@@ -138,17 +140,16 @@ func (m *Machine) execMove(in x86.Instr, spec x86.InstrSpec) error {
 		var hi uint64
 		var vready int64
 		writeHi := false
-		switch s := src.(type) {
-		case x86.Reg:
-			if s.IsXMM() {
-				val, hi = c.xmm[s-x86.XMM0][0], c.xmm[s-x86.XMM0][1]
-				vready = c.xmmReady[s-x86.XMM0]
-				writeHi = in.Op == x86.MOVAPS
-			} else {
-				val, vready = c.regs[s], c.regReady[s]
-			}
-		case x86.Imm:
-			val = uint64(s)
+		switch d.Kind[1] {
+		case x86.ArgGP:
+			val, vready = c.regs[d.Reg[1]], c.regReady[d.Reg[1]]
+		case x86.ArgX:
+			s := d.Reg[1] - x86.XMM0
+			val, hi = c.xmm[s][0], c.xmm[s][1]
+			vready = c.xmmReady[s]
+			writeHi = d.Op == x86.MOVAPS
+		case x86.ArgI:
+			val = uint64(d.Imm)
 		}
 		done, err := m.store(addr, 8, val, aready, vready)
 		if err != nil {
@@ -158,32 +159,32 @@ func (m *Machine) execMove(in x86.Instr, spec x86.InstrSpec) error {
 			if !m.Mem.Write64(addr+8, hi) {
 				return &Fault{RIP: c.rip, Reason: "#PF: partial vector store"}
 			}
+			m.noteCodeWrite(addr+8, 8)
 		}
 		m.retire(done)
 		return nil
 	}
-	return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported MOV form %s", in.String())}
+	return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported MOV form %s", d.String())}
 }
 
-func (m *Machine) execLEA(in x86.Instr, spec x86.InstrSpec) error {
-	dst := in.Args[0].(x86.Reg)
-	mo := in.Args[1].(x86.Mem)
-	addr, aready, err := m.memOperandAddr(mo)
+func (m *Machine) execLEA(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+	if d.Kind[0] != x86.ArgGP || d.Kind[1] != x86.ArgM {
+		return &Fault{RIP: m.core.rip, Reason: fmt.Sprintf("unsupported LEA form %s", d.String())}
+	}
+	addr, aready, err := m.memOperandAddr(d.Mem)
 	if err != nil {
 		return err
 	}
 	done := m.dispatchCompute(spec, aready)
-	m.setReg(dst, uint64(addr), done)
+	m.setReg(d.Reg[0], uint64(addr), done)
 	m.retire(done)
 	return nil
 }
 
-func (m *Machine) execXCHG(in x86.Instr, spec x86.InstrSpec) error {
+func (m *Machine) execXCHG(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	c := &m.core
-	a0, a1 := in.Args[0], in.Args[1]
-	r0, ok0 := a0.(x86.Reg)
-	r1, ok1 := a1.(x86.Reg)
-	if ok0 && ok1 {
+	if d.Kind[0] == x86.ArgGP && d.Kind[1] == x86.ArgGP {
+		r0, r1 := d.Reg[0], d.Reg[1]
 		ready := maxI64(c.regReady[r0], c.regReady[r1])
 		done := m.dispatchCompute(spec, ready)
 		c.regs[r0], c.regs[r1] = c.regs[r1], c.regs[r0]
@@ -194,13 +195,12 @@ func (m *Machine) execXCHG(in x86.Instr, spec x86.InstrSpec) error {
 	// One memory operand: load, swap, store (no LOCK semantics needed on
 	// a single simulated core).
 	var reg x86.Reg
-	var mo x86.Mem
-	if ok0 {
-		reg, mo = r0, a1.(x86.Mem)
+	if d.Kind[0] == x86.ArgGP {
+		reg = d.Reg[0]
 	} else {
-		reg, mo = r1, a0.(x86.Mem)
+		reg = d.Reg[1]
 	}
-	addr, aready, err := m.memOperandAddr(mo)
+	addr, aready, err := m.memOperandAddr(d.Mem)
 	if err != nil {
 		return err
 	}
@@ -218,18 +218,18 @@ func (m *Machine) execXCHG(in x86.Instr, spec x86.InstrSpec) error {
 	return nil
 }
 
-func (m *Machine) execMulDiv(in x86.Instr, spec x86.InstrSpec) error {
+func (m *Machine) execMulDiv(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	c := &m.core
-	src, sready, err := m.readOperand(in.Args[0])
+	src, sready, err := m.readArg(d, 0)
 	if err != nil {
 		return err
 	}
 	ready := maxI64(sready, c.regReady[x86.RAX])
-	if in.Op == x86.DIV {
+	if d.Op == x86.DIV {
 		ready = maxI64(ready, c.regReady[x86.RDX])
 	}
 	done := m.dispatchCompute(spec, ready)
-	switch in.Op {
+	switch d.Op {
 	case x86.MUL:
 		hi, lo := bits.Mul64(c.regs[x86.RAX], src)
 		m.setReg(x86.RAX, lo, done)
@@ -250,25 +250,26 @@ func (m *Machine) execMulDiv(in x86.Instr, spec x86.InstrSpec) error {
 }
 
 // execIntALU handles the generic integer ALU patterns.
-func (m *Machine) execIntALU(in x86.Instr, spec x86.InstrSpec) error {
+func (m *Machine) execIntALU(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	c := &m.core
-	op := in.Op
+	op := d.Op
 
 	// Unary register/memory forms.
-	if len(in.Args) == 1 {
-		switch d := in.Args[0].(type) {
-		case x86.Reg:
-			ready := c.regReady[d]
+	if d.NArgs == 1 {
+		switch d.Kind[0] {
+		case x86.ArgGP:
+			r := d.Reg[0]
+			ready := c.regReady[r]
 			if spec.ReadsFlags {
 				ready = maxI64(ready, c.flagReady)
 			}
 			done := m.dispatchCompute(spec, ready)
-			res := m.aluUnary(op, c.regs[d], done)
-			m.setReg(d, res, done)
+			res := m.aluUnary(op, c.regs[r], done)
+			m.setReg(r, res, done)
 			m.retire(done)
 			return nil
-		case x86.Mem:
-			addr, aready, err := m.memOperandAddr(d)
+		case x86.ArgM:
+			addr, aready, err := m.memOperandAddr(d.Mem)
 			if err != nil {
 				return err
 			}
@@ -287,18 +288,16 @@ func (m *Machine) execIntALU(in x86.Instr, spec x86.InstrSpec) error {
 		}
 	}
 
-	if len(in.Args) != 2 {
-		return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported form %s", in.String())}
+	if d.NArgs != 2 {
+		return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported form %s", d.String())}
 	}
 
 	// Shift instructions: the count is an immediate or CL.
 	if op == x86.SHL || op == x86.SHR || op == x86.SAR || op == x86.ROL || op == x86.ROR {
-		return m.execShift(in, spec)
+		return m.execShift(d, spec)
 	}
 
-	dst := in.Args[0]
-	src := in.Args[1]
-	srcVal, sready, err := m.readOperand(src)
+	srcVal, sready, err := m.readArg(d, 1)
 	if err != nil {
 		return err
 	}
@@ -314,24 +313,25 @@ func (m *Machine) execIntALU(in x86.Instr, spec x86.InstrSpec) error {
 		readsDst = false
 	}
 
-	switch d := dst.(type) {
-	case x86.Reg:
+	switch d.Kind[0] {
+	case x86.ArgGP:
+		r := d.Reg[0]
 		ready := sready
 		if readsDst {
-			ready = maxI64(ready, c.regReady[d])
+			ready = maxI64(ready, c.regReady[r])
 		}
 		if spec.ReadsFlags {
 			ready = maxI64(ready, c.flagReady)
 		}
 		done := m.dispatchCompute(spec, ready)
-		res, write := m.aluBinary(op, c.regs[d], srcVal, done)
+		res, write := m.aluBinary(op, c.regs[r], srcVal, done)
 		if write && writesDst {
-			m.setReg(d, res, done)
+			m.setReg(r, res, done)
 		}
 		m.retire(done)
 		return nil
-	case x86.Mem:
-		addr, aready, err := m.memOperandAddr(d)
+	case x86.ArgM:
+		addr, aready, err := m.memOperandAddr(d.Mem)
 		if err != nil {
 			return err
 		}
@@ -355,17 +355,17 @@ func (m *Machine) execIntALU(in x86.Instr, spec x86.InstrSpec) error {
 		m.retire(done)
 		return nil
 	}
-	return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported form %s", in.String())}
+	return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported form %s", d.String())}
 }
 
-func (m *Machine) execShift(in x86.Instr, spec x86.InstrSpec) error {
+func (m *Machine) execShift(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	c := &m.core
 	var count uint64
 	var cready int64
-	switch s := in.Args[1].(type) {
-	case x86.Imm:
-		count = uint64(s)
-	case x86.Reg: // CL
+	switch d.Kind[1] {
+	case x86.ArgI:
+		count = uint64(d.Imm)
+	case x86.ArgGP: // CL
 		count = c.regs[x86.RCX]
 		cready = c.regReady[x86.RCX]
 	}
@@ -376,7 +376,7 @@ func (m *Machine) execShift(in x86.Instr, spec x86.InstrSpec) error {
 			return val
 		}
 		var res uint64
-		switch in.Op {
+		switch d.Op {
 		case x86.SHL:
 			res = val << count
 			c.cf = (val>>(64-count))&1 == 1
@@ -393,7 +393,7 @@ func (m *Machine) execShift(in x86.Instr, spec x86.InstrSpec) error {
 			res = bits.RotateLeft64(val, -int(count))
 			c.cf = res>>63 == 1
 		}
-		if in.Op != x86.ROL && in.Op != x86.ROR {
+		if d.Op != x86.ROL && d.Op != x86.ROR {
 			c.zf = res == 0
 			c.sf = res>>63 == 1
 			c.of = false
@@ -402,15 +402,16 @@ func (m *Machine) execShift(in x86.Instr, spec x86.InstrSpec) error {
 		return res
 	}
 
-	switch d := in.Args[0].(type) {
-	case x86.Reg:
-		ready := maxI64(c.regReady[d], cready)
+	switch d.Kind[0] {
+	case x86.ArgGP:
+		r := d.Reg[0]
+		ready := maxI64(c.regReady[r], cready)
 		done := m.dispatchCompute(spec, ready)
-		m.setReg(d, apply(c.regs[d], done), done)
+		m.setReg(r, apply(c.regs[r], done), done)
 		m.retire(done)
 		return nil
-	case x86.Mem:
-		addr, aready, err := m.memOperandAddr(d)
+	case x86.ArgM:
+		addr, aready, err := m.memOperandAddr(d.Mem)
 		if err != nil {
 			return err
 		}
@@ -566,17 +567,18 @@ func (m *Machine) aluBinary(op x86.Op, a, b uint64, done int64) (uint64, bool) {
 }
 
 // execSSE handles vector arithmetic with an XMM destination.
-func (m *Machine) execSSE(in x86.Instr, spec x86.InstrSpec) error {
+func (m *Machine) execSSE(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	c := &m.core
-	dst := in.Args[0].(x86.Reg) - x86.XMM0
+	dst := d.Reg[0] - x86.XMM0
 	var src [2]uint64
 	var sready int64
-	switch s := in.Args[1].(type) {
-	case x86.Reg:
-		src = c.xmm[s-x86.XMM0]
-		sready = c.xmmReady[s-x86.XMM0]
-	case x86.Mem:
-		addr, aready, err := m.memOperandAddr(s)
+	switch d.Kind[1] {
+	case x86.ArgX:
+		s := d.Reg[1] - x86.XMM0
+		src = c.xmm[s]
+		sready = c.xmmReady[s]
+	case x86.ArgM:
+		addr, aready, err := m.memOperandAddr(d.Mem)
 		if err != nil {
 			return err
 		}
@@ -590,7 +592,7 @@ func (m *Machine) execSSE(in x86.Instr, spec x86.InstrSpec) error {
 	}
 	ready := maxI64(sready, c.xmmReady[dst])
 	done := m.dispatchCompute(spec, ready)
-	c.xmm[dst] = vecCompute(in.Op, c.xmm[dst], src)
+	c.xmm[dst] = vecCompute(d.Op, c.xmm[dst], src)
 	c.xmmReady[dst] = done
 	m.retire(done)
 	return nil

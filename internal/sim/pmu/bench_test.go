@@ -1,0 +1,62 @@
+package pmu
+
+import "testing"
+
+// benchPMU returns a PMU configured the way measurement runs see it: fixed
+// counters plus four programmable counters, all enabled.
+func benchPMU() *PMU {
+	p := New(4, 0.88)
+	p.Prog[0].Configure(EvUopsPort0)
+	p.Prog[1].Configure(EvUopsPort1)
+	p.Prog[2].Configure(EvUopsIssued)
+	p.Prog[3].Configure(EvLoadL1Hit)
+	p.SetGlobalEnable(true, 0)
+	return p
+}
+
+// BenchmarkPMURecord measures the cost of delivering one core event to the
+// PMU — the operation the core performs 3–6 times per simulated
+// instruction.
+func BenchmarkPMURecord(b *testing.B) {
+	p := benchPMU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cyc := int64(i)
+		p.Advance(cyc)
+		p.Record(EvInstRetired, cyc)
+		p.Record(EvUopsIssued, cyc)
+		p.Record(EvUopsPort0, cyc+2)
+	}
+}
+
+// BenchmarkPMUReadPMC measures sampling a counter mid-stream, after a
+// long recording history — the RDPMC hot path.
+func BenchmarkPMUReadPMC(b *testing.B) {
+	p := benchPMU()
+	for i := 0; i < 1<<16; i++ {
+		cyc := int64(i)
+		p.Advance(cyc)
+		p.Record(EvInstRetired, cyc)
+		p.Record(EvUopsIssued, cyc+3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.ReadPMC(1<<30|0, 1<<15); !ok {
+			b.Fatal("bad index")
+		}
+	}
+}
+
+// BenchmarkPMUResetAll measures the between-runs counter reset that the
+// runner performs NMeasurements×(warmup+runs) times per benchmark config.
+func BenchmarkPMUResetAll(b *testing.B) {
+	p := benchPMU()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			cyc := int64(i*64 + j)
+			p.Record(EvInstRetired, cyc)
+			p.Record(EvUopsIssued, cyc)
+		}
+		p.ResetAll(int64(i * 64))
+	}
+}

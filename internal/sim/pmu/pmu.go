@@ -74,59 +74,142 @@ func (e Event) String() string {
 	return "Event(?)"
 }
 
-// stream is a cycle-stamped event stream. Events are appended in program
-// order; their cycles are approximately but not strictly increasing.
-type stream struct {
-	cycles []int64
-	max    int64
+// minCompactLen is the smallest out-of-order tail length worth a
+// compaction pass.
+const minCompactLen = 64
+
+// EventCounter counts occurrences of one event while enabled.
+//
+// Events used to be kept as a full cycle-stamped stream, with reads doing
+// an O(history) scan; at 3–6 events per retired instruction the
+// measurement machinery dominated the measured code. The stream is now a
+// watermark counter: `settled` holds the events every possible future
+// read will count, and only the bounded out-of-order tail — events
+// stamped after the watermark, which a not-yet-executed read µop could
+// still logically precede — keeps explicit cycles. Record is a counter
+// bump or a bounded append, reads scan O(tail) instead of O(history), and
+// the unfenced-RDPMC undercount semantics of Section IV-A1 are preserved
+// bit-for-bit: settling only ever moves events whose cycle is at or below
+// the watermark, and the core guarantees (via Advance) that no future
+// read samples below it.
+type EventCounter struct {
+	base    uint64
+	ev      Event
+	enabled bool
+
+	// settled counts events at cycles <= watermark: every future read
+	// samples at or above the watermark, so these are unconditionally
+	// visible and need no cycle stamps.
+	settled   uint64
+	watermark int64
+	// tail holds the cycles of events above the watermark, in record
+	// order (approximately but not strictly increasing).
+	tail []int64
+	// max is the highest cycle ever recorded; reads at or above it take
+	// the O(1) fast path.
+	max int64
+	// compactAt is the tail length that triggers the next compaction
+	// sweep; it doubles with the surviving tail so sweeps amortize to
+	// O(1) per recorded event.
+	compactAt int
+
+	// owner, when the counter belongs to a PMU, is notified on
+	// Configure/SetEnabled so the PMU can rebuild its per-event listener
+	// lists. Standalone counters (uncore boxes, tests) have no owner.
+	owner *PMU
 }
 
-func (s *stream) add(cycle int64) {
-	s.cycles = append(s.cycles, cycle)
-	if cycle > s.max {
-		s.max = cycle
+// add records one event occurrence at the given cycle.
+func (c *EventCounter) add(cycle int64) {
+	if cycle <= c.watermark {
+		c.settled++
+	} else {
+		c.tail = append(c.tail, cycle)
+	}
+	if cycle > c.max {
+		c.max = cycle
 	}
 }
 
-// countUpTo counts events with cycle <= c.
-func (s *stream) countUpTo(c int64) uint64 {
-	if c >= s.max {
-		return uint64(len(s.cycles))
+// advance raises the watermark: the caller promises that no future Read
+// will sample below cycle w.
+func (c *EventCounter) advance(w int64) {
+	if w <= c.watermark {
+		return
 	}
-	var n uint64
-	for _, ec := range s.cycles {
-		if ec <= c {
+	c.watermark = w
+	if len(c.tail) >= c.compactAt {
+		c.compact()
+	}
+}
+
+// compact settles tail events at or below the watermark.
+func (c *EventCounter) compact() {
+	keep := c.tail[:0]
+	for _, ec := range c.tail {
+		if ec <= c.watermark {
+			c.settled++
+		} else {
+			keep = append(keep, ec)
+		}
+	}
+	c.tail = keep
+	c.compactAt = 2 * len(keep)
+	if c.compactAt < minCompactLen {
+		c.compactAt = minCompactLen
+	}
+}
+
+// countUpTo counts recorded events with cycle <= cy.
+func (c *EventCounter) countUpTo(cy int64) uint64 {
+	n := c.settled
+	if cy >= c.max {
+		return n + uint64(len(c.tail))
+	}
+	for _, ec := range c.tail {
+		if ec <= cy {
 			n++
 		}
 	}
 	return n
 }
 
-func (s *stream) reset() {
-	s.cycles = s.cycles[:0]
-	s.max = 0
+// clear discards accumulated events; the watermark survives (it is a
+// promise about future reads, not about recorded history). The
+// compaction threshold resets so one run with a deep out-of-order tail
+// does not inflate the tail bound of later runs.
+func (c *EventCounter) clear() {
+	c.settled = 0
+	c.tail = c.tail[:0]
+	c.max = 0
+	c.compactAt = minCompactLen
 }
 
-// EventCounter counts occurrences of one event while enabled.
-type EventCounter struct {
-	base    uint64
-	ev      Event
-	enabled bool
-	str     stream
-}
+// Advance declares that no future Read will sample below cycle w (the
+// core calls this with its front-end cycle, which lower-bounds every
+// later dispatch).
+func (c *EventCounter) Advance(w int64) { c.advance(w) }
 
 // Configure programs the counter to count ev; it clears accumulated state.
 func (c *EventCounter) Configure(ev Event) {
 	c.ev = ev
 	c.base = 0
-	c.str.reset()
+	c.clear()
+	if c.owner != nil {
+		c.owner.listenersStale = true
+	}
 }
 
 // Event returns the configured event.
 func (c *EventCounter) Event() Event { return c.ev }
 
 // SetEnabled switches counting on or off.
-func (c *EventCounter) SetEnabled(on bool) { c.enabled = on }
+func (c *EventCounter) SetEnabled(on bool) {
+	c.enabled = on
+	if c.owner != nil {
+		c.owner.listenersStale = true
+	}
+}
 
 // Enabled reports whether the counter is counting.
 func (c *EventCounter) Enabled() bool { return c.enabled }
@@ -135,7 +218,7 @@ func (c *EventCounter) Enabled() bool { return c.enabled }
 // enabled and programmed for ev.
 func (c *EventCounter) Record(ev Event, cycle int64) {
 	if c.enabled && c.ev == ev {
-		c.str.add(cycle)
+		c.add(cycle)
 	}
 }
 
@@ -143,19 +226,19 @@ func (c *EventCounter) Record(ev Event, cycle int64) {
 // is used by uncore counters, which have dedicated event streams.
 func (c *EventCounter) RecordAlways(cycle int64) {
 	if c.enabled {
-		c.str.add(cycle)
+		c.add(cycle)
 	}
 }
 
 // Read samples the counter at the given cycle.
 func (c *EventCounter) Read(cycle int64) uint64 {
-	return c.base + c.str.countUpTo(cycle)
+	return c.base + c.countUpTo(cycle)
 }
 
 // Write sets the counter's architectural value and discards event history.
 func (c *EventCounter) Write(v uint64) {
 	c.base = v
-	c.str.reset()
+	c.clear()
 }
 
 // CycleCounter counts cycles (optionally scaled, for reference-cycle
@@ -230,6 +313,16 @@ type PMU struct {
 	// APERF/MPERF (MSR-only, kernel mode).
 	APerf *CycleCounter
 	MPerf *CycleCounter
+
+	// listeners maps each event to the counters currently programmed and
+	// enabled for it, so Record touches only counters that will actually
+	// count instead of testing every counter per event. Rebuilt lazily
+	// after any Configure/SetEnabled.
+	listeners      [NumEvents][]*EventCounter
+	listenersStale bool
+	// lastAdvance short-circuits Advance while the front-end cycle has
+	// not moved.
+	lastAdvance int64
 }
 
 // New creates a PMU with nProg programmable counters; refRatio is the
@@ -242,17 +335,53 @@ func New(nProg int, refRatio float64) *PMU {
 		APerf:     NewCycleCounter(1.0, true),
 		MPerf:     NewCycleCounter(refRatio, true),
 	}
+	p.FixedInst.owner = p
 	for i := 0; i < nProg; i++ {
-		p.Prog = append(p.Prog, &EventCounter{})
+		p.Prog = append(p.Prog, &EventCounter{owner: p})
 	}
+	p.listenersStale = true
 	return p
 }
 
-// Record delivers a core event to every counter.
-func (p *PMU) Record(ev Event, cycle int64) {
-	p.FixedInst.Record(ev, cycle)
+// rebuildListeners recomputes the per-event listener lists.
+func (p *PMU) rebuildListeners() {
+	for ev := range p.listeners {
+		p.listeners[ev] = p.listeners[ev][:0]
+	}
+	add := func(c *EventCounter) {
+		if c.enabled && c.ev != EvNone {
+			p.listeners[c.ev] = append(p.listeners[c.ev], c)
+		}
+	}
+	add(p.FixedInst)
 	for _, c := range p.Prog {
-		c.Record(ev, cycle)
+		add(c)
+	}
+	p.listenersStale = false
+}
+
+// Advance declares that no future Read of any core counter will sample
+// below cycle w, letting the event counters settle their out-of-order
+// tails. The core calls it once per simulated instruction with its
+// front-end cycle (every later read µop dispatches at or above it).
+func (p *PMU) Advance(w int64) {
+	if w <= p.lastAdvance {
+		return
+	}
+	p.lastAdvance = w
+	p.FixedInst.advance(w)
+	for _, c := range p.Prog {
+		c.advance(w)
+	}
+}
+
+// Record delivers a core event to the counters programmed for it.
+func (p *PMU) Record(ev Event, cycle int64) {
+	if p.listenersStale {
+		p.rebuildListeners()
+	}
+	for _, c := range p.listeners[ev] {
+		c.add(cycle)
 	}
 }
 
@@ -322,6 +451,15 @@ func NewCBox() *CBox {
 	l.SetEnabled(true)
 	m.SetEnabled(true)
 	return &CBox{Lookups: l, Misses: m}
+}
+
+// Advance declares that no future read of this box's counters will
+// sample below cycle w. The machine calls it at the start of each run:
+// uncore events are orders of magnitude rarer than core events, so
+// per-run settling bounds the tails without a per-instruction cost.
+func (b *CBox) Advance(w int64) {
+	b.Lookups.advance(w)
+	b.Misses.advance(w)
 }
 
 // Record delivers an uncore event at the given cycle.

@@ -1,6 +1,9 @@
 package pmu
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestEventCounterSampling(t *testing.T) {
 	var c EventCounter
@@ -129,6 +132,125 @@ func TestCBox(t *testing.T) {
 	b.ResetAll()
 	if v := b.Lookups.Read(10); v != 0 {
 		t.Fatalf("lookups after reset = %d", v)
+	}
+}
+
+// refCounter is the pre-watermark stream model: every event keeps its
+// cycle stamp and reads scan the full history. The watermark counter must
+// be observationally identical to it as long as reads respect the Advance
+// contract.
+type refCounter struct{ cycles []int64 }
+
+func (r *refCounter) add(c int64) { r.cycles = append(r.cycles, c) }
+func (r *refCounter) countUpTo(c int64) uint64 {
+	var n uint64
+	for _, ec := range r.cycles {
+		if ec <= c {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWatermarkEquivalence drives a watermark counter and the reference
+// stream model with an identical out-of-order event pattern — including
+// reads below the newest recorded cycle, the §IV-A1 unfenced-RDPMC
+// undercount situation — and requires identical samples everywhere.
+func TestWatermarkEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var c EventCounter
+	c.Configure(EvUopsIssued)
+	c.SetEnabled(true)
+	var ref refCounter
+
+	cur := int64(0) // the simulated front-end cycle: monotone
+	for i := 0; i < 20000; i++ {
+		cur += rng.Int63n(4)
+		// The core promises every later read samples at >= cur.
+		c.Advance(cur)
+		// Events are stamped at or above the front-end cycle (dispatch,
+		// completion, and retire cycles all are), with out-of-order skew.
+		ev := cur + rng.Int63n(300)
+		c.Record(EvUopsIssued, ev)
+		ref.add(ev)
+		if i%7 == 0 {
+			// An unfenced read: it may logically precede events recorded
+			// with higher cycle stamps and must undercount identically.
+			rc := cur + rng.Int63n(150)
+			got, want := c.Read(rc), ref.countUpTo(rc)
+			if got != want {
+				t.Fatalf("step %d: Read(%d) = %d, reference = %d", i, rc, got, want)
+			}
+		}
+	}
+	// Final settled read.
+	if got, want := c.Read(cur+1000), uint64(len(ref.cycles)); got != want {
+		t.Fatalf("final Read = %d, want %d", got, want)
+	}
+}
+
+// TestWatermarkTailBounded checks that Advance keeps the out-of-order
+// tail bounded by the event skew, not by the run length.
+func TestWatermarkTailBounded(t *testing.T) {
+	var c EventCounter
+	c.Configure(EvInstRetired)
+	c.SetEnabled(true)
+	for i := int64(0); i < 100000; i++ {
+		c.Advance(i)
+		c.Record(EvInstRetired, i+20) // constant skew of 20 cycles
+	}
+	if len(c.tail) > 2*minCompactLen+20 {
+		t.Fatalf("tail grew to %d entries; should stay bounded by the skew", len(c.tail))
+	}
+	if got := c.Read(100020); got != 100000 {
+		t.Fatalf("Read = %d, want 100000", got)
+	}
+}
+
+// TestResetKeepsWatermark checks that resetting a counter between runs
+// (the runner does this NMeasurements×(warmup+runs) times) preserves
+// counting correctness and reuses the tail storage.
+func TestResetKeepsWatermark(t *testing.T) {
+	var c EventCounter
+	c.Configure(EvInstRetired)
+	c.SetEnabled(true)
+	for run := 0; run < 10; run++ {
+		base := int64(run * 1000)
+		c.Advance(base)
+		c.Write(0)
+		for i := int64(0); i < 100; i++ {
+			c.Record(EvInstRetired, base+i)
+		}
+		if got := c.Read(base + 1000); got != 100 {
+			t.Fatalf("run %d: Read = %d, want 100", run, got)
+		}
+	}
+}
+
+// TestListenerRebuild checks that reprogramming and re-enabling counters
+// keeps the PMU's per-event listener lists coherent.
+func TestListenerRebuild(t *testing.T) {
+	p := New(2, 1.0)
+	p.Prog[0].Configure(EvUopsIssued)
+	p.SetGlobalEnable(true, 0)
+	p.Record(EvUopsIssued, 5)
+	if v, _ := p.ReadPMC(0, 10); v != 1 {
+		t.Fatalf("count = %d, want 1", v)
+	}
+	// Reprogram counter 0 to a different event: old event must no longer
+	// be delivered, new one must be.
+	p.Prog[0].Configure(EvLoadL1Hit)
+	p.Prog[0].SetEnabled(true)
+	p.Record(EvUopsIssued, 20)
+	p.Record(EvLoadL1Hit, 21)
+	if v, _ := p.ReadPMC(0, 30); v != 1 {
+		t.Fatalf("after reprogram: count = %d, want 1", v)
+	}
+	// Disabling removes the listener.
+	p.Prog[0].SetEnabled(false)
+	p.Record(EvLoadL1Hit, 40)
+	if v, _ := p.ReadPMC(0, 50); v != 1 {
+		t.Fatalf("after disable: count = %d, want 1", v)
 	}
 }
 

@@ -1,0 +1,107 @@
+package x86
+
+import "fmt"
+
+// ArgKind classifies one operand of a pre-decoded instruction into the
+// concrete shapes the simulator's execution engine handles, replacing the
+// per-step interface type assertions on Instr.Args.
+type ArgKind uint8
+
+// Operand kinds.
+const (
+	ArgNone ArgKind = iota
+	ArgGP           // general-purpose register (Reg holds it)
+	ArgX            // XMM register (Reg holds it)
+	ArgI            // immediate (Imm holds it)
+	ArgM            // memory operand (Mem holds it)
+)
+
+// DecodedInstr is one fully pre-decoded instruction: the mnemonic, its
+// encoded length, the resolved timing specification, and concrete operand
+// kinds. Pre-decoding happens once per installed code image, so the
+// per-step interpreter front end touches no maps and performs no interface
+// dispatch.
+//
+// The x86 subset the simulator supports has at most two explicit operands,
+// of which at most one is an immediate and at most one is a memory
+// operand; Imm and Mem therefore need no per-argument storage.
+type DecodedInstr struct {
+	Op    Op
+	Class Class
+	Len   uint8
+	NArgs uint8
+	Kind  [2]ArgKind
+	Reg   [2]Reg // register operand at the corresponding index (ArgGP/ArgX)
+	Imm   int64  // immediate operand, whichever index holds it
+	Mem   Mem    // memory operand, whichever index holds it
+	Spec  *InstrSpec
+}
+
+// Predecode resolves a decoded instruction of encoded length n into its
+// pre-decoded form. It fails on operands the execution engine cannot run
+// (unresolved label references).
+func Predecode(in Instr, n int) (DecodedInstr, error) {
+	sp := SpecPtr(in.Op)
+	d := DecodedInstr{
+		Op:    in.Op,
+		Class: sp.Class,
+		Len:   uint8(n),
+		NArgs: uint8(len(in.Args)),
+		Spec:  sp,
+	}
+	if len(in.Args) > 2 {
+		return DecodedInstr{}, fmt.Errorf("x86: %s has %d operands; predecode supports 2", in.Op, len(in.Args))
+	}
+	for i, a := range in.Args {
+		switch v := a.(type) {
+		case Reg:
+			if v.IsXMM() {
+				d.Kind[i] = ArgX
+			} else {
+				d.Kind[i] = ArgGP
+			}
+			d.Reg[i] = v
+		case Imm:
+			d.Kind[i] = ArgI
+			d.Imm = int64(v)
+		case Mem:
+			d.Kind[i] = ArgM
+			d.Mem = v
+		default:
+			return DecodedInstr{}, fmt.Errorf("x86: cannot predecode operand %v of %s", a, in.Op)
+		}
+	}
+	return d, nil
+}
+
+// DecodeOne decodes and pre-decodes the instruction at the start of buf.
+func DecodeOne(buf []byte) (DecodedInstr, error) {
+	in, n, err := Decode(buf)
+	if err != nil {
+		return DecodedInstr{}, err
+	}
+	return Predecode(in, n)
+}
+
+// Instr reconstructs the generic instruction form, for error messages and
+// debug output (cold paths only).
+func (d *DecodedInstr) Instr() Instr {
+	in := Instr{Op: d.Op}
+	for i := 0; i < int(d.NArgs); i++ {
+		switch d.Kind[i] {
+		case ArgGP, ArgX:
+			in.Args = append(in.Args, d.Reg[i])
+		case ArgI:
+			in.Args = append(in.Args, Imm(d.Imm))
+		case ArgM:
+			in.Args = append(in.Args, d.Mem)
+		}
+	}
+	return in
+}
+
+// String renders the pre-decoded instruction in Intel syntax.
+func (d *DecodedInstr) String() string {
+	in := d.Instr()
+	return in.String()
+}

@@ -47,15 +47,27 @@ func (m PortMask) CountPorts() int {
 	return n
 }
 
-// Ports returns the port indices in the mask, in ascending order.
-func (m PortMask) Ports() []int {
-	var out []int
-	for i := 0; i < NumPorts; i++ {
-		if m&(1<<i) != 0 {
-			out = append(out, i)
+// portListTab precomputes the port-index list of every possible mask. The
+// core's dispatch loop fetches one of these per µop; computing (and
+// allocating) the list on every dispatch dominated the scheduler's cost.
+var portListTab [1 << NumPorts][]int
+
+func init() {
+	for m := range portListTab {
+		var out []int
+		for i := 0; i < NumPorts; i++ {
+			if m&(1<<i) != 0 {
+				out = append(out, i)
+			}
 		}
+		portListTab[m] = out
 	}
-	return out
+}
+
+// Ports returns the port indices in the mask, in ascending order. The
+// returned slice is shared and must not be modified.
+func (m PortMask) Ports() []int {
+	return portListTab[m&(1<<NumPorts-1)]
 }
 
 // UopSpec describes one compute µop of an instruction.
@@ -202,19 +214,39 @@ var specs = map[Op]InstrSpec{
 	PXOR:   {Uops: []UopSpec{{Ports: PortsVecALU, Latency: 1, Occupancy: 1}}},
 }
 
+// specTab is the array-backed spec table: the per-instruction map lookup
+// in Spec was a measurable share of interpreter time, so the map literal
+// above is flattened into a dense array indexed by Op at init.
+var (
+	specTab   [numOps]InstrSpec
+	specKnown [numOps]bool
+)
+
+func init() {
+	for op, s := range specs {
+		specTab[op] = s
+		specKnown[op] = true
+	}
+}
+
 // Spec returns the ground-truth specification for op. It panics if the op
 // has no specification (every supported mnemonic must have one; a test
 // enforces this).
 func Spec(op Op) InstrSpec {
-	s, ok := specs[op]
-	if !ok {
+	return *SpecPtr(op)
+}
+
+// SpecPtr returns a pointer to the shared specification for op in O(1).
+// Callers must not mutate the returned spec. It panics if the op has no
+// specification.
+func SpecPtr(op Op) *InstrSpec {
+	if op >= numOps || !specKnown[op] {
 		panic("x86: missing spec for " + op.String())
 	}
-	return s
+	return &specTab[op]
 }
 
 // HasSpec reports whether op has a timing specification.
 func HasSpec(op Op) bool {
-	_, ok := specs[op]
-	return ok
+	return op < numOps && specKnown[op]
 }
