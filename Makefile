@@ -3,10 +3,18 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race vet fmt fmt-check ci bench
+.PHONY: build build-bins test test-short test-race vet fmt fmt-check ci bench
 
 build:
 	$(GO) build ./...
+
+# Link every cmd/* and examples/* binary (output discarded): facade
+# refactors can never silently break the CLIs or examples.
+build-bins:
+	@for d in ./cmd/* ./examples/*; do \
+		echo "build $$d"; \
+		$(GO) build -o /dev/null $$d || exit 1; \
+	done
 
 test:
 	$(GO) test ./...
@@ -35,4 +43,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build test-short test
+ci: fmt-check vet build build-bins test-short test

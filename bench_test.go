@@ -1,4 +1,6 @@
-package nanobench
+// The external test package breaks the would-be cycle: the experiments
+// package itself drives the nanobench facade.
+package nanobench_test
 
 // The benchmark harness regenerates every table and figure of the paper's
 // evaluation (DESIGN.md experiment index E1–E11). Each benchmark runs the

@@ -14,9 +14,8 @@ import (
 	"os"
 	"strings"
 
+	"nanobench"
 	"nanobench/internal/cachetools"
-	"nanobench/internal/nano"
-	"nanobench/internal/sim/machine"
 	"nanobench/internal/uarch"
 )
 
@@ -30,15 +29,13 @@ func main() {
 		maxFresh = flag.Int("max_fresh", 200, "maximum number of fresh blocks")
 		step     = flag.Int("step", 8, "fresh-block step")
 		trials   = flag.Int("trials", 16, "trials per data point")
-		seed     = flag.Int64("seed", 42, "machine seed")
+		seed     = flag.Int64("seed", nanobench.DefaultBatchSeed, "machine seed")
 	)
 	flag.Parse()
 
-	cpu, err := uarch.ByName(*cpuName)
+	s, err := nanobench.Open(nanobench.WithCPU(*cpuName), nanobench.WithSeed(*seed))
 	fatal(err)
-	m, err := cpu.NewMachine(*seed)
-	fatal(err)
-	r, err := nano.NewRunner(m, machine.Kernel)
+	r, err := s.NewRunner()
 	fatal(err)
 	tool, err := cachetools.New(r)
 	fatal(err)
@@ -57,7 +54,7 @@ func main() {
 	fatal(err)
 
 	fmt.Fprintf(os.Stderr, "agegraph: %s L%d set %d slice %d, prefix %q, %d trials\n",
-		cpu.Name, *level, *set, *cbox, prefixStr, *trials)
+		s.CPUName(), *level, *set, *cbox, prefixStr, *trials)
 	g, err := tool.AgeGraphFor(lvl, *cbox, *set, prefix, *maxFresh, *step, *trials)
 	fatal(err)
 	fmt.Print(g.Format())

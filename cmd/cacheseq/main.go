@@ -10,9 +10,8 @@ import (
 	"fmt"
 	"os"
 
+	"nanobench"
 	"nanobench/internal/cachetools"
-	"nanobench/internal/nano"
-	"nanobench/internal/sim/machine"
 	"nanobench/internal/uarch"
 )
 
@@ -23,7 +22,7 @@ func main() {
 		set     = flag.Int("set", 768, "set index (within the slice for L3)")
 		cbox    = flag.Int("cbox", 0, "C-Box / L3 slice")
 		seqStr  = flag.String("seq", "", "access sequence, e.g. \"<wbinvd> B0 B1 B0?\" ('?' = measured)")
-		seed    = flag.Int64("seed", 42, "machine seed")
+		seed    = flag.Int64("seed", nanobench.DefaultBatchSeed, "machine seed")
 	)
 	flag.Parse()
 	if *seqStr == "" {
@@ -33,11 +32,9 @@ func main() {
 
 	seq, err := cachetools.ParseSeq(*seqStr)
 	fatal(err)
-	cpu, err := uarch.ByName(*cpuName)
+	s, err := nanobench.Open(nanobench.WithCPU(*cpuName), nanobench.WithSeed(*seed))
 	fatal(err)
-	m, err := cpu.NewMachine(*seed)
-	fatal(err)
-	r, err := nano.NewRunner(m, machine.Kernel)
+	r, err := s.NewRunner()
 	fatal(err)
 	tool, err := cachetools.New(r)
 	fatal(err)

@@ -1,6 +1,9 @@
 // Command experiments regenerates the tables and figures of the nanoBench
 // paper's evaluation (see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for recorded results).
+// EXPERIMENTS.md for recorded results). The experiments package drives
+// the public Session API — its machines, sweeps, and caches go through
+// nanobench.Open — so this binary doubles as an end-to-end exercise of
+// the facade.
 //
 //	experiments -all          # everything (several minutes)
 //	experiments -table1       # Table I only

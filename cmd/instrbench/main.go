@@ -1,29 +1,31 @@
 // Command instrbench runs the case-study-I sweep (Section V): latency,
 // throughput, and port usage for every instruction variant in the table,
 // in the style of uops.info. By default the per-variant evaluations fan
-// out across all cores through the batch scheduler; -serial reproduces
-// the single shared-machine loop.
+// out across all cores through the batch scheduler, and Ctrl-C cancels
+// the sweep promptly; -serial reproduces the single shared-machine loop
+// (not cancellable mid-variant — Ctrl-C terminates the process).
 //
 //	instrbench -cpu Skylake
 //	instrbench -cpu Skylake -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"nanobench"
 	"nanobench/internal/instbench"
-	"nanobench/internal/nano"
 	"nanobench/internal/sched"
-	"nanobench/internal/sim/machine"
 	"nanobench/internal/uarch"
 )
 
 func main() {
 	var (
 		cpuName = flag.String("cpu", "Skylake", "simulated CPU model ("+uarch.NameList()+")")
-		seed    = flag.Int64("seed", 42, "machine seed (root seed in parallel mode)")
+		seed    = flag.Int64("seed", nanobench.DefaultBatchSeed, "machine seed (root seed in parallel mode)")
 		usr     = flag.Bool("usr", false, "use the user-space version (noisier)")
 		workers = flag.Int("workers", 0, "parallel simulated machines (0 = all cores)")
 		serial  = flag.Bool("serial", false, "run serially on one shared machine")
@@ -32,23 +34,31 @@ func main() {
 
 	cpu, err := uarch.ByName(*cpuName)
 	fatal(err)
-	mode := machine.Kernel
+	mode := nanobench.Kernel
 	if *usr {
-		mode = machine.User
+		mode = nanobench.User
 	}
 
 	var ms []instbench.Measurement
 	if *serial {
-		m, err := cpu.NewMachine(*seed)
+		// One shared machine, driven through a facade session. No signal
+		// context here: MeasureAll is not cancellable, so Ctrl-C keeps its
+		// default terminate-the-process behavior.
+		s, err := nanobench.Open(
+			nanobench.WithCPU(cpu.Name),
+			nanobench.WithMode(mode),
+			nanobench.WithSeed(*seed),
+		)
 		fatal(err)
-		r, err := nano.NewRunner(m, mode)
+		r, err := s.NewRunner()
 		fatal(err)
 		ms, err = instbench.MeasureAll(r)
 		fatal(err)
 	} else {
-		ms, err = instbench.Sweep(cpu.Name, mode, sched.Options{
-			Workers: *workers, RootSeed: *seed, Cache: sched.NewCache(),
-		})
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		ms, err = instbench.SweepVariantsContext(ctx, cpu.Name, mode, instbench.Variants(),
+			sched.Options{Workers: *workers, RootSeed: *seed, Cache: sched.NewCache()})
+		stop()
 		fatal(err)
 	}
 	fmt.Printf("# %s (%s), %d instruction variants\n", cpu.Name, cpu.Model, len(ms))

@@ -8,14 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"nanobench"
 	"nanobench/internal/kmod"
 	"nanobench/internal/nano"
-	"nanobench/internal/perfcfg"
-	"nanobench/internal/sim/machine"
 	"nanobench/internal/uarch"
 )
 
@@ -26,16 +26,16 @@ func main() {
 		codeF   = flag.String("code", "", "file with raw machine code for the benchmark")
 		initF   = flag.String("code_init", "", "file with raw machine code for the init part")
 		cfgF    = flag.String("config", "", "performance counter configuration file")
-		unroll  = flag.Int("unroll_count", 100, "number of copies of the benchmark code")
-		loop    = flag.Int("loop_count", 0, "loop iterations around the unrolled code (0: no loop)")
-		nMeas   = flag.Int("n_measurements", 10, "number of measured runs")
-		warmUp  = flag.Int("warm_up_count", 1, "initial runs excluded from the result")
+		unroll  = flag.Int("unroll_count", nanobench.DefaultUnrollCount, "number of copies of the benchmark code")
+		loop    = flag.Int("loop_count", nanobench.DefaultLoopCount, "loop iterations around the unrolled code (0: no loop)")
+		nMeas   = flag.Int("n_measurements", nanobench.DefaultNMeasurements, "number of measured runs")
+		warmUp  = flag.Int("warm_up_count", nanobench.DefaultWarmUpCount, "initial runs excluded from the result")
 		agg     = flag.String("agg", "min", "aggregate function: min, med, avg")
 		basic   = flag.Bool("basic_mode", false, "second run uses no benchmark code instead of 2x unrolling")
 		noMem   = flag.Bool("no_mem", false, "store counter values in registers instead of memory")
 		usr     = flag.Bool("usr", false, "use the user-space version")
 		cpuName = flag.String("cpu", "Skylake", "simulated CPU model ("+uarch.NameList()+")")
-		seed    = flag.Int64("seed", 42, "machine seed")
+		seed    = flag.Int64("seed", nanobench.DefaultBatchSeed, "machine seed")
 	)
 	flag.Parse()
 
@@ -45,23 +45,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	cpu, err := uarch.ByName(*cpuName)
-	fatal(err)
-	m, err := cpu.NewMachine(*seed)
+	mode := nanobench.Kernel
+	if *usr {
+		mode = nanobench.User
+	}
+	s, err := nanobench.Open(
+		nanobench.WithCPU(*cpuName),
+		nanobench.WithMode(mode),
+		nanobench.WithSeed(*seed),
+	)
 	fatal(err)
 
 	aggregate, err := nano.ParseAggregate(*agg)
 	fatal(err)
 
-	var events []perfcfg.EventSpec
+	var events []nanobench.EventSpec
 	if *cfgF != "" {
 		data, err := os.ReadFile(*cfgF)
 		fatal(err)
-		events, err = perfcfg.Parse(string(data))
+		events, err = nanobench.ParseEvents(string(data))
 		fatal(err)
 	}
 
-	cfg := nano.Config{
+	cfg := nanobench.Config{
 		UnrollCount:   *unroll,
 		LoopCount:     *loop,
 		NMeasurements: *nMeas,
@@ -75,16 +81,23 @@ func main() {
 	cfg.CodeInit = loadCode(*asmInit, *initF)
 
 	if *usr {
-		r, err := nano.NewRunner(m, machine.User)
+		// A dedicated runner keeps -seed meaning the raw machine seed, as
+		// in the kernel path below and every prior release (Session.Run
+		// would derive a batch-index seed, changing user-mode
+		// timer-interrupt jitter for the same flag value).
+		r, err := s.NewRunner()
 		fatal(err)
-		res, err := r.Run(cfg)
+		res, err := r.RunContext(context.Background(), cfg)
 		fatal(err)
 		fmt.Print(res)
 		return
 	}
 
 	// Kernel space: go through the simulated kernel module's virtual
-	// files, exactly like kernel-nanoBench.sh does.
+	// files, exactly like kernel-nanoBench.sh does, on a machine from the
+	// session.
+	m, err := s.NewMachine()
+	fatal(err)
 	k, err := kmod.Load(m)
 	fatal(err)
 	fatal(k.WriteFile("/sys/nb/code", cfg.Code))
@@ -113,7 +126,7 @@ func main() {
 
 func loadCode(asm, file string) []byte {
 	if asm != "" {
-		code, err := nano.Asm(asm)
+		code, err := nanobench.Asm(asm)
 		fatal(err)
 		return code
 	}

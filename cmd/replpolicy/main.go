@@ -6,14 +6,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"nanobench"
 	"nanobench/internal/cachetools"
-	"nanobench/internal/nano"
-	"nanobench/internal/sim/machine"
 	"nanobench/internal/uarch"
 )
 
@@ -24,25 +25,25 @@ func main() {
 		set     = flag.Int("set", 520, "set index")
 		cbox    = flag.Int("cbox", 0, "C-Box / L3 slice")
 		maxSeq  = flag.Int("max_seqs", 200, "maximum number of measured sequences")
-		seed    = flag.Int64("seed", 42, "machine seed")
+		seed    = flag.Int64("seed", nanobench.DefaultBatchSeed, "machine seed")
 	)
 	flag.Parse()
 
-	cpu, err := uarch.ByName(*cpuName)
+	s, err := nanobench.Open(nanobench.WithCPU(*cpuName), nanobench.WithSeed(*seed))
 	fatal(err)
-	m, err := cpu.NewMachine(*seed)
-	fatal(err)
-	r, err := nano.NewRunner(m, machine.Kernel)
+	r, err := s.NewRunner()
 	fatal(err)
 	tool, err := cachetools.New(r)
 	fatal(err)
 
-	res, err := tool.InferPolicy(cachetools.Level(*level), *cbox, *set,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := tool.InferPolicyContext(ctx, cachetools.Level(*level), *cbox, *set,
 		cachetools.InferOptions{MaxSequences: *maxSeq, Seed: *seed})
 	fatal(err)
 
 	fmt.Printf("%s L%d set %d (slice %d): %d sequences measured\n",
-		cpu.Name, *level, *set, *cbox, res.SequencesUsed)
+		s.CPUName(), *level, *set, *cbox, res.SequencesUsed)
 	switch {
 	case len(res.Classes) == 0:
 		fmt.Println("no deterministic candidate matches all measurements")

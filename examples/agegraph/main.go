@@ -11,15 +11,17 @@ import (
 
 	"nanobench"
 	"nanobench/internal/cachetools"
-	"nanobench/internal/nano"
 )
 
 func main() {
-	m, err := nanobench.NewMachine("IvyBridge", 42)
+	s, err := nanobench.Open(
+		nanobench.WithCPU("IvyBridge"),
+		nanobench.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := nano.NewRunner(m, nanobench.Kernel)
+	r, err := s.NewRunner()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,26 +1,31 @@
 // Cache policy inference: identify the replacement policy of the Skylake
 // model's L2 cache purely from performance-counter measurements, the way
-// case study II does (Section VI-C1).
+// case study II does (Section VI-C1). The measurement campaign is bounded
+// by a context deadline: a stuck inference aborts instead of hanging.
 //
 //	go run nanobench/examples/cachepolicy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"nanobench"
 	"nanobench/internal/cachetools"
-	"nanobench/internal/nano"
 )
 
 func main() {
-	m, err := nanobench.NewMachine("Skylake", 123)
+	s, err := nanobench.Open(
+		nanobench.WithCPU("Skylake"),
+		nanobench.WithSeed(123),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := nano.NewRunner(m, nanobench.Kernel)
+	r, err := s.NewRunner()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +37,9 @@ func main() {
 	fmt.Println("running access sequences against the L2 and comparing with")
 	fmt.Printf("simulations of %d candidate policies...\n\n", len(cachetools.DefaultCandidates(tool.Assoc(cachetools.L2))))
 
-	res, err := tool.InferPolicy(cachetools.L2, 0, 300, cachetools.InferOptions{
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := tool.InferPolicyContext(ctx, cachetools.L2, 0, 300, cachetools.InferOptions{
 		MaxSequences: 150,
 		Seed:         123,
 	})

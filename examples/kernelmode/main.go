@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,11 @@ import (
 )
 
 func main() {
-	m, err := nanobench.NewMachine("Skylake", 42)
+	s, err := nanobench.Open(nanobench.WithCPU("Skylake"), nanobench.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := s.NewMachine()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,8 +38,8 @@ func main() {
 		{"/sys/nb/agg", "min"},
 		{"/sys/nb/basic_mode", "1"},
 	}
-	for _, s := range steps {
-		if err := k.WriteFile(s.file, []byte(s.value)); err != nil {
+	for _, st := range steps {
+		if err := k.WriteFile(st.file, []byte(st.value)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -45,11 +50,13 @@ func main() {
 	fmt.Println("WBINVD (privileged; kernel-space nanoBench):")
 	fmt.Print(string(out))
 
-	// The same benchmark in user space faults with #GP.
-	r, err := nanobench.NewRunner(m, nanobench.User)
+	// The same benchmark through a user-space session faults with #GP.
+	u, err := nanobench.Open(nanobench.WithCPU("Skylake"), nanobench.WithMode(nanobench.User))
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, err = r.Run(nanobench.Config{Code: nanobench.MustAsm("wbinvd"), UnrollCount: 1, NMeasurements: 1})
+	_, err = u.Run(context.Background(), nanobench.Config{
+		Code: nanobench.MustAsm("wbinvd"), UnrollCount: 1, NMeasurements: 1,
+	})
 	fmt.Printf("\nuser-space attempt: %v\n", err)
 }

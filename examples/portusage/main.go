@@ -1,10 +1,13 @@
 // Port usage: measure which execution ports a handful of instructions
 // dispatch to, the way case study I does for the full instruction table.
+// The four benchmarks run as one session batch, in parallel across the
+// session's machine pool, with deterministic results.
 //
 //	go run nanobench/examples/portusage
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,11 +15,11 @@ import (
 )
 
 func main() {
-	m, err := nanobench.NewMachine("Skylake", 7)
-	if err != nil {
-		log.Fatal(err)
-	}
-	r, err := nanobench.NewRunner(m, nanobench.Kernel)
+	s, err := nanobench.Open(
+		nanobench.WithCPU("Skylake"),
+		nanobench.WithSeed(7),
+		nanobench.WithWarmUp(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,25 +40,29 @@ A1.80 PORT_7`)
 		{"4x load", "mov r8, [r14]\nmov r9, [r14+8]\nmov r10, [r14+16]\nmov r11, [r14+24]"},
 		{"4x store", "mov [r14], rbp\nmov [r14+8], rbp\nmov [r14+16], rbp\nmov [r14+24], rbp"},
 	}
+	cfgs := make([]nanobench.Config, len(benchmarks))
+	for i, b := range benchmarks {
+		cfgs[i] = nanobench.Config{
+			Code:        nanobench.MustAsm(b.asm),
+			UnrollCount: 25,
+			Events:      events,
+		}
+	}
+
+	results, err := s.RunBatch(context.Background(), cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-22s", "benchmark")
 	for p := 0; p < 8; p++ {
 		fmt.Printf("  p%d  ", p)
 	}
 	fmt.Println()
-	for _, b := range benchmarks {
-		res, err := r.Run(nanobench.Config{
-			Code:        nanobench.MustAsm(b.asm),
-			UnrollCount: 25,
-			WarmUpCount: 1,
-			Events:      events,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, b := range benchmarks {
 		fmt.Printf("%-22s", b.name)
 		for p := 0; p < 8; p++ {
-			v, _ := res.Get(fmt.Sprintf("PORT_%d", p))
+			v, _ := results[i].Get(fmt.Sprintf("PORT_%d", p))
 			fmt.Printf(" %.2f", v/4) // per instruction
 		}
 		fmt.Println()

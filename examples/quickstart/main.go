@@ -1,6 +1,12 @@
 // Quickstart: the paper's Section III-A example — measuring the L1 data
 // cache latency on a Skylake model with a pointer-chasing load.
 //
+// This example deliberately stays on the deprecated v1 free functions
+// (NewMachine/NewRunner): it is the compatibility check that the paper's
+// original quickstart keeps compiling and printing identical counter
+// values. Every other example uses the Session API; see examples/sweep
+// for the v2 equivalent of a multi-config run.
+//
 //	go run nanobench/examples/quickstart
 package main
 

@@ -1,0 +1,68 @@
+// Sweep: generate a config family declaratively — three benchmarks at
+// three unroll counts — stream the results as they complete, and emit the
+// last one as JSON and CSV. A context deadline bounds the whole sweep;
+// on cancellation the stream still delivers the completed prefix in
+// order before closing.
+//
+//	go run nanobench/examples/sweep
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"nanobench"
+)
+
+func main() {
+	s, err := nanobench.Open(
+		nanobench.WithCPU("Skylake"),
+		nanobench.WithWarmUp(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sw := nanobench.NewSweep(nanobench.Config{Aggregate: nanobench.Min}).
+		Asm("add rax, rbx", "imul rax, rbx", "shl rax, 1").
+		Unroll(10, 100, 1000)
+	cfgs, err := sw.Configs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep: %d configs (3 benchmarks x 3 unroll counts)\n\n", len(cfgs))
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var last *nanobench.Result
+	items, err := s.StreamSweep(ctx, sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for it := range items {
+		if it.Err != nil {
+			fmt.Printf("config %d: %v\n", it.Index, it.Err)
+			continue
+		}
+		cyc, _ := it.Result.Get("Core cycles")
+		fmt.Printf("config %d: %.2f cycles/instr (cache hit: %v)\n", it.Index, cyc, it.CacheHit)
+		last = it.Result
+	}
+
+	if last == nil {
+		return
+	}
+	js, err := json.MarshalIndent(last, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlast result as JSON:\n%s\n", js)
+	fmt.Printf("\nas CSV:\n%s%s", nanobench.CSVHeader+"\n", last.AppendCSV(nil))
+
+	hits, misses := s.CacheStats()
+	fmt.Printf("\nsession cache: %d hits, %d misses\n", hits, misses)
+}

@@ -1,6 +1,7 @@
 package cachetools
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -82,6 +83,12 @@ func DefaultCandidates(assoc int) []string {
 // (Section VI-C1). It stops once a single behavioural class remains or the
 // sequence budget is exhausted.
 func (t *Tool) InferPolicy(level Level, slice, set int, opt InferOptions) (*InferenceResult, error) {
+	return t.InferPolicyContext(context.Background(), level, slice, set, opt)
+}
+
+// InferPolicyContext is InferPolicy bounded by a context: cancellation
+// aborts between measured sequences with the context's error.
+func (t *Tool) InferPolicyContext(ctx context.Context, level Level, slice, set int, opt InferOptions) (*InferenceResult, error) {
 	assoc := t.Assoc(level)
 	if opt.MaxSequences == 0 {
 		opt.MaxSequences = 200
@@ -123,7 +130,7 @@ func (t *Tool) InferPolicy(level Level, slice, set int, opt InferOptions) (*Infe
 		} else {
 			seq = t.genSequence(rng, assoc, opt.PoolBlocks, opt.SeqLen, used)
 		}
-		res, err := t.RunSeq(level, slice, set, seq.AllMeasured())
+		res, err := t.RunSeqContext(ctx, level, slice, set, seq.AllMeasured())
 		if err != nil {
 			return nil, err
 		}

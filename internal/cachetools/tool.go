@@ -7,6 +7,7 @@
 package cachetools
 
 import (
+	"context"
 	"fmt"
 
 	"nanobench/internal/nano"
@@ -273,6 +274,12 @@ func (r SeqResult) Misses() int { return r.Measured - r.Hits }
 // counting enabled — and runs it through kernel-space nanoBench
 // (Section VI-C).
 func (t *Tool) RunSeq(level Level, slice, set int, seq Seq) (SeqResult, error) {
+	return t.RunSeqContext(context.Background(), level, slice, set, seq)
+}
+
+// RunSeqContext is RunSeq bounded by a context; long sequence campaigns
+// (policy inference, age graphs) pass their caller's context through it.
+func (t *Tool) RunSeqContext(ctx context.Context, level Level, slice, set int, seq Seq) (SeqResult, error) {
 	maxIdx := -1
 	for _, a := range seq.Accesses {
 		if a.Block > maxIdx {
@@ -335,7 +342,7 @@ func (t *Tool) RunSeq(level Level, slice, set int, seq Seq) (SeqResult, error) {
 	}
 
 	ev, name := hitEventFor(level)
-	res, err := t.R.Run(nano.Config{
+	res, err := t.R.RunContext(ctx, nano.Config{
 		Code:          code,
 		UnrollCount:   1,
 		NMeasurements: 1,

@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"time"
 
+	"nanobench"
 	"nanobench/internal/cachetools"
 	"nanobench/internal/instbench"
 	"nanobench/internal/nano"
@@ -34,16 +36,23 @@ var Workers = 0
 // instead of re-simulating.
 var resultCache = sched.NewCache()
 
+// newRunner opens a facade session for the CPU model and hands out its
+// runner: the experiments drive the same public Session API the CLIs and
+// examples use.
 func newRunner(cpuName string, mode machine.Mode) (*nano.Runner, uarch.CPU, error) {
 	cpu, err := uarch.ByName(cpuName)
 	if err != nil {
 		return nil, cpu, err
 	}
-	m, err := cpu.NewMachine(Seed)
+	s, err := nanobench.Open(
+		nanobench.WithCPU(cpuName),
+		nanobench.WithMode(mode),
+		nanobench.WithSeed(Seed),
+	)
 	if err != nil {
 		return nil, cpu, err
 	}
-	r, err := nano.NewRunner(m, mode)
+	r, err := s.NewRunner()
 	return r, cpu, err
 }
 
@@ -369,7 +378,7 @@ func InstructionTable(w io.Writer, quick bool) (total, latOK, portOK int, err er
 	// The per-variant evaluations fan out through the batch scheduler;
 	// repeated sweeps (identical encodings, benchmark-harness loops) hit
 	// the content-addressed result cache.
-	ms, err := instbench.SweepVariants(cpu.Name, machine.Kernel, variants,
+	ms, err := instbench.SweepVariantsContext(context.Background(), cpu.Name, machine.Kernel, variants,
 		sched.Options{Workers: Workers, RootSeed: Seed, Cache: resultCache})
 	if err != nil {
 		return
@@ -423,20 +432,30 @@ func LoopVsUnroll(w io.Writer) (map[string]float64, error) {
 		{"unroll=1, loop=100", 100, 1},
 		{"unroll=10, loop=10", 10, 10},
 	}
-	jobs := make([]sched.Job, len(cases))
+	// The three configurations run through a facade session sharing the
+	// experiments' result cache; results are deterministic for any
+	// parallelism level.
+	s, err := nanobench.Open(
+		nanobench.WithCPU("Skylake"),
+		nanobench.WithSeed(Seed),
+		nanobench.WithParallelism(Workers),
+		nanobench.WithCache(resultCache),
+	)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]nano.Config, len(cases))
 	for i, c := range cases {
-		jobs[i] = sched.Job{CPU: "Skylake", Mode: machine.Kernel, Cfg: nano.Config{
+		cfgs[i] = nano.Config{
 			Code:        nano.MustAsm(body),
 			UnrollCount: c.unroll,
 			LoopCount:   c.loop,
 			WarmUpCount: 2,
 			BasicMode:   true, // include the loop context in the measurement
 			Events:      events,
-		}}
+		}
 	}
-	results, err := sched.New(sched.Options{
-		Workers: Workers, RootSeed: Seed, Cache: resultCache,
-	}).Run(jobs)
+	results, err := s.RunBatch(context.Background(), cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 package instbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -391,6 +392,14 @@ func Sweep(cpuName string, mode machine.Mode, opts sched.Options) ([]Measurement
 
 // SweepVariants is Sweep over a caller-chosen variant subset.
 func SweepVariants(cpuName string, mode machine.Mode, variants []Variant, opts sched.Options) ([]Measurement, error) {
+	return SweepVariantsContext(context.Background(), cpuName, mode, variants, opts)
+}
+
+// SweepVariantsContext is SweepVariants bounded by a context: cancelling
+// it aborts the sweep between evaluations and returns the context's
+// error (a long instruction-table characterization is the tool's most
+// cancellation-worthy workload).
+func SweepVariantsContext(ctx context.Context, cpuName string, mode machine.Mode, variants []Variant, opts sched.Options) ([]Measurement, error) {
 	var jobs []sched.Job
 	latIdx := make([]int, len(variants))
 	tpIdx := make([]int, len(variants))
@@ -411,7 +420,7 @@ func SweepVariants(cpuName string, mode machine.Mode, variants []Variant, opts s
 		tpIdx[i] = len(jobs)
 		jobs = append(jobs, sched.Job{CPU: cpuName, Mode: mode, Cfg: tpCfg})
 	}
-	results, err := sched.New(opts).Run(jobs)
+	results, err := sched.New(opts).RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

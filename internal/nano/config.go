@@ -54,6 +54,9 @@ type Config struct {
 
 	// NMeasurements is the number of timed benchmark runs; WarmUpCount
 	// runs are executed first and discarded (Sections III-C, III-H).
+	// WarmUpCount 0 means "use the ambient default" (the tool default, or
+	// a session's WithWarmUp); NoWarmUp requests explicitly zero warm-up
+	// runs even under a session default.
 	NMeasurements int
 	WarmUpCount   int
 
@@ -87,20 +90,42 @@ type Config struct {
 // Result.
 func (c Config) Canonical() Config { return c.applyDefaults() }
 
+// NoWarmUp as a WarmUpCount requests explicitly zero warm-up runs; unlike
+// the zero value it is never overridden by a session-wide default.
+const NoWarmUp = -1
+
 // applyDefaults fills zero fields with the tool's defaults.
 func (c Config) applyDefaults() Config {
 	if c.UnrollCount == 0 {
-		c.UnrollCount = defaultUnroll
+		c.UnrollCount = DefaultUnrollCount
 	}
 	if c.NMeasurements == 0 {
-		c.NMeasurements = defaultMeasurements
+		c.NMeasurements = DefaultNMeasurements
+	}
+	switch {
+	case c.WarmUpCount == 0:
+		c.WarmUpCount = DefaultWarmUpCount
+	case c.WarmUpCount == NoWarmUp:
+		c.WarmUpCount = 0
 	}
 	return c
 }
 
+// The tool's defaults, encoded once: Config.Canonical applies them, and
+// the cmd/nanobench flag declarations inherit them instead of duplicating
+// the numbers.
 const (
-	defaultUnroll       = 100
-	defaultMeasurements = 10
+	// DefaultUnrollCount is the number of copies of the benchmark code.
+	DefaultUnrollCount = 100
+	// DefaultLoopCount is the loop iteration count (0: no loop).
+	DefaultLoopCount = 0
+	// DefaultNMeasurements is the number of timed benchmark runs.
+	DefaultNMeasurements = 10
+	// DefaultWarmUpCount is the number of discarded initial runs. It
+	// matches the original tool's default of zero warm-up runs; sweeps
+	// that want warmed caches/predictors opt in per config (or via the
+	// facade session's WithWarmUp option).
+	DefaultWarmUpCount = 0
 )
 
 // Asm assembles Intel-syntax source into microbenchmark code; it is a thin

@@ -407,9 +407,9 @@ func TestAggregates(t *testing.T) {
 
 func TestResultOrdering(t *testing.T) {
 	res := newResult()
-	res.add("b", 1)
-	res.add("a", 2)
-	res.add("b", 3) // overwrite keeps position
+	res.addMetric(Metric{Name: "b", Value: 1})
+	res.addMetric(Metric{Name: "a", Value: 2})
+	res.addMetric(Metric{Name: "b", Value: 3}) // overwrite keeps position
 	names := res.Names()
 	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
 		t.Fatalf("Names() = %v", names)

@@ -1,27 +1,66 @@
 package nano
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+
+	"nanobench/internal/perfcfg"
 )
 
-// Result holds the aggregated, overhead-subtracted, per-instruction
-// counter values of one benchmark evaluation, in counter order.
+// Metric is one measured counter of a Result: its reporting name, the
+// event specification it was programmed with, the aggregated value, and
+// the raw per-run samples the aggregate was computed from.
+type Metric struct {
+	// Name is the counter's reporting name ("Core cycles",
+	// "MEM_LOAD_RETIRED.L1_HIT", ...).
+	Name string
+	// Event is the performance-event specification behind the counter.
+	// It is the zero value for the three fixed-function counters (Fixed
+	// is set instead).
+	Event perfcfg.EventSpec
+	// Fixed marks a fixed-function counter (instructions retired, core
+	// cycles, reference cycles), which has no programmable event spec.
+	Fixed bool
+	// Value is the aggregated, overhead-subtracted, per-instruction
+	// counter value: Config.Aggregate is applied to each unroll variant's
+	// run series first and the aggregates are then subtracted, exactly as
+	// in Section III-C of the paper.
+	Value float64
+	// Samples are the raw per-run, overhead-subtracted, per-instruction
+	// values: sample k pairs run k of the two unroll variants. They make
+	// min/median/avg recoverable post-hoc (Aggregate(Samples) may differ
+	// in the last bits from Value, which aggregates before subtracting).
+	Samples []float64
+}
+
+// Result holds the measured counters of one benchmark evaluation, in
+// counter (reporting) order.
 type Result struct {
-	names  []string
-	values map[string]float64
+	metrics []Metric
+	index   map[string]int
 }
 
 func newResult() *Result {
-	return &Result{values: map[string]float64{}}
+	return &Result{index: map[string]int{}}
 }
 
-func (r *Result) add(name string, v float64) {
-	if _, dup := r.values[name]; !dup {
-		r.names = append(r.names, name)
+// addMetric records a metric, replacing any previous metric of the same
+// name in place (the reporting position is kept). It enforces the
+// names-vs-values consistency invariant: the index must agree with the
+// metric slice at all times.
+func (r *Result) addMetric(m Metric) {
+	if i, dup := r.index[m.Name]; dup {
+		if i < 0 || i >= len(r.metrics) || r.metrics[i].Name != m.Name {
+			panic(fmt.Sprintf("nano: result index corrupted: %q maps to slot %d", m.Name, i))
+		}
+		r.metrics[i] = m
+		return
 	}
-	r.values[name] = v
+	r.index[m.Name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
 }
 
 // Clone returns a deep copy sharing no state with r; mutating one never
@@ -29,50 +68,92 @@ func (r *Result) add(name string, v float64) {
 // callers can hold the results of repeated sweeps independently.
 func (r *Result) Clone() *Result {
 	c := &Result{
-		names:  append([]string(nil), r.names...),
-		values: make(map[string]float64, len(r.values)),
+		metrics: make([]Metric, len(r.metrics)),
+		index:   make(map[string]int, len(r.index)),
 	}
-	for k, v := range r.values {
-		c.values[k] = v
+	for i, m := range r.metrics {
+		m.Samples = append([]float64(nil), m.Samples...)
+		c.metrics[i] = m
+		c.index[m.Name] = i
 	}
 	return c
 }
 
-// Equal reports whether two results carry the same counters, in the same
-// reporting order, with bit-identical values.
+// Equal reports whether two results carry the same counters — names,
+// event specs, fixed flags — in the same reporting order, with
+// bit-identical aggregated values and per-run samples.
 func (r *Result) Equal(o *Result) bool {
 	if r == nil || o == nil {
 		return r == o
 	}
-	if len(r.names) != len(o.names) {
+	if len(r.metrics) != len(o.metrics) {
 		return false
 	}
-	for i, n := range r.names {
-		if o.names[i] != n || r.values[n] != o.values[n] {
+	for i, m := range r.metrics {
+		om := o.metrics[i]
+		if om.Name != m.Name || om.Event != m.Event || om.Fixed != m.Fixed ||
+			om.Value != m.Value || len(om.Samples) != len(m.Samples) {
 			return false
+		}
+		for k, s := range m.Samples {
+			if om.Samples[k] != s {
+				return false
+			}
 		}
 	}
 	return true
 }
 
-// Get returns the value for a counter name.
+// Get returns the aggregated value for a counter name.
 func (r *Result) Get(name string) (float64, bool) {
-	v, ok := r.values[name]
-	return v, ok
+	i, ok := r.index[name]
+	if !ok {
+		return 0, false
+	}
+	return r.metrics[i].Value, true
 }
 
 // MustGet returns the value for name, panicking if absent (tests and
 // examples use it for brevity).
 func (r *Result) MustGet(name string) float64 {
-	v, ok := r.values[name]
+	v, ok := r.Get(name)
 	if !ok {
 		panic("nano: no counter named " + name)
 	}
 	return v
 }
 
+// Lookup returns the full metric for a counter name. The returned
+// metric's sample slice is a copy; mutating it never affects r.
+func (r *Result) Lookup(name string) (Metric, bool) {
+	i, ok := r.index[name]
+	if !ok {
+		return Metric{}, false
+	}
+	m := r.metrics[i]
+	m.Samples = append([]float64(nil), m.Samples...)
+	return m, true
+}
+
+// Metrics returns the measured counters in reporting order, as a deep
+// copy safe for the caller to retain and mutate.
+func (r *Result) Metrics() []Metric {
+	out := make([]Metric, len(r.metrics))
+	for i, m := range r.metrics {
+		m.Samples = append([]float64(nil), m.Samples...)
+		out[i] = m
+	}
+	return out
+}
+
 // Names returns the counter names in reporting order.
-func (r *Result) Names() []string { return append([]string(nil), r.names...) }
+func (r *Result) Names() []string {
+	names := make([]string, len(r.metrics))
+	for i, m := range r.metrics {
+		names[i] = m.Name
+	}
+	return names
+}
 
 // String formats the result like the tool's output in Section III-A:
 //
@@ -81,10 +162,106 @@ func (r *Result) Names() []string { return append([]string(nil), r.names...) }
 //	...
 func (r *Result) String() string {
 	var sb strings.Builder
-	for _, n := range r.names {
-		fmt.Fprintf(&sb, "%s: %.2f\n", n, r.values[n])
+	for _, m := range r.metrics {
+		fmt.Fprintf(&sb, "%s: %.2f\n", m.Name, m.Value)
 	}
 	return sb.String()
+}
+
+// metricJSON is the stable wire form of one metric. The event is encoded
+// in configuration-file syntax ("D1.01", "MSR.E8", "CBO.LOOKUP") and
+// omitted for fixed-function counters.
+type metricJSON struct {
+	Name    string    `json:"name"`
+	Event   string    `json:"event,omitempty"`
+	Value   float64   `json:"value"`
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// MarshalJSON encodes the result as {"metrics":[...]} with the counters
+// in reporting order. The encoding is deterministic: equal results (any
+// worker count, cold or cached) marshal to identical bytes.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	metrics := make([]metricJSON, len(r.metrics))
+	for i, m := range r.metrics {
+		mj := metricJSON{Name: m.Name, Value: m.Value, Samples: m.Samples}
+		if !m.Fixed {
+			mj.Event = m.Event.Code()
+		}
+		metrics[i] = mj
+	}
+	return json.Marshal(struct {
+		Metrics []metricJSON `json:"metrics"`
+	}{metrics})
+}
+
+// UnmarshalJSON decodes a result previously encoded with MarshalJSON.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var in struct {
+		Metrics []metricJSON `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*r = *newResult()
+	for _, mj := range in.Metrics {
+		m := Metric{Name: mj.Name, Value: mj.Value, Samples: mj.Samples, Fixed: mj.Event == ""}
+		if mj.Event != "" {
+			// Parse the event code with a placeholder name, then attach the
+			// metric name verbatim: names never pass through the
+			// configuration-line syntax, so '#' or odd whitespace in a name
+			// round-trips unharmed.
+			specs, err := perfcfg.Parse(mj.Event + " x")
+			if err != nil {
+				return fmt.Errorf("nano: metric %q: %w", mj.Name, err)
+			}
+			if len(specs) != 1 {
+				return fmt.Errorf("nano: metric %q: malformed event %q", mj.Name, mj.Event)
+			}
+			m.Event = specs[0]
+			m.Event.Name = mj.Name
+		}
+		r.addMetric(m)
+	}
+	return nil
+}
+
+// CSVHeader is the header row matching AppendCSV's records.
+const CSVHeader = "metric,event,value,samples"
+
+// AppendCSV appends one CSV record per metric (in reporting order) to b
+// and returns the extended buffer. Values use the shortest round-trip
+// float formatting; samples are ';'-joined inside the last field. The
+// output is deterministic for equal results.
+func (r *Result) AppendCSV(b []byte) []byte {
+	for _, m := range r.metrics {
+		b = appendCSVField(b, m.Name)
+		b = append(b, ',')
+		if !m.Fixed {
+			b = appendCSVField(b, m.Event.Code())
+		}
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, m.Value, 'g', -1, 64)
+		b = append(b, ',')
+		for i, s := range m.Samples {
+			if i > 0 {
+				b = append(b, ';')
+			}
+			b = strconv.AppendFloat(b, s, 'g', -1, 64)
+		}
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// appendCSVField appends a field, quoting it per RFC 4180 when needed.
+func appendCSVField(b []byte, s string) []byte {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return append(b, s...)
+	}
+	b = append(b, '"')
+	b = append(b, strings.ReplaceAll(s, `"`, `""`)...)
+	return append(b, '"')
 }
 
 // aggregate applies the configured aggregate function (Section III-C):

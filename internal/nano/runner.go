@@ -2,6 +2,7 @@ package nano
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -184,7 +185,18 @@ func (r *Runner) SetPrefetchersEnabled(on bool) error {
 // Run evaluates one microbenchmark configuration and returns the
 // aggregated per-instruction counter values.
 func (r *Runner) Run(cfg Config) (*Result, error) {
+	return r.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run bounded by a context: cancellation or a deadline is
+// checked between individual benchmark runs, so even a long measurement
+// series (large NMeasurements, many counter groups) returns promptly with
+// the context's error.
+func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.applyDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := r.validate(&cfg); err != nil {
 		return nil, err
 	}
@@ -199,7 +211,7 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 		if err := r.programCounters(g); err != nil {
 			return nil, err
 		}
-		vals, err := r.runGroup(cfg, g)
+		vals, samples, err := r.runGroup(ctx, cfg, g)
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +219,13 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 			if rd.fixed && gi > 0 {
 				continue // fixed counters are reported from the first group
 			}
-			res.add(rd.name, vals[i])
+			res.addMetric(Metric{
+				Name:    rd.name,
+				Event:   rd.spec,
+				Fixed:   rd.fixed,
+				Value:   vals[i],
+				Samples: samples[i],
+			})
 		}
 	}
 	return res, nil
@@ -227,6 +245,9 @@ type ctrRead struct {
 	isMSR   bool
 	index   uint32 // RDPMC index, or MSR address when isMSR
 	progIdx int    // programmable counter number (core events)
+	// spec is the event specification behind the read; the zero value for
+	// the fixed counters.
+	spec perfcfg.EventSpec
 }
 
 func (r *Runner) validate(cfg *Config) error {
@@ -318,7 +339,7 @@ func (r *Runner) buildGroups(cfg Config) ([]counterGroup, error) {
 			{name: "Reference cycles", fixed: true, index: 1<<30 | 2},
 		}
 		for ci, ev := range g.core {
-			g.reads = append(g.reads, ctrRead{name: ev.Name, index: uint32(ci), progIdx: ci})
+			g.reads = append(g.reads, ctrRead{name: ev.Name, index: uint32(ci), progIdx: ci, spec: ev})
 		}
 		g.reads = append(g.reads, msrReads...)
 		if len(g.reads) > maxReadSlots {
@@ -334,7 +355,7 @@ func (r *Runner) buildGroups(cfg Config) ([]counterGroup, error) {
 func (r *Runner) otherRead(ev perfcfg.EventSpec) (ctrRead, error) {
 	switch ev.Kind {
 	case perfcfg.MSR:
-		return ctrRead{name: ev.Name, isMSR: true, index: ev.Addr}, nil
+		return ctrRead{name: ev.Name, isMSR: true, index: ev.Addr, spec: ev}, nil
 	case perfcfg.CBo:
 		// C-Box events are exposed per box; the configured box is chosen
 		// with SelectCBox (cacheSeq uses this). Default box 0.
@@ -342,7 +363,7 @@ func (r *Runner) otherRead(ev perfcfg.EventSpec) (ctrRead, error) {
 		if ev.CBoEv == "MISS" {
 			off = 7
 		}
-		return ctrRead{name: ev.Name, isMSR: true,
+		return ctrRead{name: ev.Name, isMSR: true, spec: ev,
 			index: machine.MSRCBoxBase + uint32(r.cbox)*machine.MSRCBoxStride + off}, nil
 	}
 	return ctrRead{}, fmt.Errorf("nano: unsupported event kind")
@@ -375,44 +396,56 @@ func globalCtlValue(g counterGroup) uint64 {
 }
 
 // runGroup runs both unroll variants for one counter group and returns the
-// per-read aggregated, overhead-subtracted, per-instruction values.
-func (r *Runner) runGroup(cfg Config, g counterGroup) ([]float64, error) {
+// per-read aggregated, overhead-subtracted, per-instruction values plus
+// the raw per-run samples (run k of one variant paired with run k of the
+// other, subtracted and normalized the same way).
+func (r *Runner) runGroup(ctx context.Context, cfg Config, g counterGroup) ([]float64, [][]float64, error) {
 	unrollA := cfg.UnrollCount
 	unrollB := 2 * cfg.UnrollCount
 	if cfg.BasicMode {
 		unrollB = 0
 	}
 
-	aggA, err := r.runVariant(cfg, g, unrollA)
+	aggA, runsA, err := r.runVariant(ctx, cfg, g, unrollA)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	aggB, err := r.runVariant(cfg, g, unrollB)
+	aggB, runsB, err := r.runVariant(ctx, cfg, g, unrollB)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	denom := float64(max(1, cfg.LoopCount) * cfg.UnrollCount)
 	out := make([]float64, len(g.reads))
+	samples := make([][]float64, len(g.reads))
 	for i := range g.reads {
 		if cfg.BasicMode {
 			out[i] = (aggA[i] - aggB[i]) / denom
 		} else {
 			out[i] = (aggB[i] - aggA[i]) / denom
 		}
+		samples[i] = make([]float64, len(runsA[i]))
+		for k := range runsA[i] {
+			if cfg.BasicMode {
+				samples[i][k] = (runsA[i][k] - runsB[i][k]) / denom
+			} else {
+				samples[i][k] = (runsB[i][k] - runsA[i][k]) / denom
+			}
+		}
 	}
-	return out, nil
+	return out, samples, nil
 }
 
 // runVariant generates code with the given localUnrollCount and runs the
-// warm-up + measurement series, returning the aggregate of each read slot.
-func (r *Runner) runVariant(cfg Config, g counterGroup, localUnroll int) ([]float64, error) {
+// warm-up + measurement series, returning the aggregate of each read slot
+// alongside the per-run raw values it was computed from.
+func (r *Runner) runVariant(ctx context.Context, cfg Config, g counterGroup, localUnroll int) ([]float64, [][]float64, error) {
 	code, err := r.generate(cfg, g, localUnroll)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(code) > CodeSize {
-		return nil, fmt.Errorf("nano: generated code (%d bytes) exceeds the code area", len(code))
+		return nil, nil, fmt.Errorf("nano: generated code (%d bytes) exceeds the code area", len(code))
 	}
 	// Install the code unless the identical image is already installed
 	// with its pre-decoded program intact (a write into the code region —
@@ -420,7 +453,7 @@ func (r *Runner) runVariant(cfg Config, g counterGroup, localUnroll int) ([]floa
 	// valid program proves the bytes are unmodified).
 	if !(r.M.ProgramValid(CodeBase, len(code)) && bytes.Equal(code, r.lastCode)) {
 		if err := r.M.WriteCode(CodeBase, code); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		r.lastCode = append(r.lastCode[:0], code...)
 	}
@@ -428,10 +461,13 @@ func (r *Runner) runVariant(cfg Config, g counterGroup, localUnroll int) ([]floa
 	nReads := len(g.reads)
 	samples := make([][]float64, nReads)
 	for i := -cfg.WarmUpCount; i < cfg.NMeasurements; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		// Trim counter histories between runs; enables survive.
 		r.M.PMU.ResetAll(r.M.Cycle())
 		if _, err := r.M.Run(CodeBase); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if i < 0 {
 			continue
@@ -454,7 +490,7 @@ func (r *Runner) runVariant(cfg Config, g counterGroup, localUnroll int) ([]floa
 	for s := range samples {
 		out[s] = aggregate(samples[s], cfg.Aggregate)
 	}
-	return out, nil
+	return out, samples, nil
 }
 
 // cbox is the C-Box whose counters CBO.* events read.

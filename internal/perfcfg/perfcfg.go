@@ -41,13 +41,24 @@ type EventSpec struct {
 
 // String renders the spec in configuration-file syntax.
 func (e EventSpec) String() string {
+	code := e.Code()
+	if code == "?" {
+		return "?"
+	}
+	return code + " " + e.Name
+}
+
+// Code renders only the event selector in configuration-file syntax
+// ("D1.01", "CBO.LOOKUP", "MSR.E8") without the name; Parse(e.Code()+" "+
+// e.Name) reconstructs the spec.
+func (e EventSpec) Code() string {
 	switch e.Kind {
 	case Core:
-		return fmt.Sprintf("%02X.%02X %s", e.EvtSel, e.Umask, e.Name)
+		return fmt.Sprintf("%02X.%02X", e.EvtSel, e.Umask)
 	case CBo:
-		return fmt.Sprintf("CBO.%s %s", e.CBoEv, e.Name)
+		return "CBO." + e.CBoEv
 	case MSR:
-		return fmt.Sprintf("MSR.%X %s", e.Addr, e.Name)
+		return fmt.Sprintf("MSR.%X", e.Addr)
 	}
 	return "?"
 }

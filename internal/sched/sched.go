@@ -30,6 +30,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -102,9 +103,17 @@ func DeriveSeed(root int64, index int) int64 {
 // jobs leave a nil entry; the joined per-job errors are returned alongside
 // the successful results (an error in one job never wedges the pool).
 func (e *Executor) Run(jobs []Job) ([]*nano.Result, error) {
+	return e.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run bounded by a context. On cancellation (or a missed
+// deadline) the already-completed jobs keep their results — partial
+// results are returned, not discarded — and every job that was skipped or
+// interrupted carries the context's error in the joined error value.
+func (e *Executor) RunContext(ctx context.Context, jobs []Job) ([]*nano.Result, error) {
 	results := make([]*nano.Result, len(jobs))
 	errs := make([]error, len(jobs))
-	e.execute(jobs, func(it Item) {
+	e.execute(ctx, jobs, func(it Item) {
 		results[it.Index] = it.Result
 		errs[it.Index] = it.Err
 	})
@@ -116,6 +125,16 @@ func (e *Executor) Run(jobs []Job) ([]*nano.Result, error) {
 // are available. The channel is closed after the last item; the sequence
 // of items is deterministic for any worker count.
 func (e *Executor) Stream(jobs []Job) <-chan Item {
+	return e.StreamContext(context.Background(), jobs)
+}
+
+// StreamContext is Stream bounded by a context. On cancellation the
+// channel still delivers the completed prefix in order; jobs that were
+// skipped or interrupted are delivered as Items carrying the context's
+// error, and the channel closes promptly after the last one — consumers
+// never block on a cancelled sweep, and no worker goroutine outlives it
+// beyond the unit it was simulating.
+func (e *Executor) StreamContext(ctx context.Context, jobs []Job) <-chan Item {
 	// Buffered to len(jobs): the sequencer can always run to completion
 	// and exit, so a consumer that abandons the channel early leaks
 	// nothing beyond the (garbage-collectable) buffered items.
@@ -127,7 +146,7 @@ func (e *Executor) Stream(jobs []Job) <-chan Item {
 		ready := make([]bool, len(jobs))
 		items := make([]Item, len(jobs))
 		go func() {
-			e.execute(jobs, func(it Item) {
+			e.execute(ctx, jobs, func(it Item) {
 				mu.Lock()
 				items[it.Index] = it
 				ready[it.Index] = true
@@ -158,8 +177,11 @@ type unit struct {
 }
 
 // execute runs the batch, calling deliver exactly once per job index (from
-// worker goroutines; deliver must be safe for concurrent use).
-func (e *Executor) execute(jobs []Job, deliver func(Item)) {
+// worker goroutines; deliver must be safe for concurrent use). When ctx is
+// cancelled, in-flight units still deliver (the runner aborts between
+// measurement runs), and every not-yet-started unit delivers the context's
+// error instead of simulating.
+func (e *Executor) execute(ctx context.Context, jobs []Job, deliver func(Item)) {
 	byKey := make(map[Key]*unit, len(jobs))
 	var units []*unit
 	for i, j := range jobs {
@@ -209,7 +231,7 @@ func (e *Executor) execute(jobs []Job, deliver func(Item)) {
 				if !ok {
 					return
 				}
-				e.runUnit(jobs, u, deliver)
+				e.runUnit(ctx, jobs, u, deliver)
 			}
 		}(w)
 	}
@@ -220,7 +242,13 @@ func (e *Executor) execute(jobs []Job, deliver func(Item)) {
 // when possible, otherwise by simulating the representative job. The cache
 // key pins both the content and the derived seed, so a hit is guaranteed
 // to equal what a cold evaluation would compute.
-func (e *Executor) runUnit(jobs []Job, u *unit, deliver func(Item)) {
+func (e *Executor) runUnit(ctx context.Context, jobs []Job, u *unit, deliver func(Item)) {
+	if err := ctx.Err(); err != nil {
+		for _, i := range u.jobs {
+			deliver(Item{Index: i, Err: err})
+		}
+		return
+	}
 	seed := DeriveSeed(e.opts.RootSeed, u.rep)
 	cacheKey := withSeed(u.key, seed)
 	if c := e.opts.Cache; c != nil {
@@ -232,8 +260,18 @@ func (e *Executor) runUnit(jobs []Job, u *unit, deliver func(Item)) {
 		}
 	}
 	j := jobs[u.rep]
-	res, err := evaluate(j, seed)
+	res, err := evaluate(ctx, j, seed)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Interrupted mid-evaluation: report the bare context error so
+			// callers can distinguish cancellation from real failures. (A
+			// genuine evaluation error that merely coincides with a
+			// cancelled context falls through and keeps its cause.)
+			for _, i := range u.jobs {
+				deliver(Item{Index: i, Err: err})
+			}
+			return
+		}
 		err = fmt.Errorf("sched: job %d (%s, %v): %w", u.rep, j.CPU, j.Mode, err)
 		for _, i := range u.jobs {
 			deliver(Item{Index: i, Err: err})
@@ -252,7 +290,7 @@ func (e *Executor) runUnit(jobs []Job, u *unit, deliver func(Item)) {
 }
 
 // evaluate simulates one job on a fresh machine with the given seed.
-func evaluate(j Job, seed int64) (*nano.Result, error) {
+func evaluate(ctx context.Context, j Job, seed int64) (*nano.Result, error) {
 	cpu, err := uarch.ByName(j.CPU)
 	if err != nil {
 		return nil, err
@@ -270,11 +308,15 @@ func evaluate(j Job, seed int64) (*nano.Result, error) {
 			return nil, err
 		}
 	}
-	return r.Run(j.Cfg)
+	return r.RunContext(ctx, j.Cfg)
 }
 
 // deque is a mutex-guarded work-stealing deque of units: the owner pops
-// from the head (LIFO for locality), thieves take from the tail.
+// from the front — units were dealt in index order, so completion tracks
+// job order and Stream consumers see progressive delivery instead of a
+// burst at the end — and thieves take from the back, keeping contention
+// at opposite ends. (Units never spawn further units, so the classic
+// LIFO-owner discipline would buy no locality here.)
 type deque struct {
 	mu    sync.Mutex
 	units []*unit
@@ -289,23 +331,23 @@ func (d *deque) push(u *unit) {
 func (d *deque) pop() (*unit, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	n := len(d.units)
-	if n == 0 {
+	if len(d.units) == 0 {
 		return nil, false
 	}
-	u := d.units[n-1]
-	d.units = d.units[:n-1]
+	u := d.units[0]
+	d.units = d.units[1:]
 	return u, true
 }
 
 func (d *deque) stealTail() (*unit, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.units) == 0 {
+	n := len(d.units)
+	if n == 0 {
 		return nil, false
 	}
-	u := d.units[0]
-	d.units = d.units[1:]
+	u := d.units[n-1]
+	d.units = d.units[:n-1]
 	return u, true
 }
 

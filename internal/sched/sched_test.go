@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -339,5 +340,69 @@ func TestRunEmptyBatch(t *testing.T) {
 	}
 	for range New(Options{}).Stream(nil) {
 		t.Fatal("empty stream delivered an item")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cache := NewCache()
+	ex := New(Options{Workers: 2, RootSeed: 1, Cache: cache})
+	jobs := testJobs(6)
+	res, err := ex.RunContext(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range res {
+		if r != nil {
+			t.Errorf("job %d produced a result under a cancelled context", i)
+		}
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cancelled batch cached %d entries", cache.Len())
+	}
+	// The executor is reusable after cancellation.
+	res, err = ex.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r == nil {
+			t.Fatalf("job %d: no result on the follow-up run", i)
+		}
+	}
+}
+
+func TestStreamContextCancelDeliversEveryIndexInOrder(t *testing.T) {
+	// Cancel while the stream is mid-flight: every index must still be
+	// delivered exactly once, in order, each either with a result or with
+	// the context error, and the channel must close.
+	jobs := testJobs(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := New(Options{Workers: 2, RootSeed: 3}).StreamContext(ctx, jobs)
+	next, results, cancelled := 0, 0, 0
+	for it := range ch {
+		if it.Index != next {
+			t.Fatalf("stream delivered index %d, want %d", it.Index, next)
+		}
+		next++
+		switch {
+		case it.Err == nil && it.Result != nil:
+			results++
+		case errors.Is(it.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("item %d: unexpected state (res=%v err=%v)", it.Index, it.Result, it.Err)
+		}
+		if next == 2 {
+			cancel()
+		}
+	}
+	cancel()
+	if next != len(jobs) {
+		t.Fatalf("stream delivered %d of %d items", next, len(jobs))
+	}
+	if results < 2 {
+		t.Errorf("cancellation discarded already-completed results (%d delivered)", results)
 	}
 }

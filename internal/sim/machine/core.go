@@ -556,41 +556,45 @@ func (m *Machine) load(addr uint32, size int, addrReady int64) (uint64, int64, c
 }
 
 // recordLoadEvents records the retired-load hit/miss events and uncore
-// lookups for one demand load.
+// lookups for one demand load. The core events are gathered into one
+// per-event count vector and delivered through a single PMU.RecordBatch
+// walk instead of up to six Record calls.
 func (m *Machine) recordLoadEvents(res cache.Result) {
 	c := &m.core
 	at := c.retireCycle
 	if c.feCycle > at {
 		at = c.feCycle
 	}
-	m.PMU.Record(pmu.EvLoadRetired, at)
+	var counts [pmu.NumEvents]uint16
+	counts[pmu.EvLoadRetired] = 1
 	if res.Level == 1 {
-		m.PMU.Record(pmu.EvLoadL1Hit, at)
+		counts[pmu.EvLoadL1Hit] = 1
 	} else {
-		m.PMU.Record(pmu.EvLoadL1Miss, at)
+		counts[pmu.EvLoadL1Miss] = 1
 	}
 	if res.Level >= 2 {
 		if res.Level == 2 {
-			m.PMU.Record(pmu.EvLoadL2Hit, at)
+			counts[pmu.EvLoadL2Hit] = 1
 		} else {
-			m.PMU.Record(pmu.EvLoadL2Miss, at)
+			counts[pmu.EvLoadL2Miss] = 1
 		}
 	}
 	if res.Level >= 3 {
 		if res.Level == 3 {
-			m.PMU.Record(pmu.EvLoadL3Hit, at)
+			counts[pmu.EvLoadL3Hit] = 1
 		} else {
-			m.PMU.Record(pmu.EvLoadL3Miss, at)
+			counts[pmu.EvLoadL3Miss] = 1
 		}
 	}
+	if res.Prefetched > 0 {
+		counts[pmu.EvL2Prefetch] = uint16(res.Prefetched)
+	}
+	m.PMU.RecordBatch(&counts, at)
 	if res.Slice >= 0 && res.Slice < len(m.CBox) {
 		m.CBox[res.Slice].Record(pmu.CBoLookup, at)
 		if res.Level == 4 {
 			m.CBox[res.Slice].Record(pmu.CBoMiss, at)
 		}
-	}
-	for i := 0; i < res.Prefetched; i++ {
-		m.PMU.Record(pmu.EvL2Prefetch, at)
 	}
 }
 

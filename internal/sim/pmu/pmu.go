@@ -131,6 +131,21 @@ func (c *EventCounter) add(cycle int64) {
 	}
 }
 
+// addN records n event occurrences at the given cycle; it is
+// observationally identical to n add calls.
+func (c *EventCounter) addN(cycle int64, n uint64) {
+	if cycle <= c.watermark {
+		c.settled += n
+	} else {
+		for ; n > 0; n-- {
+			c.tail = append(c.tail, cycle)
+		}
+	}
+	if cycle > c.max {
+		c.max = cycle
+	}
+}
+
 // advance raises the watermark: the caller promises that no future Read
 // will sample below cycle w.
 func (c *EventCounter) advance(w int64) {
@@ -320,6 +335,9 @@ type PMU struct {
 	// after any Configure/SetEnabled.
 	listeners      [NumEvents][]*EventCounter
 	listenersStale bool
+	// active is the flat list of enabled, programmed counters;
+	// RecordBatch walks it once per call instead of once per event.
+	active []*EventCounter
 	// lastAdvance short-circuits Advance while the front-end cycle has
 	// not moved.
 	lastAdvance int64
@@ -343,14 +361,17 @@ func New(nProg int, refRatio float64) *PMU {
 	return p
 }
 
-// rebuildListeners recomputes the per-event listener lists.
+// rebuildListeners recomputes the per-event listener lists and the flat
+// active-counter list.
 func (p *PMU) rebuildListeners() {
 	for ev := range p.listeners {
 		p.listeners[ev] = p.listeners[ev][:0]
 	}
+	p.active = p.active[:0]
 	add := func(c *EventCounter) {
 		if c.enabled && c.ev != EvNone {
 			p.listeners[c.ev] = append(p.listeners[c.ev], c)
+			p.active = append(p.active, c)
 		}
 	}
 	add(p.FixedInst)
@@ -382,6 +403,24 @@ func (p *PMU) Record(ev Event, cycle int64) {
 	}
 	for _, c := range p.listeners[ev] {
 		c.add(cycle)
+	}
+}
+
+// RecordBatch delivers a vector of per-event occurrence counts, all
+// stamped with the same cycle, in a single walk of the active-counter
+// list. It is observationally identical to calling Record counts[ev]
+// times for every event, but costs one pass over the (at most handful of)
+// enabled counters regardless of how many events fired — the machine's
+// per-load event recording uses it to fold up to six Record calls into
+// one.
+func (p *PMU) RecordBatch(counts *[NumEvents]uint16, cycle int64) {
+	if p.listenersStale {
+		p.rebuildListeners()
+	}
+	for _, c := range p.active {
+		if n := counts[c.ev]; n != 0 {
+			c.addN(cycle, uint64(n))
+		}
 	}
 }
 

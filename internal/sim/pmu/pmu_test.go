@@ -261,3 +261,74 @@ func TestEventNames(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordBatchMatchesRecord: a RecordBatch delivery must be
+// observationally identical — at every sampling cycle, through
+// reconfiguration, with multi-count events — to the equivalent sequence
+// of Record calls.
+func TestRecordBatchMatchesRecord(t *testing.T) {
+	events := []Event{EvLoadRetired, EvLoadL1Hit, EvLoadL1Miss, EvLoadL2Hit, EvL2Prefetch}
+	build := func() *PMU {
+		p := New(4, 0.8)
+		for i, ev := range events[:4] {
+			p.Prog[i].Configure(ev)
+		}
+		p.SetGlobalEnable(true, 0)
+		// EvL2Prefetch has no listener: batch counts for it must be dropped.
+		return p
+	}
+	a, b := build(), build()
+
+	rng := rand.New(rand.NewSource(5))
+	cycle, watermark := int64(0), int64(0)
+	for i := 0; i < 500; i++ {
+		cycle += int64(rng.Intn(4))
+		var counts [NumEvents]uint16
+		for _, ev := range events {
+			counts[ev] = uint16(rng.Intn(3))
+		}
+		a.RecordBatch(&counts, cycle)
+		for _, ev := range events {
+			for n := counts[ev]; n > 0; n-- {
+				b.Record(ev, cycle)
+			}
+		}
+		if rng.Intn(16) == 0 {
+			w := cycle - int64(rng.Intn(8))
+			if w > watermark {
+				watermark = w
+			}
+			a.Advance(w)
+			b.Advance(w)
+		}
+		// Honour the Advance contract: never sample below the watermark.
+		at := cycle - int64(rng.Intn(6))
+		if at < watermark {
+			at = watermark
+		}
+		for idx := uint32(0); idx < 4; idx++ {
+			av, _ := a.ReadPMC(idx, at)
+			bv, _ := b.ReadPMC(idx, at)
+			if av != bv {
+				t.Fatalf("step %d: counter %d: batch %d vs record %d at cycle %d", i, idx, av, bv, at)
+			}
+		}
+	}
+}
+
+func BenchmarkPMURecordBatchLoad(b *testing.B) {
+	p := New(4, 0.8)
+	p.Prog[0].Configure(EvLoadRetired)
+	p.Prog[1].Configure(EvLoadL1Hit)
+	p.SetGlobalEnable(true, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var counts [NumEvents]uint16
+		counts[EvLoadRetired] = 1
+		counts[EvLoadL1Hit] = 1
+		p.RecordBatch(&counts, int64(i))
+		if i%64 == 0 {
+			p.Advance(int64(i))
+		}
+	}
+}

@@ -2,27 +2,46 @@
 // Tool for Running Microbenchmarks on x86 Systems" (Abel & Reineke, ISPASS
 // 2020), built on a simulated x86 machine.
 //
-// The package is a thin facade over the internal implementation:
+// The public API is organized around the Session type: a session is
+// opened once with functional options, owns its pool of simulated
+// machines, its scheduler, and its result cache, and evaluates one or
+// many microbenchmark configurations under a context.Context:
+//
+//	s, _ := nanobench.Open(nanobench.WithCPU("Skylake"), nanobench.WithSeed(42))
+//	res, _ := s.Run(ctx, nanobench.Config{
+//		Code:     nanobench.MustAsm("mov R14, [R14]"),
+//		CodeInit: nanobench.MustAsm("mov [R14], R14"),
+//		Events:   nanobench.MustParseEvents("D1.01 MEM_LOAD_RETIRED.L1_HIT"),
+//	})
+//	fmt.Print(res) // Core cycles: 4.00, ...
+//
+// Families of configurations are generated declaratively with the Sweep
+// builder and evaluated with Session.RunBatch (all results at once) or
+// Session.Stream (results in config order as they complete; cancelling
+// the context returns promptly with the completed prefix). Results are
+// typed — a slice of Metric values carrying the event specification, the
+// aggregated value, and the raw per-run samples — and serialize with
+// Result.MarshalJSON and Result.AppendCSV.
+//
+// The facade sits over the internal implementation:
 //
 //   - internal/sim/* — the simulated hardware (out-of-order core, caches,
 //     replacement policies, PMU, physical memory)
 //   - internal/x86 — assembler, encoder, decoder, instruction table
 //   - internal/nano — nanoBench itself (code generation, runner)
 //   - internal/sched — deterministic parallel batch execution with a
-//     content-addressed result cache (RunBatch, RunBatchStream)
+//     content-addressed result cache
 //   - internal/cachetools, internal/instbench — the paper's case studies
 //   - internal/uarch — the ten Table I machine models
 //
-// A minimal session, reproducing the paper's Section III-A example:
+// The v1 free functions (NewMachine, NewRunner, RunBatch,
+// RunBatchStream) remain as thin deprecated shims; see the README's
+// migration table. The paper's Section III-A example still runs
+// unchanged through them:
 //
 //	m, _ := nanobench.NewMachine("Skylake", 42)
 //	r, _ := nanobench.NewRunner(m, nanobench.Kernel)
-//	res, _ := r.Run(nanobench.Config{
-//		Code:     nanobench.MustAsm("mov R14, [R14]"),
-//		CodeInit: nanobench.MustAsm("mov [R14], R14"),
-//		Events:   nanobench.MustParseEvents("D1.01 MEM_LOAD_RETIRED.L1_HIT"),
-//	})
-//	fmt.Print(res) // Core cycles: 4.00, ...
+//	res, _ := r.Run(nanobench.Config{...})
 package nanobench
 
 import (
@@ -42,8 +61,12 @@ type (
 	Runner = nano.Runner
 	// Config describes one microbenchmark evaluation.
 	Config = nano.Config
-	// Result holds aggregated per-instruction counter values.
+	// Result holds the typed, serializable counter values of one
+	// evaluation.
 	Result = nano.Result
+	// Metric is one measured counter of a Result: name, event
+	// specification, aggregated value, and raw per-run samples.
+	Metric = nano.Metric
 	// EventSpec selects a performance event to measure.
 	EventSpec = perfcfg.EventSpec
 	// CPU is a machine model from the catalog.
@@ -52,7 +75,7 @@ type (
 	Mode = machine.Mode
 )
 
-// Privilege modes for NewRunner.
+// Privilege modes for WithMode (and the deprecated NewRunner).
 const (
 	User   = machine.User
 	Kernel = machine.Kernel
@@ -65,23 +88,21 @@ const (
 	Avg    = nano.Avg
 )
 
-// NewMachine builds a simulated machine for one of the catalog
-// microarchitectures (see CPUNames).
-func NewMachine(cpuName string, seed int64) (*Machine, error) {
-	cpu, err := uarch.ByName(cpuName)
-	if err != nil {
-		return nil, err
-	}
-	return cpu.NewMachine(seed)
-}
+// The tool's per-config defaults, applied by Config.Canonical (see
+// internal/nano); cmd/nanobench inherits them for its flag defaults.
+const (
+	DefaultUnrollCount   = nano.DefaultUnrollCount
+	DefaultLoopCount     = nano.DefaultLoopCount
+	DefaultNMeasurements = nano.DefaultNMeasurements
+	DefaultWarmUpCount   = nano.DefaultWarmUpCount
+)
 
-// NewRunner prepares a machine for running microbenchmarks in the given
-// mode. The kernel-space runner supports privileged instructions, MSR and
-// uncore counters, pause/resume magic bytes, and physically-contiguous
-// allocation; the user-space runner is subject to timer-interrupt noise.
-func NewRunner(m *Machine, mode Mode) (*Runner, error) {
-	return nano.NewRunner(m, mode)
-}
+// NoWarmUp as a Config.WarmUpCount requests explicitly zero warm-up runs
+// even under a session-wide WithWarmUp default.
+const NoWarmUp = nano.NoWarmUp
+
+// CSVHeader is the header row matching Result.AppendCSV's records.
+const CSVHeader = nano.CSVHeader
 
 // Asm assembles Intel-syntax source into microbenchmark machine code.
 func Asm(src string) ([]byte, error) { return nano.Asm(src) }
@@ -121,18 +142,61 @@ type (
 	BatchCache = sched.Cache
 )
 
-// DefaultBatchSeed is the root seed RunBatch derives per-job machine seeds
-// from; it matches the seed the repository's experiments use.
+// DefaultBatchSeed is the root seed sessions (and the deprecated
+// RunBatch) derive per-job machine seeds from; it matches the seed the
+// repository's experiments use.
 const DefaultBatchSeed = 42
 
-// NewBatchCache builds an empty content-addressed result cache.
+// NewBatchCache builds an empty content-addressed result cache, shareable
+// between sessions via WithCache.
 func NewBatchCache() *BatchCache { return sched.NewCache() }
 
-// NewBatchExecutor builds a batch executor for heterogeneous jobs.
+// NewBatchExecutor builds a batch executor for heterogeneous jobs (mixed
+// CPU models or privilege modes in one batch); homogeneous work is easier
+// to run through a Session.
 func NewBatchExecutor(opts BatchOptions) *BatchExecutor { return sched.New(opts) }
 
-// defaultBatch serves RunBatch/RunBatchStream: all cores, the default root
-// seed, and a process-wide cache so repeated sweeps hit memory.
+// PauseCounting and ResumeCounting are the magic byte sequences that
+// pause/resume performance counting when embedded in benchmark code
+// (kernel mode only; Section III-I).
+var (
+	PauseCounting  = nano.PauseCountingBytes
+	ResumeCounting = nano.ResumeCountingBytes
+)
+
+// Deprecated v1 shims. The free functions below predate the Session API;
+// they keep the paper's original quickstart compiling and behaving
+// identically. New code should open a Session instead (see the README
+// migration table; ROADMAP.md records the removal horizon).
+
+// NewMachine builds a simulated machine for one of the catalog
+// microarchitectures (see CPUNames).
+//
+// Deprecated: use Open(WithCPU(name), WithSeed(seed)) and the session's
+// Run/NewRunner/NewMachine methods.
+func NewMachine(cpuName string, seed int64) (*Machine, error) {
+	cpu, err := uarch.ByName(cpuName)
+	if err != nil {
+		return nil, err
+	}
+	return cpu.NewMachine(seed)
+}
+
+// NewRunner prepares a machine for running microbenchmarks in the given
+// mode. The kernel-space runner supports privileged instructions, MSR and
+// uncore counters, pause/resume magic bytes, and physically-contiguous
+// allocation; the user-space runner is subject to timer-interrupt noise.
+//
+// Deprecated: use Open(..., WithMode(mode)) and Session.Run, or
+// Session.NewRunner when direct machine access is needed (the cache
+// analysis tools take a Runner).
+func NewRunner(m *Machine, mode Mode) (*Runner, error) {
+	return nano.NewRunner(m, mode)
+}
+
+// defaultBatch serves the deprecated RunBatch/RunBatchStream: all cores,
+// the default root seed, and a process-wide cache so repeated sweeps hit
+// memory.
 var defaultBatch = sched.New(sched.Options{
 	RootSeed: DefaultBatchSeed,
 	Cache:    sched.NewCache(),
@@ -140,9 +204,11 @@ var defaultBatch = sched.New(sched.Options{
 
 // RunBatch evaluates the configurations on the named CPU model in the
 // given mode, in parallel across runtime.NumCPU() simulated machines, and
-// returns the results in config order. Results are byte-identical for any
-// level of parallelism; failed configs leave a nil entry and their errors
-// are joined into the returned error.
+// returns the results in config order.
+//
+// Deprecated: use Open(WithCPU(cpuName), WithMode(mode)) and
+// Session.RunBatch, which adds context cancellation and a per-session
+// cache.
 func RunBatch(cpuName string, mode Mode, cfgs []Config) ([]*Result, error) {
 	return defaultBatch.Run(batchJobs(cpuName, mode, cfgs))
 }
@@ -150,6 +216,9 @@ func RunBatch(cpuName string, mode Mode, cfgs []Config) ([]*Result, error) {
 // RunBatchStream is RunBatch's streaming variant: results are delivered in
 // config order over the returned channel, each as soon as it and all its
 // predecessors are available. The channel closes after the last item.
+//
+// Deprecated: use Session.Stream, which adds context cancellation with
+// partial in-order delivery.
 func RunBatchStream(cpuName string, mode Mode, cfgs []Config) <-chan BatchItem {
 	return defaultBatch.Stream(batchJobs(cpuName, mode, cfgs))
 }
@@ -161,11 +230,3 @@ func batchJobs(cpuName string, mode Mode, cfgs []Config) []BatchJob {
 	}
 	return jobs
 }
-
-// PauseCounting and ResumeCounting are the magic byte sequences that
-// pause/resume performance counting when embedded in benchmark code
-// (kernel mode only; Section III-I).
-var (
-	PauseCounting  = nano.PauseCountingBytes
-	ResumeCounting = nano.ResumeCountingBytes
-)

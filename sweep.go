@@ -1,0 +1,142 @@
+package nanobench
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A Sweep declaratively generates a family of configurations from a base
+// Config by varying one or more dimensions: the benchmark code, the
+// unroll count, the loop count, and the event set. Configs expands the
+// cross product of every dimension that was given (dimensions left unset
+// keep the base config's value) in a fixed order — code-major, then
+// unroll, then loop, then events — so sweep results line up with the
+// expansion deterministically.
+//
+//	sw := nanobench.NewSweep(nanobench.Config{WarmUpCount: 1}).
+//		Asm("add rax, rbx", "imul rax, rbx").
+//		Unroll(10, 100, 1000)
+//	results, err := session.RunSweep(ctx, sw)  // 2 × 3 configs
+//
+// Builder methods accumulate; calling a dimension method twice appends
+// further variants. An assembly error in Asm is deferred to Configs (and
+// therefore to RunSweep), keeping call chains clean.
+type Sweep struct {
+	base    Config
+	codes   [][]byte
+	unrolls []int
+	loops   []int
+	events  [][]EventSpec
+	err     error
+}
+
+// NewSweep starts a sweep from a base configuration. Fields of the base
+// not covered by a dimension (aggregate function, warm-up count, noMem,
+// ...) apply to every generated config.
+func NewSweep(base Config) *Sweep {
+	return &Sweep{base: base}
+}
+
+// Code adds benchmark-code variants (raw machine code).
+func (s *Sweep) Code(codes ...[]byte) *Sweep {
+	s.codes = append(s.codes, codes...)
+	return s
+}
+
+// Asm adds benchmark-code variants from Intel-syntax assembly sources.
+// Assembly errors surface at Configs/RunSweep time.
+func (s *Sweep) Asm(srcs ...string) *Sweep {
+	for _, src := range srcs {
+		code, err := Asm(src)
+		if err != nil && s.err == nil {
+			s.err = fmt.Errorf("nanobench: sweep: %w", err)
+		}
+		s.codes = append(s.codes, code)
+	}
+	return s
+}
+
+// Unroll adds unroll-count variants.
+func (s *Sweep) Unroll(counts ...int) *Sweep {
+	s.unrolls = append(s.unrolls, counts...)
+	return s
+}
+
+// Loop adds loop-count variants (0 means no loop; Section III-F).
+func (s *Sweep) Loop(counts ...int) *Sweep {
+	s.loops = append(s.loops, counts...)
+	return s
+}
+
+// Events adds event-set variants (each set is measured in its own
+// evaluation, e.g. to sweep counter configurations past the programmable
+// counter limit explicitly).
+func (s *Sweep) Events(sets ...[]EventSpec) *Sweep {
+	s.events = append(s.events, sets...)
+	return s
+}
+
+// Len returns the number of configs Configs will generate, or 0 when
+// Configs would return an error (deferred Asm error, no benchmark code).
+func (s *Sweep) Len() int {
+	if s.err != nil {
+		return 0
+	}
+	if len(s.codes) == 0 && len(s.base.Code) == 0 && len(s.base.CodeInit) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range []int{len(s.codes), len(s.unrolls), len(s.loops), len(s.events)} {
+		if d > 0 {
+			n *= d
+		}
+	}
+	return n
+}
+
+// Err returns the first deferred builder error, if any.
+func (s *Sweep) Err() error { return s.err }
+
+// Configs expands the sweep into its config family, in the deterministic
+// code-major / unroll / loop / events order.
+func (s *Sweep) Configs() ([]Config, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	codes := s.codes
+	if len(codes) == 0 {
+		if len(s.base.Code) == 0 && len(s.base.CodeInit) == 0 {
+			return nil, errors.New("nanobench: sweep: no benchmark code (base config empty and no Code/Asm variants)")
+		}
+		codes = [][]byte{s.base.Code}
+	}
+	unrolls := s.unrolls
+	if len(unrolls) == 0 {
+		unrolls = []int{s.base.UnrollCount}
+	}
+	loops := s.loops
+	if len(loops) == 0 {
+		loops = []int{s.base.LoopCount}
+	}
+	events := s.events
+	if len(events) == 0 {
+		events = [][]EventSpec{s.base.Events}
+	}
+
+	out := make([]Config, 0, len(codes)*len(unrolls)*len(loops)*len(events))
+	for _, code := range codes {
+		for _, unroll := range unrolls {
+			for _, loop := range loops {
+				for _, evs := range events {
+					cfg := s.base
+					cfg.Code = code
+					cfg.UnrollCount = unroll
+					cfg.LoopCount = loop
+					cfg.Events = evs
+					out = append(out, cfg)
+				}
+			}
+		}
+	}
+	return out, nil
+}
