@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build build-bins test test-short test-race vet fmt fmt-check ci bench
+.PHONY: build build-bins test test-short test-race vet fmt fmt-check ci bench serve smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,15 @@ vet:
 # local comparisons.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Run the HTTP benchmarking service locally (wire contract: docs/API.md).
+serve:
+	$(GO) run ./cmd/nanobenchd
+
+# End-to-end service smoke: build nanobenchd, start it, and diff live
+# /v1/healthz and /v1/run responses against the documented examples.
+smoke:
+	bash scripts/serve-smoke.sh
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,78 @@
+// nanobenchd serves the nanobench Session API over HTTP/JSON: single
+// configs, heterogeneous batches, and streaming sweeps, with one session
+// per (CPU model, privilege mode) behind a shared LRU-bounded result
+// cache. The wire schema is documented in docs/API.md.
+//
+//	go run nanobench/cmd/nanobenchd -addr :8080
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/run \
+//	    -d '{"config": {"asm": "add rax, rbx", "n_measurements": 3}}'
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes, and
+// in-flight evaluations drain (bounded by -drain) before the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nanobench"
+	"nanobench/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Int64("seed", nanobench.DefaultBatchSeed, "root seed for per-job machine seed derivation")
+		parallelism = flag.Int("parallelism", 0, "concurrently simulated machines per session (0: all cores)")
+		warmUp      = flag.Int("warm_up_count", nanobench.DefaultWarmUpCount, "session-wide default warm-up run count")
+		cacheMax    = flag.Int("cache_entries", 4096, "shared result cache bound in evaluations (0: unbounded)")
+		maxBatch    = flag.Int("max_batch", server.DefaultMaxBatch, "max configs per request")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Options{
+		Seed:            *seed,
+		Parallelism:     *parallelism,
+		WarmUp:          *warmUp,
+		CacheMaxEntries: *cacheMax,
+		MaxBatch:        *maxBatch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("nanobenchd listening on %s (seed %d, cache bound %d)", *addr, *seed, *cacheMax)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining %d in-flight request(s)", srv.InFlight())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("nanobenchd stopped")
+}

@@ -1,0 +1,59 @@
+package nanobench_test
+
+import (
+	"context"
+	"fmt"
+
+	"nanobench"
+)
+
+// ExampleOpen measures the L1 load-to-use latency with the paper's
+// Section III-A pointer-chasing load: the init part stores R14 to the
+// address it points to, the main part then chases the pointer, so every
+// load depends on the previous one. Simulation is deterministic, so the
+// printed latency is stable for a given CPU model and seed.
+func ExampleOpen() {
+	s, err := nanobench.Open(
+		nanobench.WithCPU("Skylake"),
+		nanobench.WithSeed(42),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Run(context.Background(), nanobench.Config{
+		Code:        nanobench.MustAsm("mov R14, [R14]"),
+		CodeInit:    nanobench.MustAsm("mov [R14], R14"),
+		WarmUpCount: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("L1 latency: %.0f cycles\n", res.MustGet("Core cycles"))
+	// Output: L1 latency: 4 cycles
+}
+
+// ExampleSession_RunSweep evaluates a declaratively generated config
+// family — two benchmarks at two unroll counts — in one call. Results
+// come back in the sweep's expansion order (code-major, then unroll),
+// byte-identical for any parallelism.
+func ExampleSession_RunSweep() {
+	s, err := nanobench.Open(nanobench.WithWarmUp(1))
+	if err != nil {
+		panic(err)
+	}
+	sw := nanobench.NewSweep(nanobench.Config{NMeasurements: 3}).
+		Asm("add rax, rbx", "imul rax, rbx").
+		Unroll(10, 100)
+	results, err := s.RunSweep(context.Background(), sw)
+	if err != nil {
+		panic(err)
+	}
+	for i, res := range results {
+		fmt.Printf("config %d: %.0f cycles/instr\n", i, res.MustGet("Core cycles"))
+	}
+	// Output:
+	// config 0: 1 cycles/instr
+	// config 1: 1 cycles/instr
+	// config 2: 3 cycles/instr
+	// config 3: 3 cycles/instr
+}

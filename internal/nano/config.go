@@ -3,6 +3,11 @@
 // two-run overhead subtraction, warm-up runs, aggregate functions,
 // automatic counter grouping, the noMem mode, and the magic byte sequences
 // for pausing and resuming performance counting.
+//
+// Config describes one evaluation and Result holds its typed, measured
+// counters. Both carry deterministic JSON codecs — the wire forms the
+// nanobenchd server speaks, documented in docs/API.md and pinned by
+// golden tests — and Result additionally exports CSV (AppendCSV).
 package nano
 
 import (
@@ -25,6 +30,20 @@ const (
 	// Avg reports the arithmetic mean excluding the top and bottom 20%.
 	Avg
 )
+
+// String renders the aggregate by its canonical wire name ("min", "med",
+// "avg"), a form ParseAggregate accepts.
+func (a Aggregate) String() string {
+	switch a {
+	case Min:
+		return "min"
+	case Median:
+		return "med"
+	case Avg:
+		return "avg"
+	}
+	return fmt.Sprintf("Aggregate(%d)", int(a))
+}
 
 // ParseAggregate parses an aggregate name.
 func ParseAggregate(s string) (Aggregate, error) {
@@ -89,6 +108,16 @@ type Config struct {
 // canonical form; a config and its canonicalization always produce the same
 // Result.
 func (c Config) Canonical() Config { return c.applyDefaults() }
+
+// IsZero reports whether every field of the config is its zero value
+// (the wire codecs omit an all-default base config entirely).
+func (c Config) IsZero() bool {
+	return len(c.Code) == 0 && len(c.CodeInit) == 0 &&
+		c.UnrollCount == 0 && c.LoopCount == 0 &&
+		c.NMeasurements == 0 && c.WarmUpCount == 0 &&
+		c.Aggregate == Min && !c.BasicMode && !c.NoMem &&
+		len(c.Events) == 0 && !c.UseBigArea
+}
 
 // NoWarmUp as a WarmUpCount requests explicitly zero warm-up runs; unlike
 // the zero value it is never overridden by a session-wide default.

@@ -1,0 +1,152 @@
+package nano
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"nanobench/internal/perfcfg"
+)
+
+// configJSON is the stable wire form of a Config, documented in
+// docs/API.md. Machine code travels as standard base64 (encoding/json's
+// []byte convention); on decode, "asm"/"asm_init" may carry Intel-syntax
+// assembly instead, which is assembled on the spot. Events use the
+// configuration-file line syntax ("D1.01 MEM_LOAD_RETIRED.L1_HIT"), one
+// event per entry; the aggregate its canonical name ("min", "med",
+// "avg"). Zero-valued fields are omitted, so a marshalled Config is
+// minimal and Canonical defaults stay implicit.
+type configJSON struct {
+	Code     []byte `json:"code,omitempty"`
+	Asm      string `json:"asm,omitempty"`
+	CodeInit []byte `json:"code_init,omitempty"`
+	AsmInit  string `json:"asm_init,omitempty"`
+
+	UnrollCount   int `json:"unroll_count,omitempty"`
+	LoopCount     int `json:"loop_count,omitempty"`
+	NMeasurements int `json:"n_measurements,omitempty"`
+	WarmUpCount   int `json:"warm_up_count,omitempty"`
+
+	Aggregate string `json:"aggregate,omitempty"`
+
+	BasicMode bool `json:"basic_mode,omitempty"`
+	NoMem     bool `json:"no_mem,omitempty"`
+
+	Events []string `json:"events,omitempty"`
+
+	UseBigArea bool `json:"use_big_area,omitempty"`
+}
+
+// MarshalJSON encodes the config in the documented wire form: code as
+// base64, events in configuration-file syntax, the aggregate by name.
+// The encoding is deterministic, and UnmarshalJSON(MarshalJSON(c))
+// reconstructs a config equal to c up to event-name whitespace
+// normalization (perfcfg collapses runs of spaces inside names).
+func (c Config) MarshalJSON() ([]byte, error) {
+	cj := configJSON{
+		Code:          c.Code,
+		CodeInit:      c.CodeInit,
+		UnrollCount:   c.UnrollCount,
+		LoopCount:     c.LoopCount,
+		NMeasurements: c.NMeasurements,
+		WarmUpCount:   c.WarmUpCount,
+		BasicMode:     c.BasicMode,
+		NoMem:         c.NoMem,
+		UseBigArea:    c.UseBigArea,
+	}
+	if c.Aggregate != Min {
+		cj.Aggregate = c.Aggregate.String()
+	}
+	cj.Events = EventLines(c.Events)
+	return json.Marshal(cj)
+}
+
+// EventLines renders event specs in the wire format's configuration-file
+// line syntax ("D1.01 MEM_LOAD_RETIRED.L1_HIT"), one line per event —
+// the inverse of ParseEventLines. Both the Config and Sweep codecs emit
+// events through it, so the wire syntax is defined in exactly one place.
+func EventLines(events []perfcfg.EventSpec) []string {
+	var lines []string
+	for _, ev := range events {
+		line := ev.Code()
+		if ev.Name != "" {
+			line += " " + ev.Name
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// ParseEventLines parses wire-format event lines into specs (nil for an
+// empty set).
+func ParseEventLines(lines []string) ([]perfcfg.EventSpec, error) {
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	return perfcfg.Parse(strings.Join(lines, "\n"))
+}
+
+// UnmarshalJSON decodes the wire form. It is strict: unknown fields are
+// an error (so a typo like "unrol_count" fails loudly instead of
+// silently running the default), and "asm" and "code" (likewise
+// "asm_init"/"code_init") are mutually exclusive.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cj configJSON
+	if err := dec.Decode(&cj); err != nil {
+		return fmt.Errorf("nano: config: %w", err)
+	}
+
+	code, err := wireCode("code", cj.Code, cj.Asm)
+	if err != nil {
+		return err
+	}
+	codeInit, err := wireCode("code_init", cj.CodeInit, cj.AsmInit)
+	if err != nil {
+		return err
+	}
+
+	events, err := ParseEventLines(cj.Events)
+	if err != nil {
+		return fmt.Errorf("nano: config: %w", err)
+	}
+
+	*c = Config{
+		Code:          code,
+		CodeInit:      codeInit,
+		UnrollCount:   cj.UnrollCount,
+		LoopCount:     cj.LoopCount,
+		NMeasurements: cj.NMeasurements,
+		WarmUpCount:   cj.WarmUpCount,
+		BasicMode:     cj.BasicMode,
+		NoMem:         cj.NoMem,
+		Events:        events,
+		UseBigArea:    cj.UseBigArea,
+	}
+	if cj.Aggregate != "" {
+		agg, err := ParseAggregate(cj.Aggregate)
+		if err != nil {
+			return fmt.Errorf("nano: config: %w", err)
+		}
+		c.Aggregate = agg
+	}
+	return nil
+}
+
+// wireCode resolves one of a config's two code fields from its raw and
+// assembly wire forms.
+func wireCode(field string, raw []byte, asm string) ([]byte, error) {
+	if asm == "" {
+		return raw, nil
+	}
+	if len(raw) > 0 {
+		return nil, fmt.Errorf("nano: config: both %q and %q given", field, "asm"+strings.TrimPrefix(field, "code"))
+	}
+	code, err := Asm(asm)
+	if err != nil {
+		return nil, fmt.Errorf("nano: config %s: %w", field, err)
+	}
+	return code, nil
+}

@@ -1,0 +1,106 @@
+package nano
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nanobench/internal/perfcfg"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfgs := []Config{
+		{},
+		{Code: MustAsm("add rax, rbx")},
+		{
+			Code:          MustAsm("mov R14, [R14]"),
+			CodeInit:      MustAsm("mov [R14], R14"),
+			UnrollCount:   10,
+			LoopCount:     100,
+			NMeasurements: 3,
+			WarmUpCount:   NoWarmUp,
+			Aggregate:     Avg,
+			BasicMode:     true,
+			NoMem:         true,
+			UseBigArea:    true,
+			Events: perfcfg.MustParse(`D1.01 MEM_LOAD_RETIRED.L1_HIT
+CBO.LOOKUP LLC_LOOKUPS
+MSR.E8 APERF`),
+		},
+	}
+	for i, cfg := range cfgs {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("config %d: marshal: %v", i, err)
+		}
+		var back Config
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("config %d: unmarshal(%s): %v", i, data, err)
+		}
+		if !reflect.DeepEqual(cfg, back) {
+			t.Errorf("config %d: round trip mismatch\nin:  %+v\nout: %+v\nwire: %s", i, cfg, back, data)
+		}
+		// The encoding itself must be stable: marshal(unmarshal(marshal))
+		// is byte-identical.
+		data2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("config %d: re-marshal: %v", i, err)
+		}
+		if string(data) != string(data2) {
+			t.Errorf("config %d: encoding unstable:\n%s\n%s", i, data, data2)
+		}
+	}
+}
+
+func TestConfigJSONAsmDecodes(t *testing.T) {
+	var cfg Config
+	err := json.Unmarshal([]byte(`{"asm":"add rax, rbx","asm_init":"mov rbx, 1","unroll_count":5}`), &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Code: MustAsm("add rax, rbx"), CodeInit: MustAsm("mov rbx, 1"), UnrollCount: 5}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("got %+v, want %+v", cfg, want)
+	}
+}
+
+func TestConfigJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown field", `{"unrol_count": 5}`, "unknown field"},
+		{"asm and code", `{"asm":"nop","code":"kA=="}`, "both"},
+		{"bad asm", `{"asm":"not an instruction"}`, "code"},
+		{"bad aggregate", `{"aggregate":"max"}`, "unknown aggregate"},
+		{"bad event", `{"events":["ZZ"]}`, "perfcfg"},
+	}
+	for _, tc := range cases {
+		var cfg Config
+		err := json.Unmarshal([]byte(tc.in), &cfg)
+		if err == nil {
+			t.Errorf("%s: decoded %q without error", tc.name, tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestConfigIsZero(t *testing.T) {
+	if !(Config{}).IsZero() {
+		t.Error("zero config not IsZero")
+	}
+	for _, cfg := range []Config{
+		{Code: []byte{0x90}},
+		{UnrollCount: 1},
+		{Aggregate: Median},
+		{WarmUpCount: NoWarmUp},
+		{NoMem: true},
+	} {
+		if cfg.IsZero() {
+			t.Errorf("%+v reported IsZero", cfg)
+		}
+	}
+}

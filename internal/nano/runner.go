@@ -260,6 +260,15 @@ func (r *Runner) validate(cfg *Config) error {
 	if cfg.LoopCount < 0 || cfg.NMeasurements < 1 || cfg.WarmUpCount < 0 {
 		return errors.New("nano: invalid run counts")
 	}
+	// Reject unroll counts that cannot fit before generating the buffer:
+	// the measurement run alone holds UnrollCount copies of Code, so a
+	// hostile unroll_count would otherwise allocate gigabytes here (and
+	// on the server, from a 60-byte request) only to fail the post-
+	// generation size check.
+	if len(cfg.Code) > 0 && cfg.UnrollCount > CodeSize/len(cfg.Code) {
+		return fmt.Errorf("nano: %d copies of a %d-byte benchmark cannot fit the %d-byte code area",
+			cfg.UnrollCount, len(cfg.Code), CodeSize)
+	}
 	hasMarkers := containsMarker(cfg.Code) || containsMarker(cfg.CodeInit)
 	if hasMarkers && r.mode != machine.Kernel {
 		return errors.New("nano: pause/resume magic bytes require the kernel-space version")

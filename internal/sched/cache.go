@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"hash"
@@ -98,19 +99,44 @@ func writeBool(h hash.Hash, v bool) {
 	}
 }
 
-// Cache memoizes evaluation results by content key. It is safe for
-// concurrent use; all accessors hand out deep copies, so cached values are
-// immutable no matter what callers do with the results.
+// Cache memoizes evaluation results by content key, optionally bounded
+// by a least-recently-used entry limit. It is safe for concurrent use;
+// all accessors hand out deep copies, so cached values are immutable no
+// matter what callers do with the results.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[Key]*nano.Result
+	entries map[Key]*list.Element // values are *cacheEntry
+	lru     *list.List            // front = most recently used
+	max     int                   // 0: unbounded
 	hits    uint64
 	misses  uint64
+	evicted uint64
 }
 
-// NewCache builds an empty result cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[Key]*nano.Result)}
+type cacheEntry struct {
+	key Key
+	res *nano.Result
+}
+
+// NewCache builds an empty, unbounded result cache — the CLI default,
+// where a cache lives for one sweep and eviction would only cost
+// re-simulations.
+func NewCache() *Cache { return NewCacheLRU(0) }
+
+// NewCacheLRU builds an empty result cache bounded to at most maxEntries
+// evaluations; storing past the bound evicts the least recently used
+// entry (both lookups and stores refresh recency). maxEntries <= 0 means
+// unbounded. Long-running shared caches — the nanobenchd server — should
+// always set a bound.
+func NewCacheLRU(maxEntries int) *Cache {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Cache{
+		entries: make(map[Key]*list.Element),
+		lru:     list.New(),
+		max:     maxEntries,
+	}
 }
 
 // get returns the cached result for k, or nil. The caller must clone
@@ -118,20 +144,33 @@ func NewCache() *Cache {
 func (c *Cache) get(k Key) *nano.Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r := c.entries[k]
-	if r == nil {
+	el := c.entries[k]
+	if el == nil {
 		c.misses++
-	} else {
-		c.hits++
+		return nil
 	}
-	return r
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
 }
 
-// put stores a private copy of r under k.
+// put stores a private copy of r under k, evicting the least recently
+// used entry when the bound is exceeded.
 func (c *Cache) put(k Key, r *nano.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[k] = r.Clone()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).res = r.Clone()
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, res: r.Clone()})
+	if c.max > 0 && c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+	}
 }
 
 // Len returns the number of cached evaluations.
@@ -146,4 +185,31 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// CacheInfo is a point-in-time snapshot of a cache's occupancy and
+// lookup counters — the instrumentation behind the server's /v1/stats.
+type CacheInfo struct {
+	// Hits and Misses count lookups so far.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Entries is the current number of cached evaluations; Evictions
+	// counts entries dropped by the LRU bound.
+	Entries   int    `json:"entries"`
+	Evictions uint64 `json:"evictions"`
+	// MaxEntries is the LRU bound (0: unbounded).
+	MaxEntries int `json:"max_entries"`
+}
+
+// Info returns a consistent snapshot of the cache's counters.
+func (c *Cache) Info() CacheInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheInfo{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Entries:    len(c.entries),
+		Evictions:  c.evicted,
+		MaxEntries: c.max,
+	}
 }

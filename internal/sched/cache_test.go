@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"nanobench/internal/nano"
+	"nanobench/internal/sim/machine"
+)
+
+// keyN builds n distinct content keys.
+func keyN(n int) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = KeyOf(Job{CPU: "Skylake", Mode: machine.Kernel, Cfg: nano.Config{
+			Code: []byte{byte(i), byte(i >> 8)},
+		}})
+	}
+	return keys
+}
+
+// resN builds a marker result distinguishable per index.
+func resN(t *testing.T, i int) *nano.Result {
+	t.Helper()
+	var r nano.Result
+	if err := r.UnmarshalJSON([]byte(fmt.Sprintf(`{"metrics":[{"name":"m","value":%d}]}`, i))); err != nil {
+		t.Fatal(err)
+	}
+	return &r
+}
+
+func TestCacheLRUEvictsOldest(t *testing.T) {
+	c := NewCacheLRU(2)
+	keys := keyN(3)
+	c.put(keys[0], resN(t, 0))
+	c.put(keys[1], resN(t, 1))
+	// Touch key 0 so key 1 is the LRU victim.
+	if c.get(keys[0]) == nil {
+		t.Fatal("key 0 missing before eviction")
+	}
+	c.put(keys[2], resN(t, 2))
+
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.get(keys[1]) != nil {
+		t.Error("LRU entry survived eviction")
+	}
+	if c.get(keys[0]) == nil || c.get(keys[2]) == nil {
+		t.Error("recently used entries were evicted")
+	}
+
+	info := c.Info()
+	if info.Evictions != 1 || info.Entries != 2 || info.MaxEntries != 2 {
+		t.Errorf("Info = %+v, want 1 eviction, 2 entries, max 2", info)
+	}
+	// 4 hits (keys 0, 0, 2) minus the miss on the evicted key 1.
+	if info.Hits != 3 || info.Misses != 1 {
+		t.Errorf("Info = %+v, want 3 hits, 1 miss", info)
+	}
+}
+
+func TestCacheLRUPutRefreshesAndReplaces(t *testing.T) {
+	c := NewCacheLRU(2)
+	keys := keyN(3)
+	c.put(keys[0], resN(t, 0))
+	c.put(keys[1], resN(t, 1))
+	// Re-putting key 0 must replace in place (no growth) and refresh its
+	// recency, making key 1 the next victim.
+	c.put(keys[0], resN(t, 42))
+	c.put(keys[2], resN(t, 2))
+
+	if c.get(keys[1]) != nil {
+		t.Error("key 1 should have been evicted")
+	}
+	got := c.get(keys[0])
+	if got == nil {
+		t.Fatal("key 0 evicted")
+	}
+	if v, ok := got.Get("m"); !ok || v != 42 {
+		t.Errorf("re-put did not replace value: got %v", v)
+	}
+}
+
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	c := NewCache()
+	keys := keyN(100)
+	for i, k := range keys {
+		c.put(k, resN(t, i))
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+	if info := c.Info(); info.Evictions != 0 || info.MaxEntries != 0 {
+		t.Errorf("Info = %+v, want unbounded with no evictions", info)
+	}
+}

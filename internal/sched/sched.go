@@ -26,7 +26,10 @@
 // re-simulating, while the same content at a different batch index — a
 // different seed — is honestly re-evaluated rather than served a result
 // computed under another seed. Cache hits hand out deep copies:
-// pointer-distinct, value-equal results.
+// pointer-distinct, value-equal results. A cache may be bounded with
+// least-recently-used eviction (NewCacheLRU) — the configuration
+// long-running services use — and exposes occupancy and hit/miss/
+// eviction counters (Info) for their stats endpoints.
 package sched
 
 import (

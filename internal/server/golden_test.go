@@ -1,0 +1,194 @@
+package server
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false,
+	"rewrite the response examples in docs/API.md from live server output")
+
+const docPath = "../../docs/API.md"
+
+// goldenOptions is the server configuration the documented examples were
+// produced under; docs/API.md states it next to the examples.
+var goldenOptions = Options{
+	Seed:            42,
+	Parallelism:     4,
+	WarmUp:          0,
+	CacheMaxEntries: 1024,
+}
+
+// goldenMarker precedes a fenced code block whose exact content the
+// golden test owns: <!-- golden:name -->
+var goldenMarker = regexp.MustCompile(`^<!-- golden:([a-z0-9-]+) -->$`)
+
+// docBlock is one golden-marked fenced block: the content between the
+// fences and its line span (for -update rewriting).
+type docBlock struct {
+	content    string
+	start, end int // lines [start, end) between the fences
+}
+
+// parseDoc extracts every golden-marked block of the API doc.
+func parseDoc(t *testing.T, lines []string) map[string]*docBlock {
+	t.Helper()
+	blocks := make(map[string]*docBlock)
+	for i := 0; i < len(lines); i++ {
+		m := goldenMarker.FindStringSubmatch(lines[i])
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		open := i + 1
+		for open < len(lines) && strings.TrimSpace(lines[open]) == "" {
+			open++
+		}
+		if open >= len(lines) || !strings.HasPrefix(lines[open], "```") {
+			t.Fatalf("%s: golden marker %q (line %d) is not followed by a fenced code block", docPath, name, i+1)
+		}
+		closing := open + 1
+		for closing < len(lines) && !strings.HasPrefix(lines[closing], "```") {
+			closing++
+		}
+		if closing >= len(lines) {
+			t.Fatalf("%s: golden block %q (line %d) has no closing fence", docPath, name, open+1)
+		}
+		if _, dup := blocks[name]; dup {
+			t.Fatalf("%s: duplicate golden block %q", docPath, name)
+		}
+		content := ""
+		if closing > open+1 {
+			content = strings.Join(lines[open+1:closing], "\n") + "\n"
+		}
+		blocks[name] = &docBlock{content: content, start: open + 1, end: closing}
+		i = closing
+	}
+	return blocks
+}
+
+// TestAPIDocGolden drives the documented request examples against a live
+// server configured exactly as docs/API.md states and asserts every
+// documented response byte-for-byte. Run with -update to regenerate the
+// response blocks after an intentional wire-format change.
+func TestAPIDocGolden(t *testing.T) {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatalf("the API doc must exist and carry the golden examples: %v", err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	blocks := parseDoc(t, lines)
+
+	srv, err := New(goldenOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The scenario runs in documented order — the final /v1/stats
+	// counters reflect exactly the requests above it.
+	steps := []struct {
+		method, path string
+		reqBlock     string // "" for GET
+		respBlock    string
+		wantStatus   int
+	}{
+		{"GET", "/v1/healthz", "", "healthz-response", 200},
+		{"POST", "/v1/run", "run-request", "run-response", 200},
+		{"POST", "/v1/runbatch", "runbatch-request", "runbatch-response", 200},
+		{"POST", "/v1/sweep", "sweep-request", "sweep-response", 200},
+		{"POST", "/v1/sweep?stream=1", "sweep-request", "sweep-stream-response", 200},
+		{"POST", "/v1/run", "error-request", "error-response", 422},
+		{"GET", "/v1/stats", "", "stats-response", 200},
+	}
+
+	updates := make(map[string]string)
+	for _, step := range steps {
+		var body string
+		if step.reqBlock != "" {
+			b, ok := blocks[step.reqBlock]
+			if !ok {
+				t.Fatalf("%s: missing request block %q", docPath, step.reqBlock)
+			}
+			body = b.content
+		}
+		req, err := http.NewRequest(step.method, ts.URL+step.path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := readAll(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != step.wantStatus {
+			t.Fatalf("%s %s: status %d, want %d\n%s", step.method, step.path, resp.StatusCode, step.wantStatus, got)
+		}
+		if *updateGolden {
+			updates[step.respBlock] = got
+			continue
+		}
+		b, ok := blocks[step.respBlock]
+		if !ok {
+			t.Fatalf("%s: missing response block %q (run with -update to generate)", docPath, step.respBlock)
+		}
+		if got != b.content {
+			t.Errorf("%s %s: response differs from the documented %q example (run with -update after intentional wire changes)\n--- documented\n%s--- served\n%s",
+				step.method, step.path, step.respBlock, b.content, got)
+		}
+	}
+
+	if *updateGolden {
+		rewriteDoc(t, lines, blocks, updates)
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// rewriteDoc splices the freshly served responses into their blocks and
+// writes the doc back, bottom-up so earlier line spans stay valid.
+func rewriteDoc(t *testing.T, lines []string, blocks map[string]*docBlock, updates map[string]string) {
+	t.Helper()
+	type span struct {
+		name       string
+		start, end int
+	}
+	var spans []span
+	for name := range updates {
+		b, ok := blocks[name]
+		if !ok {
+			t.Fatalf("%s: no block %q to update — add the marker and an empty fenced block first", docPath, name)
+		}
+		spans = append(spans, span{name, b.start, b.end})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[j].start > spans[i].start {
+				spans[i], spans[j] = spans[j], spans[i]
+			}
+		}
+	}
+	for _, s := range spans {
+		fresh := strings.Split(strings.TrimSuffix(updates[s.name], "\n"), "\n")
+		lines = append(lines[:s.start], append(fresh, lines[s.end:]...)...)
+	}
+	if err := os.WriteFile(docPath, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("rewrote %d golden blocks in %s\n", len(updates), docPath)
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"nanobench"
+)
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, errMethod("POST required"))
+		return
+	}
+	s.reqRun.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	var req runRequest
+	if e := decodeJSON(r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	if len(req.Config.Code) == 0 && len(req.Config.CodeInit) == 0 {
+		writeError(w, errInvalid("config: no benchmark code (give code/asm or code_init/asm_init)"))
+		return
+	}
+	if e := validateCost(req.Config); e != nil {
+		writeError(w, e)
+		return
+	}
+	sess, e := s.session(req.CPU, req.Mode)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	res, err := sess.Run(r.Context(), req.Config)
+	if err != nil {
+		writeError(w, runError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		CPU:    sess.CPUName(),
+		Mode:   sess.Mode().String(),
+		Result: res,
+	})
+}
+
+// MaxMeasurements caps warm-up plus timed runs per config. The runner
+// itself bounds code size (unroll × benchmark bytes must fit the code
+// area), but run counts are unbounded there — legitimate for a local
+// CLI, a worker-pinning lever for an untrusted request.
+const MaxMeasurements = 100000
+
+// validateCost rejects configs whose declared cost no benchmark needs:
+// a run-count gate here, the code-size gate in the runner's validation.
+func validateCost(cfg nanobench.Config) *apiError {
+	warm := cfg.WarmUpCount
+	if warm < 0 {
+		warm = 0 // NoWarmUp
+	}
+	// Individual bounds first so the sum below cannot overflow.
+	if cfg.NMeasurements > MaxMeasurements || warm > MaxMeasurements ||
+		cfg.NMeasurements+warm > MaxMeasurements {
+		return errInvalid(fmt.Sprintf("config: %d measurement + %d warm-up runs exceed the limit of %d",
+			cfg.NMeasurements, warm, MaxMeasurements))
+	}
+	return nil
+}
+
+// runError maps a single evaluation's failure to the envelope: client
+// cancellations get the non-standard 499 (best effort — the client is
+// usually gone), everything else is an unprocessable evaluation.
+func runError(err error) *apiError {
+	body := itemError(err)
+	status := http.StatusUnprocessableEntity
+	if errors.Is(err, context.Canceled) {
+		status = statusClientClosedRequest
+	}
+	return &apiError{status, *body}
+}
+
+func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, errMethod("POST required"))
+		return
+	}
+	s.reqBatch.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	var req batchRequest
+	if e := decodeJSON(r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, errInvalid("empty batch: no jobs"))
+		return
+	}
+	if len(req.Jobs) > s.opts.MaxBatch {
+		writeError(w, errInvalid(fmt.Sprintf("batch of %d jobs exceeds the limit of %d", len(req.Jobs), s.opts.MaxBatch)))
+		return
+	}
+
+	// Validate every job up front — a typo in job 7's CPU name fails the
+	// request before any simulation starts — and group the jobs by
+	// session, preserving first-appearance order so the per-session
+	// sub-batches (and therefore the index-derived machine seeds) are
+	// deterministic.
+	type group struct {
+		sess    *nanobench.Session
+		indices []int
+		cfgs    []nanobench.Config
+	}
+	bySession := make(map[*nanobench.Session]*group)
+	var groups []*group
+	for i, job := range req.Jobs {
+		e := validateCost(job.Config)
+		if e == nil {
+			var sess *nanobench.Session
+			if sess, e = s.session(job.CPU, job.Mode); e == nil {
+				g := bySession[sess]
+				if g == nil {
+					g = &group{sess: sess}
+					bySession[sess] = g
+					groups = append(groups, g)
+				}
+				g.indices = append(g.indices, i)
+				g.cfgs = append(g.cfgs, job.Config)
+				continue
+			}
+		}
+		e.body.Message = fmt.Sprintf("job %d: %s", i, e.body.Message)
+		writeError(w, e)
+		return
+	}
+
+	// Drain every group's stream concurrently; each goroutine writes
+	// only its own group's (disjoint) response slots.
+	items := make([]itemJSON, len(req.Jobs))
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			for it := range g.sess.Stream(r.Context(), g.cfgs) {
+				items[g.indices[it.Index]] = toItem(g.indices[it.Index], it)
+			}
+		}(g)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, batchResponse{Results: items})
+}
+
+// toItem converts a delivered batch item to its wire form under its
+// response index.
+func toItem(index int, it nanobench.BatchItem) itemJSON {
+	out := itemJSON{Index: index}
+	if it.Err != nil {
+		out.Error = itemError(it.Err)
+	} else {
+		out.Result = it.Result
+	}
+	return out
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, errMethod("POST required"))
+		return
+	}
+	s.reqSweep.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	var req sweepRequest
+	if e := decodeJSON(r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	sess, e := s.session(req.CPU, req.Mode)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	if err := req.Sweep.Err(); err != nil {
+		writeError(w, errInvalid(err.Error()))
+		return
+	}
+	n := req.Sweep.Len()
+	if n == 0 {
+		writeError(w, errInvalid("sweep expands to no configs (no benchmark code)"))
+		return
+	}
+	if n > s.opts.MaxBatch {
+		writeError(w, errInvalid(fmt.Sprintf("sweep of %d configs exceeds the limit of %d", n, s.opts.MaxBatch)))
+		return
+	}
+	// Expand here (exactly what StreamSweep would do) so every generated
+	// config passes the cost gate before any simulation starts.
+	cfgs, err := req.Sweep.Configs()
+	if err != nil {
+		writeError(w, errInvalid(err.Error()))
+		return
+	}
+	for i, cfg := range cfgs {
+		if e := validateCost(cfg); e != nil {
+			e.body.Message = fmt.Sprintf("config %d: %s", i, e.body.Message)
+			writeError(w, e)
+			return
+		}
+	}
+	items := sess.Stream(r.Context(), cfgs)
+
+	if q := r.URL.Query().Get("stream"); q == "1" || q == "true" {
+		s.streamItems(w, items)
+		return
+	}
+
+	resp := sweepResponse{Count: n, Results: make([]itemJSON, 0, n)}
+	for it := range items {
+		resp.Results = append(resp.Results, toItem(it.Index, it))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, errMethod("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", CPUs: cpuCatalog()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, errMethod("GET required"))
+		return
+	}
+	keys := s.sessionKeys()
+	sessions := make([]sessionStat, len(keys))
+	for i, k := range keys {
+		sessions[i] = sessionStat{CPU: k.cpu, Mode: k.mode.String()}
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Sessions: sessions,
+		Cache:    s.cache.Info(),
+		InFlight: s.inflight.Load(),
+		Requests: requestStats{
+			Run:      s.reqRun.Load(),
+			RunBatch: s.reqBatch.Load(),
+			Sweep:    s.reqSweep.Load(),
+		},
+		Options: optionsStat{
+			Seed:            s.opts.Seed,
+			Parallelism:     s.opts.Parallelism,
+			WarmUpCount:     s.opts.WarmUp,
+			CacheMaxEntries: s.opts.CacheMaxEntries,
+		},
+	})
+}

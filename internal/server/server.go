@@ -1,0 +1,198 @@
+// Package server exposes the nanobench Session API over HTTP/JSON — the
+// engine behind cmd/nanobenchd. The wire schema is documented in
+// docs/API.md and enforced byte-for-byte by TestAPIDocGolden.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/run       evaluate one config on one CPU model and mode
+//	POST /v1/runbatch  evaluate a heterogeneous batch (mixed CPUs/modes)
+//	POST /v1/sweep     expand and evaluate a Sweep family; ?stream=1
+//	                   delivers results progressively as NDJSON
+//	GET  /v1/healthz   liveness plus the CPU model catalog
+//	GET  /v1/stats     cache counters, in-flight jobs, session options
+//
+// The server multiplexes one Session per (CPU model, privilege mode)
+// pair, opened lazily on first use; every session shares a single
+// LRU-bounded result cache, so repeated evaluations — the dominant
+// pattern when many clients probe the same instruction set — are served
+// from memory. Each request runs under its own context.Context: a client
+// that disconnects mid-sweep cancels the underlying evaluation, and the
+// workers wind down after at most the benchmark run each was simulating.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nanobench"
+	"nanobench/internal/uarch"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultMaxBatch bounds the configs accepted per request.
+	DefaultMaxBatch = 65536
+	// DefaultMaxBodyBytes bounds the request body size.
+	DefaultMaxBodyBytes = 8 << 20
+)
+
+// Options configures a Server. Session-shaped fields (Seed, Parallelism,
+// WarmUp) apply uniformly to every session the server opens.
+type Options struct {
+	// Seed is the root seed every session derives per-job machine seeds
+	// from. Zero is a valid root seed; cmd/nanobenchd defaults the flag
+	// to nanobench.DefaultBatchSeed.
+	Seed int64
+	// Parallelism bounds each session's concurrently simulated machines
+	// (0: runtime.NumCPU()).
+	Parallelism int
+	// WarmUp is the session-wide default warm-up count (see
+	// nanobench.WithWarmUp).
+	WarmUp int
+	// CacheMaxEntries bounds the shared result cache (0: unbounded —
+	// fine for tests, unwise for a long-running service).
+	CacheMaxEntries int
+	// MaxBatch bounds the number of configs a single request may carry
+	// (0: DefaultMaxBatch).
+	MaxBatch int
+	// MaxBodyBytes bounds the request body size (0: DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP front end. It is safe for concurrent use; create it
+// with New and serve it like any http.Handler.
+type Server struct {
+	opts  Options
+	cache *nanobench.BatchCache
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[sessionKey]*nanobench.Session
+
+	inflight atomic.Int64
+	reqRun   atomic.Uint64
+	reqBatch atomic.Uint64
+	reqSweep atomic.Uint64
+}
+
+// sessionKey identifies one session of the pool: a canonical CPU model
+// name and a privilege mode.
+type sessionKey struct {
+	cpu  string
+	mode nanobench.Mode
+}
+
+// New builds a server with a fresh shared cache. The session options
+// are validated eagerly by opening the default session (Skylake,
+// kernel) into the pool: a misconfigured server fails here, at startup,
+// instead of serving a healthy /v1/healthz and a 500 on every
+// evaluation.
+func New(opts Options) (*Server, error) {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		opts:     opts,
+		cache:    nanobench.NewBatchCacheLRU(opts.CacheMaxEntries),
+		mux:      http.NewServeMux(),
+		sessions: make(map[sessionKey]*nanobench.Session),
+	}
+	if _, e := s.session("", ""); e != nil {
+		return nil, fmt.Errorf("server: invalid options: %s", e.body.Message)
+	}
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/runbatch", s.handleRunBatch)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, errNotFound("no such endpoint: "+r.URL.Path))
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// InFlight returns the number of evaluation requests currently being
+// served (run, runbatch, and sweep; health and stats don't count).
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// session returns the pool's session for the (cpu, mode) wire names,
+// opening it on first use. Empty names select the documented defaults
+// ("Skylake", "kernel").
+func (s *Server) session(cpuName, modeName string) (*nanobench.Session, *apiError) {
+	if cpuName == "" {
+		cpuName = "Skylake"
+	}
+	if modeName == "" {
+		modeName = "kernel"
+	}
+	mode, err := nanobench.ParseMode(modeName)
+	if err != nil {
+		return nil, errInvalid(err.Error())
+	}
+	// Canonicalize the model name so "skylake" and "Skylake" share one
+	// session, and unknown models fail before a session half-opens.
+	cpu, err := uarch.ByName(cpuName)
+	if err != nil {
+		return nil, errInvalid(err.Error())
+	}
+	key := sessionKey{cpu: cpu.Name, mode: mode}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[key]; ok {
+		return sess, nil
+	}
+	sess, err := nanobench.Open(
+		nanobench.WithCPU(key.cpu),
+		nanobench.WithMode(key.mode),
+		nanobench.WithSeed(s.opts.Seed),
+		nanobench.WithParallelism(s.opts.Parallelism),
+		nanobench.WithWarmUp(s.opts.WarmUp),
+		nanobench.WithCache(s.cache),
+	)
+	if err != nil {
+		return nil, errInternal(err.Error())
+	}
+	s.sessions[key] = sess
+	return sess, nil
+}
+
+// sessionKeys returns the open sessions' keys sorted by CPU name then
+// mode, for deterministic /v1/stats output.
+func (s *Server) sessionKeys() []sessionKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]sessionKey, 0, len(s.sessions))
+	for k := range s.sessions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].cpu != keys[j].cpu {
+			return keys[i].cpu < keys[j].cpu
+		}
+		return keys[i].mode < keys[j].mode
+	})
+	return keys
+}
+
+// cpuCatalog lists the served machine models in catalog order.
+func cpuCatalog() []string {
+	models := uarch.Table1()
+	names := make([]string, 0, len(models)+1)
+	for _, c := range models {
+		names = append(names, c.Name)
+	}
+	return append(names, uarch.Zen().Name)
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"nanobench"
+)
+
+// The wire schema below is documented in docs/API.md; the golden test
+// keeps the two in lock-step. Non-streamed responses are emitted
+// json.MarshalIndent-pretty (two-space indent, trailing newline) so curl
+// output and the documented examples are byte-identical; NDJSON stream
+// lines are compact, one JSON object per line.
+
+// runRequest is the body of POST /v1/run, and one element of a
+// runbatch's "jobs".
+type runRequest struct {
+	CPU    string           `json:"cpu,omitempty"`
+	Mode   string           `json:"mode,omitempty"`
+	Config nanobench.Config `json:"config"`
+}
+
+// runResponse is the body of a successful POST /v1/run.
+type runResponse struct {
+	CPU    string            `json:"cpu"`
+	Mode   string            `json:"mode"`
+	Result *nanobench.Result `json:"result"`
+}
+
+// batchRequest is the body of POST /v1/runbatch.
+type batchRequest struct {
+	Jobs []runRequest `json:"jobs"`
+}
+
+// batchResponse is the body of a successful POST /v1/runbatch.
+type batchResponse struct {
+	Results []itemJSON `json:"results"`
+}
+
+// sweepRequest is the body of POST /v1/sweep.
+type sweepRequest struct {
+	CPU   string          `json:"cpu,omitempty"`
+	Mode  string          `json:"mode,omitempty"`
+	Sweep nanobench.Sweep `json:"sweep"`
+}
+
+// sweepResponse is the body of a successful non-streamed POST /v1/sweep.
+type sweepResponse struct {
+	Count   int        `json:"count"`
+	Results []itemJSON `json:"results"`
+}
+
+// itemJSON is one evaluation's outcome inside a batch or sweep response,
+// and the NDJSON stream line format. Exactly one of result and error is
+// set.
+type itemJSON struct {
+	Index  int               `json:"index"`
+	Result *nanobench.Result `json:"result,omitempty"`
+	Error  *errorBody        `json:"error,omitempty"`
+}
+
+// healthzResponse is the body of GET /v1/healthz.
+type healthzResponse struct {
+	Status string   `json:"status"`
+	CPUs   []string `json:"cpus"`
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	Sessions []sessionStat            `json:"sessions"`
+	Cache    nanobench.BatchCacheInfo `json:"cache"`
+	InFlight int64                    `json:"inflight"`
+	Requests requestStats             `json:"requests"`
+	Options  optionsStat              `json:"options"`
+}
+
+type sessionStat struct {
+	CPU  string `json:"cpu"`
+	Mode string `json:"mode"`
+}
+
+type requestStats struct {
+	Run      uint64 `json:"run"`
+	RunBatch uint64 `json:"runbatch"`
+	Sweep    uint64 `json:"sweep"`
+}
+
+type optionsStat struct {
+	Seed            int64 `json:"seed"`
+	Parallelism     int   `json:"parallelism"`
+	WarmUpCount     int   `json:"warm_up_count"`
+	CacheMaxEntries int   `json:"cache_max_entries"`
+}
+
+// errorBody is the error envelope's payload: a stable machine-readable
+// code plus a human-readable message.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorResponse is the error envelope every failed request returns.
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+// apiError pairs an error envelope with its HTTP status.
+type apiError struct {
+	status int
+	body   errorBody
+}
+
+// Error codes of the envelope, with their HTTP statuses.
+func errBadRequest(msg string) *apiError {
+	return &apiError{http.StatusBadRequest, errorBody{"bad_request", msg}}
+}
+func errInvalid(msg string) *apiError {
+	return &apiError{http.StatusUnprocessableEntity, errorBody{"invalid_argument", msg}}
+}
+func errNotFound(msg string) *apiError {
+	return &apiError{http.StatusNotFound, errorBody{"not_found", msg}}
+}
+func errMethod(msg string) *apiError {
+	return &apiError{http.StatusMethodNotAllowed, errorBody{"method_not_allowed", msg}}
+}
+func errTooLarge(msg string) *apiError {
+	return &apiError{http.StatusRequestEntityTooLarge, errorBody{"request_too_large", msg}}
+}
+func errInternal(msg string) *apiError {
+	return &apiError{http.StatusInternalServerError, errorBody{"internal", msg}}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response. It is reported best-effort — usually nobody
+// is left to read it.
+const statusClientClosedRequest = 499
+
+// itemError maps a per-evaluation error to the envelope payload used
+// inside batch items and stream lines.
+func itemError(err error) *errorBody {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return &errorBody{"canceled", "evaluation canceled"}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &errorBody{"deadline_exceeded", "evaluation deadline exceeded"}
+	}
+	return &errorBody{"evaluation_failed", err.Error()}
+}
+
+// decodeJSON strictly decodes the request body into v: unknown fields,
+// trailing garbage, and oversized bodies are errors.
+func decodeJSON(r *http.Request, v any) *apiError {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errTooLarge(fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		}
+		return errBadRequest("reading request body: " + err.Error())
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest(err.Error())
+	}
+	if dec.More() {
+		return errBadRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeJSON emits a pretty-printed JSON response with a trailing
+// newline, matching the documented examples byte-for-byte.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Marshalling our own response types cannot fail; if it ever
+		// does, fall through to a plain 500.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError emits the error envelope.
+func writeError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, errorResponse{Error: e.body})
+}

@@ -12,6 +12,7 @@ package machine
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"nanobench/internal/sim/cache"
 	"nanobench/internal/sim/mem"
@@ -27,6 +28,30 @@ const (
 	User Mode = iota
 	Kernel
 )
+
+// String renders the mode by its wire-format name ("user" or "kernel"),
+// the form ParseMode accepts.
+func (m Mode) String() string {
+	switch m {
+	case User:
+		return "user"
+	case Kernel:
+		return "kernel"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a privilege-mode name ("user" or "kernel",
+// case-insensitive).
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "user":
+		return User, nil
+	case "kernel":
+		return Kernel, nil
+	}
+	return User, fmt.Errorf("machine: unknown mode %q (want user or kernel)", s)
+}
 
 // Spec configures a simulated machine.
 type Spec struct {

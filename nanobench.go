@@ -23,16 +23,25 @@
 // aggregated value, and the raw per-run samples — and serialize with
 // Result.MarshalJSON and Result.AppendCSV.
 //
-// The facade sits over the internal implementation:
+// The facade sits over the internal implementation (see
+// docs/ARCHITECTURE.md for the layer map and the invariant each layer
+// guarantees):
 //
 //   - internal/sim/* — the simulated hardware (out-of-order core, caches,
 //     replacement policies, PMU, physical memory)
 //   - internal/x86 — assembler, encoder, decoder, instruction table
 //   - internal/nano — nanoBench itself (code generation, runner)
 //   - internal/sched — deterministic parallel batch execution with a
-//     content-addressed result cache
+//     content-addressed, optionally LRU-bounded result cache
+//   - internal/server — the HTTP/JSON front end behind cmd/nanobenchd
+//     (wire contract in docs/API.md)
 //   - internal/cachetools, internal/instbench — the paper's case studies
 //   - internal/uarch — the ten Table I machine models
+//
+// Config and Sweep carry JSON codecs (strict field checking, assembly
+// or base64 code, events in configuration-file syntax), so the same
+// types describe an evaluation locally and over the wire; ParseMode and
+// ParseAggregate decode the wire format's enum names.
 //
 // The v1 free functions (NewMachine, NewRunner, RunBatch,
 // RunBatchStream) remain as thin deprecated shims; see the README's
@@ -69,6 +78,9 @@ type (
 	Metric = nano.Metric
 	// EventSpec selects a performance event to measure.
 	EventSpec = perfcfg.EventSpec
+	// Aggregate selects how per-run measurements are combined (Min,
+	// Median, Avg).
+	Aggregate = nano.Aggregate
 	// CPU is a machine model from the catalog.
 	CPU = uarch.CPU
 	// Mode selects user- or kernel-space operation.
@@ -110,6 +122,16 @@ func Asm(src string) ([]byte, error) { return nano.Asm(src) }
 // MustAsm is Asm that panics on error.
 func MustAsm(src string) []byte { return nano.MustAsm(src) }
 
+// ParseMode parses a privilege-mode name ("user" or "kernel",
+// case-insensitive) — the request-side decoder for the wire format's
+// "mode" fields (docs/API.md).
+func ParseMode(s string) (Mode, error) { return machine.ParseMode(s) }
+
+// ParseAggregate parses an aggregate-function name ("min", "med",
+// "avg") — the request-side decoder for the wire format's "aggregate"
+// field (docs/API.md).
+func ParseAggregate(s string) (Aggregate, error) { return nano.ParseAggregate(s) }
+
 // ParseEvents parses a performance-counter configuration (Section III-J
 // syntax: "EvtSel.Umask Name" lines).
 func ParseEvents(text string) ([]EventSpec, error) { return perfcfg.Parse(text) }
@@ -140,6 +162,9 @@ type (
 	BatchExecutor = sched.Executor
 	// BatchCache memoizes batch results by content key.
 	BatchCache = sched.Cache
+	// BatchCacheInfo is a snapshot of a cache's occupancy and lookup
+	// counters.
+	BatchCacheInfo = sched.CacheInfo
 )
 
 // DefaultBatchSeed is the root seed sessions (and the deprecated
@@ -147,9 +172,15 @@ type (
 // repository's experiments use.
 const DefaultBatchSeed = 42
 
-// NewBatchCache builds an empty content-addressed result cache, shareable
-// between sessions via WithCache.
+// NewBatchCache builds an empty, unbounded content-addressed result
+// cache, shareable between sessions via WithCache.
 func NewBatchCache() *BatchCache { return sched.NewCache() }
+
+// NewBatchCacheLRU builds a result cache bounded to maxEntries
+// evaluations with least-recently-used eviction (0 or negative:
+// unbounded). Long-running services sharing one cache across sessions —
+// like cmd/nanobenchd — should always set a bound.
+func NewBatchCacheLRU(maxEntries int) *BatchCache { return sched.NewCacheLRU(maxEntries) }
 
 // NewBatchExecutor builds a batch executor for heterogeneous jobs (mixed
 // CPU models or privilege modes in one batch); homogeneous work is easier

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Smoke-test a live nanobenchd against the documented wire examples:
+# build the binary, start it with the docs/API.md golden configuration,
+# curl /v1/healthz and a small /v1/run, and diff each response against
+# the corresponding example in docs/API.md. CI runs this (make smoke)
+# so the server a user starts and the document they read can never
+# drift apart — the same contract TestAPIDocGolden enforces in-process,
+# checked once more over a real socket and a real process lifecycle.
+set -eu
+
+cd "$(dirname "$0")/.."
+PORT="${SMOKE_PORT:-18080}"
+ADDR="127.0.0.1:$PORT"
+BIN="$(mktemp -d)/nanobenchd"
+
+# extract NAME prints the fenced block following "<!-- golden:NAME -->".
+extract() {
+	awk -v name="$1" '
+		$0 == "<!-- golden:" name " -->" { grab = 1; next }
+		grab && /^```/ { if (infence) exit; infence = 1; next }
+		grab && infence { print }
+	' docs/API.md
+}
+
+echo "== build"
+go build -o "$BIN" ./cmd/nanobenchd
+
+echo "== start on $ADDR (docs/API.md golden configuration)"
+"$BIN" -addr "$ADDR" -seed 42 -parallelism 4 -warm_up_count 0 -cache_entries 1024 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT INT TERM
+
+for i in $(seq 1 50); do
+	if curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	[ "$i" -eq 50 ] && { echo "server never became healthy" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "== GET /v1/healthz matches the documented example"
+curl -s "http://$ADDR/v1/healthz" | diff <(extract healthz-response) - \
+	|| { echo "healthz drifted from docs/API.md" >&2; exit 1; }
+
+echo "== POST /v1/run matches the documented example"
+extract run-request | curl -s -X POST --data-binary @- "http://$ADDR/v1/run" \
+	| diff <(extract run-response) - \
+	|| { echo "/v1/run drifted from docs/API.md" >&2; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$SRV"
+wait "$SRV"
+trap - EXIT INT TERM
+echo "smoke OK"

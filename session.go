@@ -213,6 +213,15 @@ func (s *Session) CacheStats() (hits, misses uint64) {
 	return s.cache.Stats()
 }
 
+// CacheInfo returns a snapshot of the session cache's occupancy and
+// lookup counters (the zero value when caching is disabled).
+func (s *Session) CacheInfo() BatchCacheInfo {
+	if s.cache == nil {
+		return BatchCacheInfo{}
+	}
+	return s.cache.Info()
+}
+
 // jobs lifts configs into scheduler jobs, applying the session's default
 // warm-up count to configs that leave WarmUpCount at zero.
 func (s *Session) jobs(cfgs []Config) []BatchJob {

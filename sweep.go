@@ -1,8 +1,13 @@
 package nanobench
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+
+	"nanobench/internal/nano"
 )
 
 // A Sweep declaratively generates a family of configurations from a base
@@ -78,6 +83,8 @@ func (s *Sweep) Events(sets ...[]EventSpec) *Sweep {
 
 // Len returns the number of configs Configs will generate, or 0 when
 // Configs would return an error (deferred Asm error, no benchmark code).
+// The count saturates at math.MaxInt when the cross product overflows —
+// still ordered correctly against any sane batch limit.
 func (s *Sweep) Len() int {
 	if s.err != nil {
 		return 0
@@ -85,17 +92,96 @@ func (s *Sweep) Len() int {
 	if len(s.codes) == 0 && len(s.base.Code) == 0 && len(s.base.CodeInit) == 0 {
 		return 0
 	}
+	return crossProduct(len(s.codes), len(s.unrolls), len(s.loops), len(s.events))
+}
+
+// crossProduct multiplies the dimension sizes, treating 0 as an unset
+// dimension (size 1) and saturating at math.MaxInt on overflow.
+func crossProduct(dims ...int) int {
 	n := 1
-	for _, d := range []int{len(s.codes), len(s.unrolls), len(s.loops), len(s.events)} {
-		if d > 0 {
-			n *= d
+	for _, d := range dims {
+		if d == 0 {
+			continue
 		}
+		if n > math.MaxInt/d {
+			return math.MaxInt
+		}
+		n *= d
 	}
 	return n
 }
 
 // Err returns the first deferred builder error, if any.
 func (s *Sweep) Err() error { return s.err }
+
+// sweepJSON is the stable wire form of a Sweep, documented in
+// docs/API.md: the base config in Config's wire form, then one array per
+// dimension. Code variants travel as base64 ("codes") or, on decode
+// only, as Intel-syntax assembly sources ("asm"); event sets are arrays
+// of configuration-file lines, one inner array per set.
+type sweepJSON struct {
+	Base    *Config    `json:"base,omitempty"`
+	Codes   [][]byte   `json:"codes,omitempty"`
+	Asm     []string   `json:"asm,omitempty"`
+	Unrolls []int      `json:"unrolls,omitempty"`
+	Loops   []int      `json:"loops,omitempty"`
+	Events  [][]string `json:"events,omitempty"`
+}
+
+// MarshalJSON encodes the sweep in the documented wire form. Assembly
+// variants added with Asm are emitted as their assembled machine code
+// (base64): the wire form captures the expanded family, not the builder
+// calls. A sweep carrying a deferred builder error does not marshal.
+func (s *Sweep) MarshalJSON() ([]byte, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	sj := sweepJSON{
+		Codes:   s.codes,
+		Unrolls: s.unrolls,
+		Loops:   s.loops,
+	}
+	if !s.base.IsZero() {
+		base := s.base
+		sj.Base = &base
+	}
+	for _, set := range s.events {
+		lines := nano.EventLines(set)
+		if lines == nil {
+			lines = []string{} // an empty set stays a set, not a JSON null
+		}
+		sj.Events = append(sj.Events, lines)
+	}
+	return json.Marshal(sj)
+}
+
+// UnmarshalJSON decodes the wire form into a ready-to-run sweep,
+// replacing any previous state. Like Config's decoder it is strict:
+// unknown fields are an error. Assembly errors in "asm" entries are
+// deferred to Configs/RunSweep, exactly as with the Asm builder method.
+func (s *Sweep) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sj sweepJSON
+	if err := dec.Decode(&sj); err != nil {
+		return fmt.Errorf("nanobench: sweep: %w", err)
+	}
+	out := Sweep{unrolls: sj.Unrolls, loops: sj.Loops}
+	if sj.Base != nil {
+		out.base = *sj.Base
+	}
+	out.Code(sj.Codes...)
+	out.Asm(sj.Asm...)
+	for _, set := range sj.Events {
+		evs, err := nano.ParseEventLines(set)
+		if err != nil {
+			return fmt.Errorf("nanobench: sweep: %w", err)
+		}
+		out.events = append(out.events, evs)
+	}
+	*s = out
+	return nil
+}
 
 // Configs expands the sweep into its config family, in the deterministic
 // code-major / unroll / loop / events order.
@@ -123,7 +209,14 @@ func (s *Sweep) Configs() ([]Config, error) {
 		events = [][]EventSpec{s.base.Events}
 	}
 
-	out := make([]Config, 0, len(codes)*len(unrolls)*len(loops)*len(events))
+	// The saturated product guards the capacity hint against overflow;
+	// genuinely astronomical families are the caller's (or the server's
+	// MaxBatch check's) problem, not a panic here.
+	capHint := crossProduct(len(codes), len(unrolls), len(loops), len(events))
+	if capHint == math.MaxInt {
+		capHint = 0
+	}
+	out := make([]Config, 0, capHint)
 	for _, code := range codes {
 		for _, unroll := range unrolls {
 			for _, loop := range loops {

@@ -1,0 +1,99 @@
+package nanobench
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	sw := NewSweep(Config{WarmUpCount: 1, Aggregate: Avg}).
+		Asm("add rax, rbx", "imul rax, rbx").
+		Unroll(10, 100).
+		Loop(0, 5).
+		Events(MustParseEvents("D1.01 MEM_LOAD_RETIRED.L1_HIT"), nil)
+
+	data, err := json.Marshal(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sweep
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal(%s): %v", data, err)
+	}
+
+	want, err := sw.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("config families differ after round trip\nwant: %+v\ngot:  %+v", want, got)
+	}
+	if back.Len() != sw.Len() {
+		t.Errorf("Len: got %d, want %d", back.Len(), sw.Len())
+	}
+}
+
+func TestSweepJSONDecodesAsm(t *testing.T) {
+	var sw Sweep
+	in := `{"base":{"warm_up_count":1},"asm":["add rax, rbx"],"unrolls":[10,100]}`
+	if err := json.Unmarshal([]byte(in), &sw); err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := sw.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 {
+		t.Fatalf("got %d configs, want 2", len(cfgs))
+	}
+	wantCode := MustAsm("add rax, rbx")
+	for i, cfg := range cfgs {
+		if !reflect.DeepEqual(cfg.Code, wantCode) || cfg.WarmUpCount != 1 {
+			t.Errorf("config %d: %+v", i, cfg)
+		}
+	}
+	if cfgs[0].UnrollCount != 10 || cfgs[1].UnrollCount != 100 {
+		t.Errorf("unroll counts: %d, %d", cfgs[0].UnrollCount, cfgs[1].UnrollCount)
+	}
+}
+
+func TestSweepLenSaturatesOnOverflow(t *testing.T) {
+	// Four 2^16-entry dimensions multiply past 2^63; a wrapped (negative
+	// or small) Len would let a hostile /v1/sweep request slip past the
+	// server's MaxBatch check and panic in Configs' capacity hint.
+	big := 1 << 16
+	sw := NewSweep(Config{}).
+		Code(make([][]byte, big)...).
+		Unroll(make([]int, big)...).
+		Loop(make([]int, big)...).
+		Events(make([][]EventSpec, big)...)
+	if n := sw.Len(); n != math.MaxInt {
+		t.Errorf("Len = %d, want saturation at math.MaxInt", n)
+	}
+}
+
+func TestSweepJSONErrors(t *testing.T) {
+	var sw Sweep
+	if err := json.Unmarshal([]byte(`{"unroll":[10]}`), &sw); err == nil ||
+		!strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("unknown field: got %v", err)
+	}
+	// A bad asm entry defers to Configs, mirroring the Asm builder method.
+	if err := json.Unmarshal([]byte(`{"asm":["not an instruction"]}`), &sw); err != nil {
+		t.Fatalf("asm errors must defer to Configs, got decode error %v", err)
+	}
+	if _, err := sw.Configs(); err == nil {
+		t.Error("Configs did not surface the deferred asm error")
+	}
+	// A sweep with a deferred error does not marshal.
+	if _, err := json.Marshal(&sw); err == nil {
+		t.Error("marshalling an errored sweep succeeded")
+	}
+}
