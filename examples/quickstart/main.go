@@ -1,16 +1,14 @@
 // Quickstart: the paper's Section III-A example — measuring the L1 data
-// cache latency on a Skylake model with a pointer-chasing load.
-//
-// This example deliberately stays on the deprecated v1 free functions
-// (NewMachine/NewRunner): it is the compatibility check that the paper's
-// original quickstart keeps compiling and printing identical counter
-// values. Every other example uses the Session API; see examples/sweep
-// for the v2 equivalent of a multi-config run.
+// cache latency on a Skylake model with a pointer-chasing load, through
+// the Session API (the v1 free functions were removed after their
+// deprecation horizon; TestSessionQuickstart pins that this program
+// prints the same counter values they did).
 //
 //	go run nanobench/examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,11 +16,7 @@ import (
 )
 
 func main() {
-	m, err := nanobench.NewMachine("Skylake", 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	r, err := nanobench.NewRunner(m, nanobench.Kernel)
+	s, err := nanobench.Open(nanobench.WithCPU("Skylake"), nanobench.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,7 +24,7 @@ func main() {
 	// The init part stores R14 to the address R14 points to; the main
 	// part then chases that pointer: each load depends on the previous
 	// one, so the measured cycles are the L1 load-to-use latency.
-	res, err := r.Run(nanobench.Config{
+	res, err := s.Run(context.Background(), nanobench.Config{
 		Code:        nanobench.MustAsm("mov R14, [R14]"),
 		CodeInit:    nanobench.MustAsm("mov [R14], R14"),
 		WarmUpCount: 1,

@@ -100,6 +100,15 @@ type Config struct {
 	// area instead of its default 1 MB area (Section III-G); the runner
 	// must have allocated it with AllocBigArea first.
 	UseBigArea bool
+
+	// DropSamples discards the raw per-run samples after aggregation:
+	// every Metric of the Result carries only its aggregated Value. For
+	// million-config sweeps this cuts both the result-cache footprint and
+	// the deep-copy cost of every cache hit (each retained sample series
+	// is NMeasurements float64s per metric). Sessions can impose it
+	// session-wide with WithSampleRetention(false); the wire form is the
+	// config's "drop_samples" field (docs/API.md).
+	DropSamples bool
 }
 
 // Canonical returns the configuration with every defaulted field made
@@ -116,7 +125,7 @@ func (c Config) IsZero() bool {
 		c.UnrollCount == 0 && c.LoopCount == 0 &&
 		c.NMeasurements == 0 && c.WarmUpCount == 0 &&
 		c.Aggregate == Min && !c.BasicMode && !c.NoMem &&
-		len(c.Events) == 0 && !c.UseBigArea
+		len(c.Events) == 0 && !c.UseBigArea && !c.DropSamples
 }
 
 // NoWarmUp as a WarmUpCount requests explicitly zero warm-up runs; unlike

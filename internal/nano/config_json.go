@@ -35,7 +35,8 @@ type configJSON struct {
 
 	Events []string `json:"events,omitempty"`
 
-	UseBigArea bool `json:"use_big_area,omitempty"`
+	UseBigArea  bool `json:"use_big_area,omitempty"`
+	DropSamples bool `json:"drop_samples,omitempty"`
 }
 
 // MarshalJSON encodes the config in the documented wire form: code as
@@ -54,6 +55,7 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		BasicMode:     c.BasicMode,
 		NoMem:         c.NoMem,
 		UseBigArea:    c.UseBigArea,
+		DropSamples:   c.DropSamples,
 	}
 	if c.Aggregate != Min {
 		cj.Aggregate = c.Aggregate.String()
@@ -124,6 +126,7 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		NoMem:         cj.NoMem,
 		Events:        events,
 		UseBigArea:    cj.UseBigArea,
+		DropSamples:   cj.DropSamples,
 	}
 	if cj.Aggregate != "" {
 		agg, err := ParseAggregate(cj.Aggregate)

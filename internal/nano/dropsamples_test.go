@@ -1,0 +1,65 @@
+package nano
+
+import (
+	"testing"
+
+	"nanobench/internal/sim/machine"
+)
+
+// TestDropSamples: a DropSamples evaluation carries the identical
+// aggregated values as a sample-retaining one (fresh machines, same
+// seed) with every metric's sample series discarded.
+func TestDropSamples(t *testing.T) {
+	cfg := Config{
+		Code:        MustAsm("mov R14, [R14]"),
+		CodeInit:    MustAsm("mov [R14], R14"),
+		WarmUpCount: 1,
+		Events:      exampleEvents,
+	}
+
+	full, err := skylakeRunner(t, machine.Kernel).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DropSamples = true
+	dropped, err := skylakeRunner(t, machine.Kernel).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm, dm := full.Metrics(), dropped.Metrics()
+	if len(fm) != len(dm) {
+		t.Fatalf("metric count differs: %d vs %d", len(fm), len(dm))
+	}
+	for i := range fm {
+		if dm[i].Name != fm[i].Name || dm[i].Value != fm[i].Value {
+			t.Errorf("metric %d: %s=%v, want %s=%v", i, dm[i].Name, dm[i].Value, fm[i].Name, fm[i].Value)
+		}
+		if len(fm[i].Samples) == 0 {
+			t.Errorf("metric %q: retaining run kept no samples", fm[i].Name)
+		}
+		if len(dm[i].Samples) != 0 {
+			t.Errorf("metric %q: DropSamples retained %d samples", dm[i].Name, len(dm[i].Samples))
+		}
+	}
+}
+
+// TestDropSamplesJSONRoundTrip: the wire field survives the codec and
+// participates in IsZero.
+func TestDropSamplesJSONRoundTrip(t *testing.T) {
+	c := Config{Code: MustAsm("nop"), DropSamples: true}
+	data, err := c.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if !back.DropSamples {
+		t.Errorf("DropSamples lost in round trip: %s", data)
+	}
+	if (Config{DropSamples: true}).IsZero() {
+		t.Error("DropSamples-only config reported IsZero")
+	}
+}

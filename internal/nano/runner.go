@@ -219,12 +219,16 @@ func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			if rd.fixed && gi > 0 {
 				continue // fixed counters are reported from the first group
 			}
+			sm := samples[i]
+			if cfg.DropSamples {
+				sm = nil // aggregated value only (Config.DropSamples)
+			}
 			res.addMetric(Metric{
 				Name:    rd.name,
 				Event:   rd.spec,
 				Fixed:   rd.fixed,
 				Value:   vals[i],
-				Samples: samples[i],
+				Samples: sm,
 			})
 		}
 	}

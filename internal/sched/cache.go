@@ -44,6 +44,7 @@ func KeyOf(j Job) Key {
 		writeEvent(h, ev)
 	}
 	writeBool(h, cfg.UseBigArea)
+	writeBool(h, cfg.DropSamples)
 	var k Key
 	h.Sum(k[:0])
 	return k

@@ -243,7 +243,7 @@ func TestKeyCoversEveryConfigField(t *testing.T) {
 	if n := reflect.TypeOf(Job{}).NumField(); n != 4 {
 		t.Errorf("sched.Job has %d fields; update sched.KeyOf and this count", n)
 	}
-	if n := reflect.TypeOf(nano.Config{}).NumField(); n != 11 {
+	if n := reflect.TypeOf(nano.Config{}).NumField(); n != 12 {
 		t.Errorf("nano.Config has %d fields; update sched.KeyOf and this count", n)
 	}
 	if n := reflect.TypeOf(perfcfg.EventSpec{}).NumField(); n != 6 {

@@ -103,6 +103,7 @@ func TestAPIDocGolden(t *testing.T) {
 	}{
 		{"GET", "/v1/healthz", "", "healthz-response", 200},
 		{"POST", "/v1/run", "run-request", "run-response", 200},
+		{"POST", "/v1/run", "drop-samples-request", "drop-samples-response", 200},
 		{"POST", "/v1/runbatch", "runbatch-request", "runbatch-response", 200},
 		{"POST", "/v1/sweep", "sweep-request", "sweep-response", 200},
 		{"POST", "/v1/sweep?stream=1", "sweep-request", "sweep-stream-response", 200},

@@ -33,22 +33,24 @@ func (p *predictor) update(rip uint32, taken bool) {
 }
 
 // execBranch executes JMP and conditional branches. It returns whether the
-// branch is taken and its target.
-func (m *Machine) execBranch(d *x86.DecodedInstr, fallthroughRIP uint32) (bool, uint32, error) {
+// branch is taken and its target — the absolute address pre-resolved from
+// the rel-immediate at decode time, so the taken path does no address
+// arithmetic.
+func (m *Machine) execBranch(d *x86.DecodedInstr) (bool, uint32, error) {
 	c := &m.core
-	if d.Kind[0] != x86.ArgI {
+	if !d.TargetOK {
 		return false, 0, &Fault{RIP: c.rip, Reason: "branch with unresolved label"}
 	}
-	target := uint32(int64(fallthroughRIP) + d.Imm)
-	spec := d.Spec
+	target := d.Target
 	var ready int64
-	if spec.ReadsFlags {
+	if d.ReadsFlags {
 		ready = c.flagReady
 	}
-	u := spec.Uops[0]
-	_, done := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
+	u := &d.Uops[0]
+	issue, portEv, start, done := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
 
 	taken := true
+	misp := false
 	if d.Op != x86.JMP {
 		taken = m.evalCond(d.Op)
 		pred := c.pred.predict(c.rip)
@@ -56,21 +58,23 @@ func (m *Machine) execBranch(d *x86.DecodedInstr, fallthroughRIP uint32) (bool, 
 		if pred != taken {
 			c.feCycle = maxI64(c.feCycle, done+int64(m.Spec.MispredictPenalty))
 			c.feSlots = 0
-			m.PMU.Record(pmu.EvBrMispRetired, done)
+			misp = true
 		}
 	}
-	at := m.retire(done)
-	m.PMU.Record(pmu.EvBrRetired, at)
+	at := m.retireQuiet(done)
+	m.PMU.RecordBranch(issue, portEv, start, at, misp, done)
 	return taken, target, nil
 }
 
-// execCall pushes the return address and jumps.
-func (m *Machine) execCall(d *x86.DecodedInstr, returnRIP uint32) (uint32, error) {
+// execCall pushes the return address (the entry's pre-computed
+// fallthrough) and jumps to the pre-resolved target.
+func (m *Machine) execCall(d *x86.DecodedInstr) (uint32, error) {
 	c := &m.core
-	if d.Kind[0] != x86.ArgI {
+	if !d.TargetOK {
 		return 0, &Fault{RIP: c.rip, Reason: "call with unresolved label"}
 	}
-	target := uint32(int64(returnRIP) + d.Imm)
+	target := d.Target
+	returnRIP := d.Next
 
 	newRSP := c.regs[x86.RSP] - 8
 	rspReady := c.regReady[x86.RSP]
@@ -81,8 +85,7 @@ func (m *Machine) execCall(d *x86.DecodedInstr, returnRIP uint32) (uint32, error
 	_, rspDone := m.dispatch(x86.PortsALU, rspReady, 1, 1)
 	m.setReg(x86.RSP, newRSP, rspDone)
 
-	spec := d.Spec
-	u := spec.Uops[0]
+	u := d.Uops[0]
 	_, bdone := m.dispatch(u.Ports, 0, u.Latency, u.Occupancy)
 	at := m.retire(maxI64(sdone, bdone))
 	m.PMU.Record(pmu.EvBrRetired, at)
@@ -102,8 +105,7 @@ func (m *Machine) execRet() (uint32, error) {
 	_, rspDone := m.dispatch(x86.PortsALU, c.regReady[x86.RSP], 1, 1)
 	m.setReg(x86.RSP, rsp+8, rspDone)
 
-	spec := x86.SpecPtr(x86.RET)
-	u := spec.Uops[0]
+	u := x86.SpecPtr(x86.RET).Uops[0]
 	_, bdone := m.dispatch(u.Ports, ldone, u.Latency, u.Occupancy)
 	at := m.retire(maxI64(ldone, bdone))
 	m.PMU.Record(pmu.EvBrRetired, at)

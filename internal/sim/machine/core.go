@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nanobench/internal/sim/cache"
 	"nanobench/internal/sim/pmu"
@@ -99,53 +100,82 @@ func (m *Machine) issueSlot() int64 {
 	return cyc
 }
 
-// dispatch schedules one µop: it takes an issue slot, waits for operands
-// (ready), the serialization barrier, and a free port from the mask, and
-// returns the dispatch and completion cycles.
-func (m *Machine) dispatch(ports x86.PortMask, ready int64, lat, occ int) (start, done int64) {
-	c := &m.core
-	issue := m.issueSlot()
-	lb := maxI64(maxI64(ready, issue), c.barrier)
-
-	plist := ports.Ports()
-	if len(plist) == 0 {
-		done = lb + int64(lat)
-		if done > c.lastCompletion {
-			c.lastCompletion = done
-		}
-		return lb, done
-	}
-	// Pick the port that can start earliest; break ties by least total
-	// use, like a load-balancing scheduler. This yields the steady 50/50
-	// split on ports 2/3 for load streams and the even spread of ALU µops
-	// across ports 0/1/5/6.
+// pickPort chooses the execution port of the mask that can start
+// earliest at or after lb; ties break by least total use, like a
+// load-balancing scheduler. This yields the steady 50/50 split on ports
+// 2/3 for load streams and the even spread of ALU µops across ports
+// 0/1/5/6. Ports are scanned in ascending index order (bit iteration),
+// matching the precomputed port-list order exactly.
+func (c *coreState) pickPort(ports x86.PortMask, lb int64) (int, int64) {
 	best := -1
 	var bestStart int64
-	for _, p := range plist {
-		s := maxI64(lb, c.portFree[p])
-		if best == -1 || s < bestStart || (s == bestStart && c.portUse[p] < c.portUse[best]) {
+	for mb := uint(ports); mb != 0; mb &= mb - 1 {
+		p := bits.TrailingZeros(mb)
+		s := lb
+		if c.portFree[p] > s {
+			s = c.portFree[p]
+		}
+		if best < 0 || s < bestStart || (s == bestStart && c.portUse[p] < c.portUse[best]) {
 			best, bestStart = p, s
 		}
 	}
+	return best, bestStart
+}
+
+// dispatch schedules one µop: it takes an issue slot, waits for operands
+// (ready), the serialization barrier, and a free port from the mask, and
+// returns the dispatch and completion cycles. The µop's issued and
+// port-dispatch events are delivered in one batched PMU call.
+func (m *Machine) dispatch(ports x86.PortMask, ready int64, lat, occ int) (start, done int64) {
+	if ports == 0 {
+		c := &m.core
+		issue := m.issueSlot()
+		start = maxI64(maxI64(ready, issue), c.barrier)
+		done = start + int64(lat)
+		if done > c.lastCompletion {
+			c.lastCompletion = done
+		}
+		return start, done
+	}
+	issue, portEv, bestStart, done := m.dispatchQuiet(ports, ready, lat, occ)
+	m.PMU.RecordUop(issue, portEv, bestStart)
+	return bestStart, done
+}
+
+// dispatchQuiet is dispatch minus the PMU deliveries: the fused
+// single-µop paths batch the whole instruction's events (issue, port,
+// retirement) into one RecordFusedStep call instead. The mask must be
+// non-empty (every fused shape has a real port set).
+func (m *Machine) dispatchQuiet(ports x86.PortMask, ready int64, lat, occ int) (issue int64, portEv pmu.Event, start, done int64) {
+	c := &m.core
+	issue = c.feCycle
+	c.feSlots++
+	if c.feSlots >= issueWidth {
+		c.feCycle++
+		c.feSlots = 0
+	}
+	lb := maxI64(maxI64(ready, issue), c.barrier)
+	best, bestStart := c.pickPort(ports, lb)
 	if occ < 1 {
 		occ = 1
 	}
 	c.portFree[best] = bestStart + int64(occ)
 	c.portUse[best]++
-	m.PMU.Record(portEvents[best], bestStart)
 	done = bestStart + int64(lat)
 	if done > c.lastCompletion {
 		c.lastCompletion = done
 	}
-	return bestStart, done
+	return issue, portEvents[best], bestStart, done
 }
 
-// dispatchAll dispatches every µop of spec with a common operand-ready
-// cycle and returns the earliest dispatch start (the cycle counter-read
-// instructions sample at) and the latest completion.
-func (m *Machine) dispatchAll(spec *x86.InstrSpec, ready int64) (start, done int64) {
+// dispatchAll dispatches every µop of the decoded entry's flat µop array
+// with a common operand-ready cycle and returns the earliest dispatch
+// start (the cycle counter-read instructions sample at) and the latest
+// completion.
+func (m *Machine) dispatchAll(d *x86.DecodedInstr, ready int64) (start, done int64) {
 	first := true
-	for _, u := range spec.Uops {
+	for i := 0; i < int(d.NUops); i++ {
+		u := &d.Uops[i]
 		s, dn := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
 		if first || s < start {
 			start = s
@@ -161,6 +191,14 @@ func (m *Machine) dispatchAll(spec *x86.InstrSpec, ready int64) (start, done int
 // retire completes an instruction whose last µop finishes at done, records
 // the retirement event, and returns the retire cycle.
 func (m *Machine) retire(done int64) int64 {
+	at := m.retireQuiet(done)
+	m.PMU.Record(pmu.EvInstRetired, at)
+	return at
+}
+
+// retireQuiet is retire without the PMU delivery, for the fused paths
+// that batch the retirement event with the µop events.
+func (m *Machine) retireQuiet(done int64) int64 {
 	c := &m.core
 	if done > c.retireCycle {
 		c.retireCycle = done
@@ -168,25 +206,28 @@ func (m *Machine) retire(done int64) int64 {
 	if c.feCycle > c.retireCycle {
 		c.retireCycle = c.feCycle
 	}
-	m.PMU.Record(pmu.EvInstRetired, c.retireCycle)
 	c.instructions++
 	return c.retireCycle
 }
 
-// fetch models instruction fetch through the L1I for the line containing
-// rip (and the next line if the instruction spans two).
-func (m *Machine) fetch(rip uint32, ilen int) error {
+// fetch models instruction fetch through the L1I for the lines the
+// decoded entry spans. The span is pre-computed at decode time
+// (d.LineFirst/d.LineLast), so the dominant case — execution staying
+// within the line fetched last — is a single compare instead of per-step
+// line arithmetic.
+func (m *Machine) fetch(d *x86.DecodedInstr) error {
 	c := &m.core
+	if c.hasFetchLine && uint64(d.LineFirst) == c.fetchLine && d.LineLast == d.LineFirst {
+		return nil
+	}
 	lineSz := uint64(m.Hier.LineSize())
-	first := uint64(rip) &^ (lineSz - 1)
-	last := (uint64(rip) + uint64(ilen) - 1) &^ (lineSz - 1)
-	for line := first; line <= last; line += lineSz {
+	for line := uint64(d.LineFirst); line <= uint64(d.LineLast); line += lineSz {
 		if c.hasFetchLine && line == c.fetchLine {
 			continue
 		}
 		phys, ok := m.Mem.Translate(uint32(line))
 		if !ok {
-			return &Fault{RIP: rip, Reason: "instruction fetch from unmapped memory"}
+			return &Fault{RIP: c.rip, Reason: "instruction fetch from unmapped memory"}
 		}
 		res := m.Hier.Code(phys)
 		if res.Level > 1 {
@@ -215,19 +256,32 @@ func (m *Machine) readCodeBytes(rip uint32) []byte {
 	return nil
 }
 
-// step executes one instruction. It returns done=true when the top-level
-// RET transfers to the sentinel address.
+// step executes the single instruction at c.rip, resolving it through
+// the pre-decoded program (or the slow decode path). It returns done=true
+// when the top-level RET transfers to the sentinel address. Run's chained
+// loop bypasses the per-step resolution; step is the reference engine the
+// chained dispatcher is property-tested against.
 func (m *Machine) step() (bool, error) {
-	c := &m.core
-	// Every future counter read samples at a dispatch cycle, which cannot
-	// be below the current front-end cycle: tell the PMU so it can settle
-	// its out-of-order event tails (see pmu.EventCounter).
-	m.PMU.Advance(c.feCycle)
-	d, err := m.decodedAt(c.rip)
+	d, err := m.decodedAt(m.core.rip)
 	if err != nil {
 		return false, err
 	}
-	if err := m.fetch(c.rip, int(d.Len)); err != nil {
+	return m.execOne(d)
+}
+
+// execOne executes one pre-decoded instruction. Everything the scheduler
+// needs — the flat µop array, the flags dependency, the fallthrough and
+// branch-target addresses, the L1I line span — is read from the entry
+// itself; the spec pointer is only for cold paths. It returns done=true
+// when the top-level RET transfers to the sentinel address.
+func (m *Machine) execOne(d *x86.DecodedInstr) (bool, error) {
+	c := &m.core
+	// Every future counter read samples at a dispatch cycle, which cannot
+	// be below the current front-end cycle: tell the PMU so it can settle
+	// its out-of-order event tails (see pmu.EventCounter). This watermark
+	// contract is per instruction, chained dispatch or not.
+	m.PMU.Advance(c.feCycle)
+	if err := m.fetch(d); err != nil {
 		return false, err
 	}
 
@@ -236,8 +290,15 @@ func (m *Machine) step() (bool, error) {
 		return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: %s is privileged", op)}
 	}
 
-	nextRIP := c.rip + uint32(d.Len)
-	spec := d.Spec
+	// Fused shapes (register-only single-µop data processing) skip the
+	// class dispatch and the generic operand walk entirely.
+	if d.Fast != x86.FastNone {
+		m.execFused(d)
+		c.rip = d.Next
+		return false, nil
+	}
+
+	nextRIP := d.Next
 
 	switch d.Class {
 	case x86.ClassNop:
@@ -296,7 +357,7 @@ func (m *Machine) step() (bool, error) {
 
 	case x86.ClassRDTSC:
 		// The TSC is sampled at the earliest µop dispatch, like RDPMC.
-		start, done := m.dispatchAll(spec, c.feCycle)
+		start, done := m.dispatchAll(d, c.feCycle)
 		tsc := uint64(float64(start) * m.Spec.RefRatio)
 		m.setReg(x86.RAX, tsc&0xFFFFFFFF, done)
 		m.setReg(x86.RDX, tsc>>32, done)
@@ -306,7 +367,7 @@ func (m *Machine) step() (bool, error) {
 		if m.mode != Kernel && !m.cr4pce {
 			return false, &Fault{RIP: c.rip, Reason: "#GP: RDPMC with CR4.PCE=0 in user mode"}
 		}
-		start, done := m.dispatchAll(spec, c.regReady[x86.RCX])
+		start, done := m.dispatchAll(d, c.regReady[x86.RCX])
 		idx := uint32(c.regs[x86.RCX])
 		// The counter value is sampled at the µop's dispatch cycle: this
 		// is what makes unfenced reads unreliable.
@@ -320,7 +381,7 @@ func (m *Machine) step() (bool, error) {
 
 	case x86.ClassRDMSR:
 		ready := c.regReady[x86.RCX]
-		u := spec.Uops[0]
+		u := d.Uops[0]
 		start, done := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
 		v, ok := m.readMSR(uint32(c.regs[x86.RCX]), start)
 		if !ok {
@@ -364,7 +425,7 @@ func (m *Machine) step() (bool, error) {
 			return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#PF: CLFLUSH of unmapped %#x", addr)}
 		}
 		m.Hier.FlushLine(phys)
-		u := spec.Uops[0]
+		u := d.Uops[0]
 		_, done := m.dispatch(u.Ports, aready, u.Latency, u.Occupancy)
 		m.retire(done)
 
@@ -390,7 +451,7 @@ func (m *Machine) step() (bool, error) {
 		m.retire(c.feCycle)
 
 	case x86.ClassBranch:
-		taken, target, err := m.execBranch(d, nextRIP)
+		taken, target, err := m.execBranch(d)
 		if err != nil {
 			return false, err
 		}
@@ -399,7 +460,7 @@ func (m *Machine) step() (bool, error) {
 		}
 
 	case x86.ClassCall:
-		target, err := m.execCall(d, nextRIP)
+		target, err := m.execCall(d)
 		if err != nil {
 			return false, err
 		}
@@ -427,7 +488,7 @@ func (m *Machine) step() (bool, error) {
 		}
 
 	default:
-		if err := m.execNormal(d, spec); err != nil {
+		if err := m.execNormal(d); err != nil {
 			return false, err
 		}
 	}

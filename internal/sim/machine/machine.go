@@ -11,6 +11,7 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"strings"
 
@@ -115,6 +116,13 @@ type Machine struct {
 	prog       program
 	decVersion uint64
 	decCache   map[uint32]*decEntry
+	// lineShift is log2 of the L1I line size, folded into every decoded
+	// entry's line span at predecode time.
+	lineShift uint8
+	// noChain makes Run execute through step() — resolving every
+	// instruction from c.rip — instead of the chained dispatcher. It
+	// exists for the chained-vs-single-step equivalence property test.
+	noChain bool
 
 	// MaxInstructions bounds one Run (a runaway-loop backstop).
 	MaxInstructions uint64
@@ -151,6 +159,11 @@ func New(spec Spec) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	lineSz := hier.LineSize()
+	lineShift := uint8(bits.TrailingZeros(uint(lineSz)))
+	if lineSz <= 0 || 1<<lineShift != lineSz {
+		return nil, fmt.Errorf("machine: L1I line size %d is not a power of two", lineSz)
+	}
 	m := &Machine{
 		Spec:            spec,
 		Mem:             memory,
@@ -161,6 +174,7 @@ func New(spec Spec) (*Machine, error) {
 		msr:             map[uint32]uint64{},
 		decCache:        map[uint32]*decEntry{},
 		MaxInstructions: 64 << 20,
+		lineShift:       lineShift,
 		irqScratch:      0x40000, // inside the reserved low megabyte
 	}
 	for i := 0; i < spec.Cache.L3Slices; i++ {
@@ -197,15 +211,17 @@ func (m *Machine) Cycle() int64 { return m.core.cycleFloor() }
 func (m *Machine) Rand() *rand.Rand { return m.rng }
 
 // WriteCode copies machine code into virtual memory and installs it as
-// the machine's pre-decoded program: instructions are decoded once, on
-// first execution, into a flat program indexed by code offset. Previously
-// cached decodes are invalidated.
+// the machine's pre-decoded program: the image is decoded eagerly, front
+// to back, into a flat array of fused-µop entries chained by successor
+// links (see program), so the run loop dispatches block to block without
+// re-resolving addresses. Previously cached decodes are invalidated.
 func (m *Machine) WriteCode(virt uint32, code []byte) error {
 	if !m.Mem.Write(virt, code) {
 		return fmt.Errorf("machine: code write to unmapped address %#x", virt)
 	}
 	m.prog.install(virt, len(code))
 	m.decVersion++
+	m.predecodeImage()
 	return nil
 }
 
@@ -299,6 +315,19 @@ func (m *Machine) Run(entry uint32) (RunResult, error) {
 	c.regReady[x86.RSP] = c.feCycle
 	c.rip = entry
 
+	// The dispatch loop is chained: the current instruction's program
+	// entry index is carried between iterations and the next index comes
+	// from the entry's successor links (fall for straight-line/not-taken,
+	// tgt for the pre-resolved branch target), so the steady state runs
+	// basic blocks in a tight loop and jumps block to block without
+	// re-resolving RIPs. idx < 0 means "resolve c.rip from scratch" —
+	// the entry path, dynamic targets (RET), code outside the program,
+	// and everything after an invalidation. Links discovered at run time
+	// (lazily decoded entries) are resolved once and cached via prevIdx.
+	ver := m.decVersion
+	idx := int32(-1)
+	prevIdx := int32(-1) // entry whose missing link the next resolution fills
+	prevTaken := false   // which link of prevIdx: tgt (true) or fall
 	for {
 		if c.instructions-startInstr > m.MaxInstructions {
 			return RunResult{}, &Fault{RIP: c.rip, Reason: "instruction budget exceeded (runaway loop?)"}
@@ -308,13 +337,71 @@ func (m *Machine) Run(entry uint32) (RunResult, error) {
 			m.deliverInterrupt()
 			irqs++
 		}
-		done, err := m.step()
+		if m.noChain {
+			stop, err := m.step()
+			if err != nil {
+				return RunResult{}, err
+			}
+			if stop {
+				break
+			}
+			continue
+		}
+		if ver != m.decVersion { // program dropped (self-modifying code)
+			ver = m.decVersion
+			idx, prevIdx = -1, -1
+		}
+		var d *x86.DecodedInstr
+		if idx < 0 {
+			var err error
+			idx, err = m.progIndexAt(c.rip)
+			if err != nil {
+				return RunResult{}, err
+			}
+			if idx >= 0 && prevIdx >= 0 {
+				if prevTaken {
+					m.prog.links[prevIdx].tgt = idx
+				} else {
+					m.prog.links[prevIdx].fall = idx
+				}
+			}
+			prevIdx = -1
+			if idx < 0 {
+				if d, err = m.decodeSlow(c.rip); err != nil {
+					return RunResult{}, err
+				}
+			}
+		}
+		if idx >= 0 {
+			d = &m.prog.instrs[idx]
+		}
+		stop, err := m.execOne(d)
 		if err != nil {
 			return RunResult{}, err
 		}
-		if done {
+		if stop {
 			break
 		}
+		if idx >= 0 && ver == m.decVersion {
+			lk := m.prog.links[idx]
+			switch {
+			case c.rip == d.Next:
+				if lk.fall >= 0 {
+					idx = lk.fall
+					continue
+				}
+				prevIdx, prevTaken = idx, false
+			case d.TargetOK && c.rip == d.Target:
+				if lk.tgt >= 0 {
+					idx = lk.tgt
+					continue
+				}
+				prevIdx, prevTaken = idx, true
+			}
+		} else {
+			prevIdx = -1
+		}
+		idx = -1
 	}
 	return RunResult{
 		Instructions: c.instructions - startInstr,

@@ -7,11 +7,19 @@ import (
 )
 
 // program is the pre-decoded form of the most recently installed code
-// image. Instructions are decoded once on first execution and stored in a
-// flat slice; byteIdx maps each code offset that starts an instruction to
-// its slice index, so the steady-state front end is two array loads — no
-// map lookups, no per-step Spec resolution, and no operand type
-// assertions.
+// image. WriteCode decodes the image eagerly, front to back, into a flat
+// slice of fused-µop entries (x86.DecodedInstr: flat µop array, resolved
+// branch targets, cached line spans); byteIdx maps each code offset that
+// starts an instruction to its slice index, and links chains every entry
+// to its fallthrough and branch-target successors by index. The
+// steady-state front end therefore never maps a RIP at all: straight-line
+// entries run as a chain of fall links (the decode-time basic blocks) and
+// taken branches jump block-to-block through tgt links.
+//
+// Entries reached outside the eager scan (a jump into the middle of an
+// encoded instruction, code past an undecodable byte) are decoded lazily
+// on first execution and their links resolved — and then cached — by the
+// run loop.
 //
 // Any write into [base, base+size) — a WriteData call or a store executed
 // by simulated code — drops the program (self-modifying code then runs
@@ -23,6 +31,17 @@ type program struct {
 	// base+off, or -1 if that offset has not been decoded.
 	byteIdx []int32
 	instrs  []x86.DecodedInstr
+	// links[i] chains instrs[i] to its successors by index; -1 marks a
+	// successor not yet resolved (or outside the program).
+	links []link
+}
+
+// link holds the chained successors of one pre-decoded entry: fall is the
+// entry at the fallthrough address (instrs[i].Next), tgt the entry at the
+// pre-resolved branch target (instrs[i].Target).
+type link struct {
+	fall int32
+	tgt  int32
 }
 
 // install resets the program to cover size bytes at base, reusing the
@@ -38,6 +57,7 @@ func (p *program) install(base uint32, size int) {
 		p.byteIdx[i] = -1
 	}
 	p.instrs = p.instrs[:0]
+	p.links = p.links[:0]
 }
 
 // drop invalidates the program entirely.
@@ -45,6 +65,7 @@ func (p *program) drop() {
 	p.size = 0
 	p.byteIdx = p.byteIdx[:0]
 	p.instrs = p.instrs[:0]
+	p.links = p.links[:0]
 }
 
 // overlaps reports whether the n bytes at addr intersect the program.
@@ -62,6 +83,56 @@ func (m *Machine) noteCodeWrite(addr uint32, n int) {
 	}
 }
 
+// predecodeImage decodes the freshly installed image front to back and
+// wires the chain links: the linear scan yields the decode-time basic
+// blocks (fall links between contiguous entries), and the second pass
+// resolves every pre-resolved branch target that lands on a decoded
+// entry. Decoding stops at the first undecodable byte; anything past it
+// is left to the lazy path (and faults only if actually executed, exactly
+// as before).
+func (m *Machine) predecodeImage() {
+	p := &m.prog
+	for off := uint32(0); off < p.size; {
+		d, err := m.decodeRaw(p.base + off)
+		if err != nil {
+			break
+		}
+		p.instrs = append(p.instrs, d)
+		p.links = append(p.links, link{fall: -1, tgt: -1})
+		p.byteIdx[off] = int32(len(p.instrs) - 1)
+		off += uint32(d.Len)
+	}
+	for i := range p.instrs {
+		d := &p.instrs[i]
+		if fOff := d.Next - p.base; fOff < p.size {
+			p.links[i].fall = p.byteIdx[fOff]
+		}
+		if d.TargetOK {
+			if tOff := d.Target - p.base; tOff < p.size {
+				p.links[i].tgt = p.byteIdx[tOff]
+			}
+		}
+	}
+}
+
+// progIndexAt returns the program entry index for rip, decoding lazily on
+// first execution. It returns -1 (and no error) for addresses outside the
+// installed program; those run through the slow decode path.
+func (m *Machine) progIndexAt(rip uint32) (int32, error) {
+	p := &m.prog
+	off := rip - p.base
+	if off >= p.size {
+		return -1, nil
+	}
+	if i := p.byteIdx[off]; i >= 0 {
+		return i, nil
+	}
+	if _, err := m.decodeInto(rip, off); err != nil {
+		return -1, err
+	}
+	return p.byteIdx[off], nil
+}
+
 // decodedAt returns the pre-decoded instruction at rip. Inside the
 // installed program this is two array loads after the first execution;
 // other addresses fall back to a versioned map cache.
@@ -77,13 +148,14 @@ func (m *Machine) decodedAt(rip uint32) (*x86.DecodedInstr, error) {
 }
 
 // decodeInto decodes the instruction at rip (program offset off) into the
-// program's flat instruction store.
+// program's flat instruction store, with an unresolved link entry.
 func (m *Machine) decodeInto(rip, off uint32) (*x86.DecodedInstr, error) {
 	d, err := m.decodeRaw(rip)
 	if err != nil {
 		return nil, err
 	}
 	m.prog.instrs = append(m.prog.instrs, d)
+	m.prog.links = append(m.prog.links, link{fall: -1, tgt: -1})
 	i := int32(len(m.prog.instrs) - 1)
 	m.prog.byteIdx[off] = i
 	return &m.prog.instrs[i], nil
@@ -105,7 +177,7 @@ func (m *Machine) decodeSlow(rip uint32) (*x86.DecodedInstr, error) {
 }
 
 // decodeRaw decodes and pre-decodes the instruction at rip from simulated
-// memory.
+// memory, resolving its fallthrough/target addresses and line span.
 func (m *Machine) decodeRaw(rip uint32) (x86.DecodedInstr, error) {
 	code := m.readCodeBytes(rip)
 	if len(code) == 0 {
@@ -115,7 +187,7 @@ func (m *Machine) decodeRaw(rip uint32) (x86.DecodedInstr, error) {
 	if err != nil {
 		return x86.DecodedInstr{}, &Fault{RIP: rip, Reason: fmt.Sprintf("undecodable instruction: %v", err)}
 	}
-	d, err := x86.Predecode(in, n)
+	d, err := x86.PredecodeAt(in, n, rip, m.lineShift)
 	if err != nil {
 		return x86.DecodedInstr{}, &Fault{RIP: rip, Reason: err.Error()}
 	}

@@ -12,21 +12,21 @@ import (
 // shifts, multiply/divide, and SSE arithmetic) for all operand shapes.
 // Operands arrive pre-classified in the decoded instruction, so no
 // interface dispatch happens on this path.
-func (m *Machine) execNormal(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+func (m *Machine) execNormal(d *x86.DecodedInstr) error {
 	switch d.Op {
 	case x86.MOV, x86.MOVAPS, x86.MOVQ:
-		return m.execMove(d, spec)
+		return m.execMove(d)
 	case x86.LEA:
-		return m.execLEA(d, spec)
+		return m.execLEA(d)
 	case x86.XCHG:
-		return m.execXCHG(d, spec)
+		return m.execXCHG(d)
 	case x86.MUL, x86.DIV:
-		return m.execMulDiv(d, spec)
+		return m.execMulDiv(d)
 	}
 	if d.NArgs > 0 && d.Kind[0] == x86.ArgX {
-		return m.execSSE(d, spec)
+		return m.execSSE(d)
 	}
-	return m.execIntALU(d, spec)
+	return m.execIntALU(d)
 }
 
 // readArg reads the source operand at index i and its ready cycle,
@@ -53,23 +53,25 @@ func (m *Machine) readArg(d *x86.DecodedInstr, i int) (uint64, int64, error) {
 	return 0, 0, &Fault{RIP: c.rip, Reason: "unsupported operand"}
 }
 
-// dispatchCompute dispatches the instruction's compute µops with the given
-// operand-ready cycle and returns the completion cycle of the result.
-func (m *Machine) dispatchCompute(spec *x86.InstrSpec, ready int64) int64 {
+// dispatchCompute dispatches the decoded entry's compute µops — the flat
+// array folded in at predecode time — with the given operand-ready cycle
+// and returns the completion cycle of the result.
+func (m *Machine) dispatchCompute(d *x86.DecodedInstr, ready int64) int64 {
 	done := ready
-	for _, u := range spec.Uops {
-		_, d := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
-		if d > done {
-			done = d
+	for i := 0; i < int(d.NUops); i++ {
+		u := &d.Uops[i]
+		_, dn := m.dispatch(u.Ports, ready, u.Latency, u.Occupancy)
+		if dn > done {
+			done = dn
 		}
 	}
-	if len(spec.Uops) == 0 {
+	if d.NUops == 0 {
 		m.issueSlot()
 	}
 	return done
 }
 
-func (m *Machine) execMove(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+func (m *Machine) execMove(d *x86.DecodedInstr) error {
 	c := &m.core
 	switch d.Kind[0] {
 	case x86.ArgGP, x86.ArgX:
@@ -113,7 +115,7 @@ func (m *Machine) execMove(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 				v = [2]uint64{c.regs[src], 0}
 				ready = c.regReady[src]
 			}
-			done := m.dispatchCompute(spec, ready)
+			done := m.dispatchCompute(d, ready)
 			if d.Kind[0] == x86.ArgX {
 				if d.Op == x86.MOVQ {
 					v[1] = 0
@@ -126,7 +128,7 @@ func (m *Machine) execMove(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 			m.retire(done)
 			return nil
 		case x86.ArgI:
-			done := m.dispatchCompute(spec, 0)
+			done := m.dispatchCompute(d, 0)
 			m.setReg(dst, uint64(d.Imm), done)
 			m.retire(done)
 			return nil
@@ -167,7 +169,7 @@ func (m *Machine) execMove(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported MOV form %s", d.String())}
 }
 
-func (m *Machine) execLEA(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+func (m *Machine) execLEA(d *x86.DecodedInstr) error {
 	if d.Kind[0] != x86.ArgGP || d.Kind[1] != x86.ArgM {
 		return &Fault{RIP: m.core.rip, Reason: fmt.Sprintf("unsupported LEA form %s", d.String())}
 	}
@@ -175,18 +177,18 @@ func (m *Machine) execLEA(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	if err != nil {
 		return err
 	}
-	done := m.dispatchCompute(spec, aready)
+	done := m.dispatchCompute(d, aready)
 	m.setReg(d.Reg[0], uint64(addr), done)
 	m.retire(done)
 	return nil
 }
 
-func (m *Machine) execXCHG(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+func (m *Machine) execXCHG(d *x86.DecodedInstr) error {
 	c := &m.core
 	if d.Kind[0] == x86.ArgGP && d.Kind[1] == x86.ArgGP {
 		r0, r1 := d.Reg[0], d.Reg[1]
 		ready := maxI64(c.regReady[r0], c.regReady[r1])
-		done := m.dispatchCompute(spec, ready)
+		done := m.dispatchCompute(d, ready)
 		c.regs[r0], c.regs[r1] = c.regs[r1], c.regs[r0]
 		c.regReady[r0], c.regReady[r1] = done, done
 		m.retire(done)
@@ -208,7 +210,7 @@ func (m *Machine) execXCHG(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	if err != nil {
 		return err
 	}
-	done := m.dispatchCompute(spec, maxI64(ldone, c.regReady[reg]))
+	done := m.dispatchCompute(d, maxI64(ldone, c.regReady[reg]))
 	sdone, err := m.store(addr, 8, c.regs[reg], aready, done)
 	if err != nil {
 		return err
@@ -218,7 +220,7 @@ func (m *Machine) execXCHG(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	return nil
 }
 
-func (m *Machine) execMulDiv(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+func (m *Machine) execMulDiv(d *x86.DecodedInstr) error {
 	c := &m.core
 	src, sready, err := m.readArg(d, 0)
 	if err != nil {
@@ -228,7 +230,7 @@ func (m *Machine) execMulDiv(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	if d.Op == x86.DIV {
 		ready = maxI64(ready, c.regReady[x86.RDX])
 	}
-	done := m.dispatchCompute(spec, ready)
+	done := m.dispatchCompute(d, ready)
 	switch d.Op {
 	case x86.MUL:
 		hi, lo := bits.Mul64(c.regs[x86.RAX], src)
@@ -250,7 +252,7 @@ func (m *Machine) execMulDiv(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 }
 
 // execIntALU handles the generic integer ALU patterns.
-func (m *Machine) execIntALU(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+func (m *Machine) execIntALU(d *x86.DecodedInstr) error {
 	c := &m.core
 	op := d.Op
 
@@ -260,10 +262,10 @@ func (m *Machine) execIntALU(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 		case x86.ArgGP:
 			r := d.Reg[0]
 			ready := c.regReady[r]
-			if spec.ReadsFlags {
+			if d.ReadsFlags {
 				ready = maxI64(ready, c.flagReady)
 			}
-			done := m.dispatchCompute(spec, ready)
+			done := m.dispatchCompute(d, ready)
 			res := m.aluUnary(op, c.regs[r], done)
 			m.setReg(r, res, done)
 			m.retire(done)
@@ -277,7 +279,7 @@ func (m *Machine) execIntALU(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 			if err != nil {
 				return err
 			}
-			done := m.dispatchCompute(spec, ldone)
+			done := m.dispatchCompute(d, ldone)
 			res := m.aluUnary(op, val, done)
 			sdone, err := m.store(addr, 8, res, aready, done)
 			if err != nil {
@@ -294,7 +296,7 @@ func (m *Machine) execIntALU(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 
 	// Shift instructions: the count is an immediate or CL.
 	if op == x86.SHL || op == x86.SHR || op == x86.SAR || op == x86.ROL || op == x86.ROR {
-		return m.execShift(d, spec)
+		return m.execShift(d)
 	}
 
 	srcVal, sready, err := m.readArg(d, 1)
@@ -320,10 +322,10 @@ func (m *Machine) execIntALU(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 		if readsDst {
 			ready = maxI64(ready, c.regReady[r])
 		}
-		if spec.ReadsFlags {
+		if d.ReadsFlags {
 			ready = maxI64(ready, c.flagReady)
 		}
-		done := m.dispatchCompute(spec, ready)
+		done := m.dispatchCompute(d, ready)
 		res, write := m.aluBinary(op, c.regs[r], srcVal, done)
 		if write && writesDst {
 			m.setReg(r, res, done)
@@ -340,10 +342,10 @@ func (m *Machine) execIntALU(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 			return err
 		}
 		ready := maxI64(ldone, sready)
-		if spec.ReadsFlags {
+		if d.ReadsFlags {
 			ready = maxI64(ready, c.flagReady)
 		}
-		done := m.dispatchCompute(spec, ready)
+		done := m.dispatchCompute(d, ready)
 		res, write := m.aluBinary(op, val, srcVal, done)
 		if write && writesDst {
 			sdone, err := m.store(addr, 8, res, aready, done)
@@ -358,56 +360,16 @@ func (m *Machine) execIntALU(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 	return &Fault{RIP: c.rip, Reason: fmt.Sprintf("unsupported form %s", d.String())}
 }
 
-func (m *Machine) execShift(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+func (m *Machine) execShift(d *x86.DecodedInstr) error {
 	c := &m.core
-	var count uint64
-	var cready int64
-	switch d.Kind[1] {
-	case x86.ArgI:
-		count = uint64(d.Imm)
-	case x86.ArgGP: // CL
-		count = c.regs[x86.RCX]
-		cready = c.regReady[x86.RCX]
-	}
-	count &= 63
-
-	apply := func(val uint64, done int64) uint64 {
-		if count == 0 {
-			return val
-		}
-		var res uint64
-		switch d.Op {
-		case x86.SHL:
-			res = val << count
-			c.cf = (val>>(64-count))&1 == 1
-		case x86.SHR:
-			res = val >> count
-			c.cf = (val>>(count-1))&1 == 1
-		case x86.SAR:
-			res = uint64(int64(val) >> count)
-			c.cf = (val>>(count-1))&1 == 1
-		case x86.ROL:
-			res = bits.RotateLeft64(val, int(count))
-			c.cf = res&1 == 1
-		case x86.ROR:
-			res = bits.RotateLeft64(val, -int(count))
-			c.cf = res>>63 == 1
-		}
-		if d.Op != x86.ROL && d.Op != x86.ROR {
-			c.zf = res == 0
-			c.sf = res>>63 == 1
-			c.of = false
-		}
-		c.flagReady = done
-		return res
-	}
+	count, cready := m.shiftCount(d)
 
 	switch d.Kind[0] {
 	case x86.ArgGP:
 		r := d.Reg[0]
 		ready := maxI64(c.regReady[r], cready)
-		done := m.dispatchCompute(spec, ready)
-		m.setReg(r, apply(c.regs[r], done), done)
+		done := m.dispatchCompute(d, ready)
+		m.setReg(r, m.shiftCompute(d.Op, c.regs[r], count, done), done)
 		m.retire(done)
 		return nil
 	case x86.ArgM:
@@ -419,8 +381,8 @@ func (m *Machine) execShift(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 		if err != nil {
 			return err
 		}
-		done := m.dispatchCompute(spec, maxI64(ldone, cready))
-		res := apply(val, done)
+		done := m.dispatchCompute(d, maxI64(ldone, cready))
+		res := m.shiftCompute(d.Op, val, count, done)
 		sdone, err := m.store(addr, 8, res, aready, done)
 		if err != nil {
 			return err
@@ -429,6 +391,128 @@ func (m *Machine) execShift(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 		return nil
 	}
 	return &Fault{RIP: c.rip, Reason: "unsupported shift form"}
+}
+
+// shiftCount resolves a shift's count operand (imm or CL) and the cycle
+// it is ready.
+func (m *Machine) shiftCount(d *x86.DecodedInstr) (uint64, int64) {
+	c := &m.core
+	switch d.Kind[1] {
+	case x86.ArgI:
+		return uint64(d.Imm) & 63, 0
+	case x86.ArgGP: // CL
+		return c.regs[x86.RCX] & 63, c.regReady[x86.RCX]
+	}
+	return 0, 0
+}
+
+// shiftCompute applies a shift/rotate of count bits and sets flags; done
+// is the cycle the flags become ready. A count of zero leaves value and
+// flags untouched, like hardware.
+func (m *Machine) shiftCompute(op x86.Op, val, count uint64, done int64) uint64 {
+	c := &m.core
+	if count == 0 {
+		return val
+	}
+	var res uint64
+	switch op {
+	case x86.SHL:
+		res = val << count
+		c.cf = (val>>(64-count))&1 == 1
+	case x86.SHR:
+		res = val >> count
+		c.cf = (val>>(count-1))&1 == 1
+	case x86.SAR:
+		res = uint64(int64(val) >> count)
+		c.cf = (val>>(count-1))&1 == 1
+	case x86.ROL:
+		res = bits.RotateLeft64(val, int(count))
+		c.cf = res&1 == 1
+	case x86.ROR:
+		res = bits.RotateLeft64(val, -int(count))
+		c.cf = res>>63 == 1
+	}
+	if op != x86.ROL && op != x86.ROR {
+		c.zf = res == 0
+		c.sf = res>>63 == 1
+		c.of = false
+	}
+	c.flagReady = done
+	return res
+}
+
+// execFused runs the fused single-µop shapes classified at predecode
+// time (x86.FastKind): register-only data processing whose operand-ready
+// dependency slots were folded flat into the entry. Each arm performs
+// exactly the operations of its generic counterpart — same µop dispatch,
+// same ALU helper, same retire — in the same order, so timing and
+// counter values are bit-identical; only the per-step operand walk and
+// call chain are gone.
+func (m *Machine) execFused(d *x86.DecodedInstr) {
+	c := &m.core
+	u := &d.Uops[0]
+	var ready int64
+	switch d.Fast {
+	case x86.FastALU2:
+		r := d.Reg[0]
+		var src uint64
+		if d.Kind[1] == x86.ArgGP {
+			s := d.Reg[1]
+			src, ready = c.regs[s], c.regReady[s]
+		} else {
+			src = uint64(d.Imm)
+		}
+		if d.ReadsDst && c.regReady[r] > ready {
+			ready = c.regReady[r]
+		}
+		if d.ReadsFlags && c.flagReady > ready {
+			ready = c.flagReady
+		}
+		issue, portEv, start, dn := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
+		done := maxI64(ready, dn)
+		res, write := m.aluBinary(d.Op, c.regs[r], src, done)
+		if write && d.WritesDst {
+			c.regs[r] = res
+			c.regReady[r] = done
+		}
+		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
+	case x86.FastUnary:
+		r := d.Reg[0]
+		ready = c.regReady[r]
+		if d.ReadsFlags && c.flagReady > ready {
+			ready = c.flagReady
+		}
+		issue, portEv, start, dn := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
+		done := maxI64(ready, dn)
+		res := m.aluUnary(d.Op, c.regs[r], done)
+		c.regs[r] = res
+		c.regReady[r] = done
+		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
+	case x86.FastMOVRR:
+		s := d.Reg[1]
+		v := c.regs[s]
+		ready = c.regReady[s]
+		issue, portEv, start, dn := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
+		done := maxI64(ready, dn)
+		c.regs[d.Reg[0]] = v
+		c.regReady[d.Reg[0]] = done
+		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
+	case x86.FastMOVRI:
+		issue, portEv, start, done := m.dispatchQuiet(u.Ports, 0, u.Latency, u.Occupancy)
+		c.regs[d.Reg[0]] = uint64(d.Imm)
+		c.regReady[d.Reg[0]] = done
+		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
+	case x86.FastShift:
+		count, cready := m.shiftCount(d)
+		r := d.Reg[0]
+		ready = maxI64(c.regReady[r], cready)
+		issue, portEv, start, dn := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
+		done := maxI64(ready, dn)
+		res := m.shiftCompute(d.Op, c.regs[r], count, done)
+		c.regs[r] = res
+		c.regReady[r] = done
+		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
+	}
 }
 
 // aluUnary computes unary integer operations and sets flags; done is the
@@ -567,7 +651,7 @@ func (m *Machine) aluBinary(op x86.Op, a, b uint64, done int64) (uint64, bool) {
 }
 
 // execSSE handles vector arithmetic with an XMM destination.
-func (m *Machine) execSSE(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
+func (m *Machine) execSSE(d *x86.DecodedInstr) error {
 	c := &m.core
 	dst := d.Reg[0] - x86.XMM0
 	var src [2]uint64
@@ -591,7 +675,7 @@ func (m *Machine) execSSE(d *x86.DecodedInstr, spec *x86.InstrSpec) error {
 		sready = done
 	}
 	ready := maxI64(sready, c.xmmReady[dst])
-	done := m.dispatchCompute(spec, ready)
+	done := m.dispatchCompute(d, ready)
 	c.xmm[dst] = vecCompute(d.Op, c.xmm[dst], src)
 	c.xmmReady[dst] = done
 	m.retire(done)

@@ -389,6 +389,13 @@ func (p *PMU) Advance(w int64) {
 	if w <= p.lastAdvance {
 		return
 	}
+	p.advanceSlow(w)
+}
+
+// advanceSlow raises every core counter's watermark. Split from Advance
+// so the hot early-out (the front-end cycle advances only every
+// issue-width µops) inlines into the interpreter's step.
+func (p *PMU) advanceSlow(w int64) {
 	p.lastAdvance = w
 	p.FixedInst.advance(w)
 	for _, c := range p.Prog {
@@ -403,6 +410,69 @@ func (p *PMU) Record(ev Event, cycle int64) {
 	}
 	for _, c := range p.listeners[ev] {
 		c.add(cycle)
+	}
+}
+
+// RecordUop delivers one dispatched µop's pair of events — issued at the
+// issue-slot cycle, executed on its port at the dispatch cycle — in a
+// single call. Counter adds commute, so batching the two listener walks
+// is observationally identical to two Record calls; it exists because
+// the interpreter issues one pair per simulated µop.
+func (p *PMU) RecordUop(issue int64, portEv Event, start int64) {
+	if p.listenersStale {
+		p.rebuildListeners()
+	}
+	for _, c := range p.listeners[EvUopsIssued] {
+		c.add(issue)
+	}
+	for _, c := range p.listeners[portEv] {
+		c.add(start)
+	}
+}
+
+// RecordBranch delivers the event set of one retired branch — µop
+// issued, port dispatch, instruction retired, branch retired, and
+// (when misp) the mispredict — in one listener-walk call, identical to
+// the individual Record calls it replaces.
+func (p *PMU) RecordBranch(issue int64, portEv Event, start, retired int64, misp bool, mispAt int64) {
+	if p.listenersStale {
+		p.rebuildListeners()
+	}
+	for _, c := range p.listeners[EvUopsIssued] {
+		c.add(issue)
+	}
+	for _, c := range p.listeners[portEv] {
+		c.add(start)
+	}
+	for _, c := range p.listeners[EvInstRetired] {
+		c.add(retired)
+	}
+	for _, c := range p.listeners[EvBrRetired] {
+		c.add(retired)
+	}
+	if misp {
+		for _, c := range p.listeners[EvBrMispRetired] {
+			c.add(mispAt)
+		}
+	}
+}
+
+// RecordFusedStep delivers the full event set of one fused single-µop
+// instruction — µop issued, port dispatch, instruction retired — in one
+// listener-walk call. Identical to the three Record calls it replaces
+// (adds commute and no read can intervene mid-instruction).
+func (p *PMU) RecordFusedStep(issue int64, portEv Event, start, retired int64) {
+	if p.listenersStale {
+		p.rebuildListeners()
+	}
+	for _, c := range p.listeners[EvUopsIssued] {
+		c.add(issue)
+	}
+	for _, c := range p.listeners[portEv] {
+		c.add(start)
+	}
+	for _, c := range p.listeners[EvInstRetired] {
+		c.add(retired)
 	}
 }
 

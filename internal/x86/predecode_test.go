@@ -1,0 +1,144 @@
+package x86
+
+import "testing"
+
+// decodeAt decodes the first instruction of src's assembly at the given
+// virtual address with 64-byte lines.
+func decodeAt(t *testing.T, src string, rip uint32) DecodedInstr {
+	t.Helper()
+	code := MustAssemble(src)
+	d, err := DecodeOne(code, rip, 6)
+	if err != nil {
+		t.Fatalf("DecodeOne(%q): %v", src, err)
+	}
+	return d
+}
+
+// TestPredecodeFoldsUops: the flat µop array mirrors the spec exactly, so
+// dispatch never needs Spec.Uops.
+func TestPredecodeFoldsUops(t *testing.T) {
+	d := decodeAt(t, "add rax, rbx", 0)
+	sp := SpecPtr(ADD)
+	if int(d.NUops) != len(sp.Uops) {
+		t.Fatalf("NUops = %d, want %d", d.NUops, len(sp.Uops))
+	}
+	for i := range sp.Uops {
+		if d.Uops[i] != sp.Uops[i] {
+			t.Errorf("Uops[%d] = %+v, want %+v", i, d.Uops[i], sp.Uops[i])
+		}
+	}
+	if d.ReadsFlags != sp.ReadsFlags {
+		t.Errorf("ReadsFlags = %v, want %v", d.ReadsFlags, sp.ReadsFlags)
+	}
+
+	// Two-µop instruction: both slots populated.
+	m := decodeAt(t, "mul rbx", 0)
+	if m.NUops != 2 {
+		t.Fatalf("MUL NUops = %d, want 2", m.NUops)
+	}
+}
+
+// TestSpecUopsWithinBound guards the flat-array invariant: every spec in
+// the table fits DecodedInstr.Uops (init also panics, but a test failure
+// reads better than an init crash).
+func TestSpecUopsWithinBound(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if !HasSpec(op) {
+			continue
+		}
+		if n := len(Spec(op).Uops); n > MaxUopsPerInstr {
+			t.Errorf("%s has %d µops, exceeding MaxUopsPerInstr = %d", op, n, MaxUopsPerInstr)
+		}
+	}
+}
+
+// TestPredecodeResolvesBranchTargets: the absolute target of a direct
+// branch/call is the fallthrough plus the rel-immediate.
+func TestPredecodeResolvesBranchTargets(t *testing.T) {
+	const rip = 0x100040
+	code := MustAssemble("jnz skip\nnop\nskip: ret")
+	d, err := DecodeOne(code, rip, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.TargetOK {
+		t.Fatal("branch target not resolved")
+	}
+	wantNext := uint32(rip + uint32(d.Len))
+	if d.Next != wantNext {
+		t.Errorf("Next = %#x, want %#x", d.Next, wantNext)
+	}
+	if want := uint32(int64(d.Next) + d.Imm); d.Target != want {
+		t.Errorf("Target = %#x, want %#x", d.Target, want)
+	}
+	// The NOP the branch skips is one byte: target = next + 1.
+	if d.Target != wantNext+1 {
+		t.Errorf("Target = %#x, want %#x (skip one NOP)", d.Target, wantNext+1)
+	}
+
+	// Non-branches resolve no target.
+	if a := decodeAt(t, "add rax, rbx", rip); a.TargetOK {
+		t.Error("ADD resolved a branch target")
+	}
+}
+
+// TestPredecodeLineSpan: the cached L1I span covers exactly the lines the
+// encoded bytes touch.
+func TestPredecodeLineSpan(t *testing.T) {
+	// "add rax, rbx" encodes to 3 bytes. At 0x101000 it stays within one
+	// 64-byte line; at 0x10103e it straddles the 0x101040 boundary.
+	d := decodeAt(t, "add rax, rbx", 0x101000)
+	if d.LineFirst != 0x101000 || d.LineLast != 0x101000 {
+		t.Errorf("in-line span = [%#x, %#x], want [0x101000, 0x101000]", d.LineFirst, d.LineLast)
+	}
+	d = decodeAt(t, "add rax, rbx", 0x10103e)
+	if d.LineFirst != 0x101000 || d.LineLast != 0x101040 {
+		t.Errorf("straddling span = [%#x, %#x], want [0x101000, 0x101040]", d.LineFirst, d.LineLast)
+	}
+}
+
+// TestPredecodeFastKinds: the fused-shape classification and its folded
+// dependency slots.
+func TestPredecodeFastKinds(t *testing.T) {
+	cases := []struct {
+		src       string
+		fast      FastKind
+		readsDst  bool
+		writesDst bool
+	}{
+		{"add rax, rbx", FastALU2, true, true},
+		{"add rax, 7", FastALU2, true, true},
+		{"cmp rax, rbx", FastALU2, true, false},
+		{"test rax, rbx", FastALU2, true, false},
+		{"popcnt rax, rbx", FastALU2, false, true},
+		{"inc rax", FastUnary, true, true},
+		{"not rax", FastUnary, true, true},
+		{"mov rax, rbx", FastMOVRR, false, false},
+		{"mov rax, 42", FastMOVRI, false, false},
+		{"shl rax, 3", FastShift, true, true},
+		{"shl rax, cl", FastShift, true, true},
+	}
+	for _, tc := range cases {
+		d := decodeAt(t, tc.src, 0)
+		if d.Fast != tc.fast {
+			t.Errorf("%q: Fast = %d, want %d", tc.src, d.Fast, tc.fast)
+			continue
+		}
+		if d.Fast == FastALU2 || d.Fast == FastUnary || d.Fast == FastShift {
+			if d.ReadsDst != tc.readsDst || d.WritesDst != tc.writesDst {
+				t.Errorf("%q: ReadsDst/WritesDst = %v/%v, want %v/%v",
+					tc.src, d.ReadsDst, d.WritesDst, tc.readsDst, tc.writesDst)
+			}
+		}
+	}
+
+	// Anything touching memory, XMM, or special classes stays generic.
+	for _, src := range []string{
+		"add rax, [r14]", "mov rax, [r14]", "mov [r14], rax",
+		"jmp target\ntarget: ret", "nop", "mul rbx", "addps xmm0, xmm1",
+	} {
+		if d := decodeAt(t, src, 0); d.Fast != FastNone {
+			t.Errorf("%q: Fast = %d, want FastNone", src, d.Fast)
+		}
+	}
+}

@@ -106,6 +106,12 @@ const (
 	ClassPop
 )
 
+// MaxUopsPerInstr is the largest number of compute µops any instruction
+// in the spec table decodes to. DecodedInstr embeds a flat µop array of
+// this size so dispatch never chases Spec.Uops; the init check below
+// keeps the bound honest when the table grows.
+const MaxUopsPerInstr = 2
+
 // InstrSpec is the ground-truth description of an instruction's µops,
 // latency, and implicit effects. This table is what case study I recovers
 // through microbenchmarks.
@@ -224,6 +230,9 @@ var (
 
 func init() {
 	for op, s := range specs {
+		if len(s.Uops) > MaxUopsPerInstr {
+			panic("x86: " + op.String() + " exceeds MaxUopsPerInstr; grow DecodedInstr.Uops")
+		}
 		specTab[op] = s
 		specKnown[op] = true
 	}

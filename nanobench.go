@@ -44,13 +44,10 @@
 // ParseAggregate decode the wire format's enum names.
 //
 // The v1 free functions (NewMachine, NewRunner, RunBatch,
-// RunBatchStream) remain as thin deprecated shims; see the README's
-// migration table. The paper's Section III-A example still runs
-// unchanged through them:
-//
-//	m, _ := nanobench.NewMachine("Skylake", 42)
-//	r, _ := nanobench.NewRunner(m, nanobench.Kernel)
-//	res, _ := r.Run(nanobench.Config{...})
+// RunBatchStream) were removed after their deprecation horizon (see
+// CHANGES.md); a Session provides every capability they had, and
+// Session.NewRunner/Session.NewMachine cover the tools that drive a
+// machine directly.
 package nanobench
 
 import (
@@ -87,7 +84,7 @@ type (
 	Mode = machine.Mode
 )
 
-// Privilege modes for WithMode (and the deprecated NewRunner).
+// Privilege modes for WithMode.
 const (
 	User   = machine.User
 	Kernel = machine.Kernel
@@ -167,9 +164,8 @@ type (
 	BatchCacheInfo = sched.CacheInfo
 )
 
-// DefaultBatchSeed is the root seed sessions (and the deprecated
-// RunBatch) derive per-job machine seeds from; it matches the seed the
-// repository's experiments use.
+// DefaultBatchSeed is the root seed sessions derive per-job machine
+// seeds from; it matches the seed the repository's experiments use.
 const DefaultBatchSeed = 42
 
 // NewBatchCache builds an empty, unbounded content-addressed result
@@ -194,70 +190,3 @@ var (
 	PauseCounting  = nano.PauseCountingBytes
 	ResumeCounting = nano.ResumeCountingBytes
 )
-
-// Deprecated v1 shims. The free functions below predate the Session API;
-// they keep the paper's original quickstart compiling and behaving
-// identically. New code should open a Session instead (see the README
-// migration table; ROADMAP.md records the removal horizon).
-
-// NewMachine builds a simulated machine for one of the catalog
-// microarchitectures (see CPUNames).
-//
-// Deprecated: use Open(WithCPU(name), WithSeed(seed)) and the session's
-// Run/NewRunner/NewMachine methods.
-func NewMachine(cpuName string, seed int64) (*Machine, error) {
-	cpu, err := uarch.ByName(cpuName)
-	if err != nil {
-		return nil, err
-	}
-	return cpu.NewMachine(seed)
-}
-
-// NewRunner prepares a machine for running microbenchmarks in the given
-// mode. The kernel-space runner supports privileged instructions, MSR and
-// uncore counters, pause/resume magic bytes, and physically-contiguous
-// allocation; the user-space runner is subject to timer-interrupt noise.
-//
-// Deprecated: use Open(..., WithMode(mode)) and Session.Run, or
-// Session.NewRunner when direct machine access is needed (the cache
-// analysis tools take a Runner).
-func NewRunner(m *Machine, mode Mode) (*Runner, error) {
-	return nano.NewRunner(m, mode)
-}
-
-// defaultBatch serves the deprecated RunBatch/RunBatchStream: all cores,
-// the default root seed, and a process-wide cache so repeated sweeps hit
-// memory.
-var defaultBatch = sched.New(sched.Options{
-	RootSeed: DefaultBatchSeed,
-	Cache:    sched.NewCache(),
-})
-
-// RunBatch evaluates the configurations on the named CPU model in the
-// given mode, in parallel across runtime.NumCPU() simulated machines, and
-// returns the results in config order.
-//
-// Deprecated: use Open(WithCPU(cpuName), WithMode(mode)) and
-// Session.RunBatch, which adds context cancellation and a per-session
-// cache.
-func RunBatch(cpuName string, mode Mode, cfgs []Config) ([]*Result, error) {
-	return defaultBatch.Run(batchJobs(cpuName, mode, cfgs))
-}
-
-// RunBatchStream is RunBatch's streaming variant: results are delivered in
-// config order over the returned channel, each as soon as it and all its
-// predecessors are available. The channel closes after the last item.
-//
-// Deprecated: use Session.Stream, which adds context cancellation with
-// partial in-order delivery.
-func RunBatchStream(cpuName string, mode Mode, cfgs []Config) <-chan BatchItem {
-	return defaultBatch.Stream(batchJobs(cpuName, mode, cfgs))
-}
-
-func batchJobs(cpuName string, mode Mode, cfgs []Config) []BatchJob {
-	jobs := make([]BatchJob, len(cfgs))
-	for i, cfg := range cfgs {
-		jobs[i] = BatchJob{CPU: cpuName, Mode: mode, Cfg: cfg}
-	}
-	return jobs
-}

@@ -6,12 +6,16 @@ import (
 	"testing"
 )
 
+// TestFacadeQuickstart runs the paper's Section III-A measurement through
+// a session-built runner: Session.NewRunner seeds the machine with the
+// session's root seed, exactly like the removed NewMachine("Skylake", 42)
+// + NewRunner(m, Kernel) pair did.
 func TestFacadeQuickstart(t *testing.T) {
-	m, err := NewMachine("Skylake", 42)
+	s, err := Open(WithCPU("Skylake"), WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(m, Kernel)
+	r, err := s.NewRunner()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +43,7 @@ func TestFacadeCatalog(t *testing.T) {
 	if !strings.Contains(CPUNames(), "Skylake") {
 		t.Fatalf("CPUNames: %s", CPUNames())
 	}
-	if _, err := NewMachine("unknown", 1); err == nil {
+	if _, err := Open(WithCPU("unknown")); err == nil {
 		t.Fatal("expected error for unknown CPU")
 	}
 	if len(PauseCounting) == 0 || len(ResumeCounting) == 0 {
@@ -48,11 +52,11 @@ func TestFacadeCatalog(t *testing.T) {
 }
 
 func TestFacadeUserMode(t *testing.T) {
-	m, err := NewMachine("Zen", 1)
+	s, err := Open(WithCPU("Zen"), WithMode(User), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(m, User)
+	r, err := s.NewRunner()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,13 +74,22 @@ func TestFacadeUserMode(t *testing.T) {
 	}
 }
 
-func TestFacadeRunBatch(t *testing.T) {
+// TestFacadeBatchExecutor covers the heterogeneous batch surface that
+// remains public after the v1 free functions were removed: explicit
+// BatchJobs through NewBatchExecutor, including the streaming variant
+// and error reporting for unknown CPU models.
+func TestFacadeBatchExecutor(t *testing.T) {
 	cfgs := []Config{
 		{Code: MustAsm("add rbx, rbx"), UnrollCount: 20},
 		{Code: MustAsm("imul rbx, rbx"), UnrollCount: 20},
 		{Code: MustAsm("mov R14, [R14]"), CodeInit: MustAsm("mov [R14], R14"), WarmUpCount: 1},
 	}
-	res, err := RunBatch("Skylake", Kernel, cfgs)
+	jobs := make([]BatchJob, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = BatchJob{CPU: "Skylake", Mode: Kernel, Cfg: cfg}
+	}
+	ex := NewBatchExecutor(BatchOptions{RootSeed: DefaultBatchSeed, Cache: NewBatchCache()})
+	res, err := ex.Run(jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,10 +103,9 @@ func TestFacadeRunBatch(t *testing.T) {
 		}
 	}
 
-	// The streaming variant delivers the same results in config order
-	// (via the shared default cache on this second pass).
+	// The streaming variant delivers the same results in config order.
 	next := 0
-	for it := range RunBatchStream("Skylake", Kernel, cfgs) {
+	for it := range ex.Stream(jobs) {
 		if it.Err != nil {
 			t.Fatal(it.Err)
 		}
@@ -101,18 +113,17 @@ func TestFacadeRunBatch(t *testing.T) {
 			t.Fatalf("stream index %d, want %d", it.Index, next)
 		}
 		if !it.Result.Equal(res[it.Index]) {
-			t.Errorf("stream result %d differs from RunBatch", it.Index)
+			t.Errorf("stream result %d differs from Run", it.Index)
 		}
 		next++
 	}
 	if next != len(cfgs) {
 		t.Fatalf("stream delivered %d of %d items", next, len(cfgs))
 	}
-}
 
-func TestFacadeRunBatchError(t *testing.T) {
-	_, err := RunBatch("NoSuchCPU", Kernel, []Config{{Code: MustAsm("nop")}})
-	if err == nil {
+	// Unknown CPU models surface as per-job errors.
+	bad := []BatchJob{{CPU: "NoSuchCPU", Mode: Kernel, Cfg: Config{Code: MustAsm("nop")}}}
+	if _, err := ex.Run(bad); err == nil {
 		t.Fatal("expected an error for an unknown CPU")
 	}
 }

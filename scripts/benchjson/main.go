@@ -1,0 +1,216 @@
+// benchjson converts `go test -bench` output into a stable JSON artifact
+// and compares two such artifacts, failing on performance regressions.
+// It is the engine behind `make bench` (emits BENCH_5.json) and
+// `make bench-compare` (diffs it against the committed baseline in
+// bench/BENCH_BASELINE.json and fails the job on a >10% regression in
+// step throughput).
+//
+// Convert:
+//
+//	go run ./scripts/benchjson -in bench.txt [-in more.txt ...] -out BENCH_5.json
+//
+// Multiple -in files (and repeated runs via -count) merge; when the same
+// benchmark appears more than once, the fastest run (minimum ns/op) wins,
+// which keeps single-shot artifacts comparable across noisy machines.
+//
+// Compare:
+//
+//	go run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_5.json \
+//	    [-bench BenchmarkStepThroughput] [-metric ns/instr] [-tolerance 0.10]
+//
+// Every benchmark in the baseline whose name starts with -bench is
+// checked: the run under test must not exceed baseline×(1+tolerance) on
+// -metric (falling back to ns/op when the metric is absent). Exit status
+// 1 on regression, with a human-readable table either way.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds custom b.ReportMetric values by unit ("ns/instr",
+	// "simulated-MIPS", ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the JSON shape of a benchmark run.
+type Artifact struct {
+	Schema     string           `json:"schema"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+const schema = "nanobench-bench-v1"
+
+// benchLine matches one result line; the -N GOMAXPROCS suffix is folded
+// out of the name so artifacts compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseFile(path string, into map[string]Entry) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[3])
+		e := Entry{Metrics: map[string]float64{}}
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			if rest[i+1] == "ns/op" {
+				e.NsPerOp = v
+			} else {
+				e.Metrics[rest[i+1]] = v
+			}
+		}
+		if len(e.Metrics) == 0 {
+			e.Metrics = nil
+		}
+		// Fastest run wins on repeats (-count, multiple inputs).
+		if prev, ok := into[name]; !ok || e.NsPerOp < prev.NsPerOp {
+			into[name] = e
+		}
+	}
+	return sc.Err()
+}
+
+func readArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema != schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, a.Schema, schema)
+	}
+	return &a, nil
+}
+
+// metricOf picks the comparison value: the named custom metric when the
+// entry reports it, ns/op otherwise.
+func metricOf(e Entry, metric string) (float64, string) {
+	if v, ok := e.Metrics[metric]; ok {
+		return v, metric
+	}
+	return e.NsPerOp, "ns/op"
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var ins multiFlag
+	flag.Var(&ins, "in", "benchmark output file to convert (repeatable)")
+	out := flag.String("out", "", "JSON artifact to write")
+	baseline := flag.String("baseline", "", "baseline artifact for -against comparison")
+	against := flag.String("against", "", "artifact to compare against the baseline")
+	benchPrefix := flag.String("bench", "BenchmarkStepThroughput", "benchmark name prefix the comparison gates on")
+	metric := flag.String("metric", "ns/instr", "custom metric to compare (ns/op when absent)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative regression before failing")
+	flag.Parse()
+
+	switch {
+	case len(ins) > 0 && *out != "":
+		entries := map[string]Entry{}
+		for _, in := range ins {
+			if err := parseFile(in, entries); err != nil {
+				fatal(err)
+			}
+		}
+		if len(entries) == 0 {
+			fatal(fmt.Errorf("no benchmark lines found in %s", ins.String()))
+		}
+		data, err := json.MarshalIndent(Artifact{Schema: schema, Benchmarks: entries}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(entries), *out)
+
+	case *baseline != "" && *against != "":
+		base, err := readArtifact(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readArtifact(*against)
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(base.Benchmarks))
+		for name := range base.Benchmarks {
+			if strings.HasPrefix(name, *benchPrefix) {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			fatal(fmt.Errorf("%s: no benchmarks match prefix %q", *baseline, *benchPrefix))
+		}
+		failed := false
+		for _, name := range names {
+			be := base.Benchmarks[name]
+			ce, ok := cur.Benchmarks[name]
+			if !ok {
+				fmt.Printf("FAIL %-40s missing from %s\n", name, *against)
+				failed = true
+				continue
+			}
+			bv, unit := metricOf(be, *metric)
+			cv, curUnit := metricOf(ce, *metric)
+			if unit != curUnit {
+				fmt.Printf("FAIL %-40s unit mismatch: baseline reports %s, current reports %s\n",
+					name, unit, curUnit)
+				failed = true
+				continue
+			}
+			change := (cv - bv) / bv
+			status := "ok  "
+			if cv > bv*(1+*tolerance) {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %-40s %s: %.2f -> %.2f (%+.1f%%, limit +%.0f%%)\n",
+				status, name, unit, bv, cv, 100*change, 100**tolerance)
+		}
+		if failed {
+			fmt.Println("benchmark regression gate failed")
+			os.Exit(1)
+		}
+		fmt.Println("benchmark regression gate passed")
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -20,12 +20,13 @@ import (
 // are kept (partial results on cancellation), and no worker goroutine
 // outlives the sweep beyond the evaluation it was simulating.
 type Session struct {
-	cpu    CPU
-	mode   Mode
-	seed   int64
-	warmUp int
-	cache  *BatchCache
-	exec   *BatchExecutor
+	cpu         CPU
+	mode        Mode
+	seed        int64
+	warmUp      int
+	dropSamples bool
+	cache       *BatchCache
+	exec        *BatchExecutor
 }
 
 // sessionOptions collects the functional options of Open.
@@ -35,6 +36,7 @@ type sessionOptions struct {
 	seed        int64
 	parallelism int
 	warmUp      int
+	retain      bool
 	cache       *BatchCache
 	cacheSet    bool
 }
@@ -83,6 +85,17 @@ func WithWarmUp(n int) Option {
 	return func(o *sessionOptions) { o.warmUp = n }
 }
 
+// WithSampleRetention controls whether Results keep the raw per-run
+// samples behind each aggregated metric value (default true). With
+// retention off, every config the session evaluates gets
+// Config.DropSamples set: metrics carry only their aggregate, which for
+// million-config sweeps cuts the result-cache footprint and the
+// deep-copy cost of every cache hit. Configs that set DropSamples
+// themselves drop their samples regardless of the session setting.
+func WithSampleRetention(retain bool) Option {
+	return func(o *sessionOptions) { o.retain = retain }
+}
+
 // Open builds a session. The CPU model is validated eagerly, so an
 // unknown name fails here rather than on the first Run.
 func Open(opts ...Option) (*Session, error) {
@@ -91,6 +104,7 @@ func Open(opts ...Option) (*Session, error) {
 		mode:    Kernel,
 		seed:    DefaultBatchSeed,
 		warmUp:  DefaultWarmUpCount,
+		retain:  true,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -110,11 +124,12 @@ func Open(opts ...Option) (*Session, error) {
 		cache = sched.NewCache()
 	}
 	return &Session{
-		cpu:    cpu,
-		mode:   o.mode,
-		seed:   o.seed,
-		warmUp: o.warmUp,
-		cache:  cache,
+		cpu:         cpu,
+		mode:        o.mode,
+		seed:        o.seed,
+		warmUp:      o.warmUp,
+		dropSamples: !o.retain,
+		cache:       cache,
 		exec: sched.New(sched.Options{
 			Workers:  o.parallelism,
 			RootSeed: o.seed,
@@ -223,12 +238,16 @@ func (s *Session) CacheInfo() BatchCacheInfo {
 }
 
 // jobs lifts configs into scheduler jobs, applying the session's default
-// warm-up count to configs that leave WarmUpCount at zero.
+// warm-up count to configs that leave WarmUpCount at zero and the
+// session's sample-retention policy.
 func (s *Session) jobs(cfgs []Config) []BatchJob {
 	jobs := make([]BatchJob, len(cfgs))
 	for i, cfg := range cfgs {
 		if cfg.WarmUpCount == 0 {
 			cfg.WarmUpCount = s.warmUp
+		}
+		if s.dropSamples {
+			cfg.DropSamples = true
 		}
 		jobs[i] = BatchJob{CPU: s.cpu.Name, Mode: s.mode, Cfg: cfg}
 	}

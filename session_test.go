@@ -45,34 +45,31 @@ func quickstartConfig() Config {
 	}
 }
 
-// TestSessionQuickstartMatchesShims pins the migration contract: the
-// deprecated v1 shims and the Session API print identical counter values
-// for the Section III-A quickstart.
-func TestSessionQuickstartMatchesShims(t *testing.T) {
-	m, err := NewMachine("Skylake", 42)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := NewRunner(m, Kernel)
-	if err != nil {
-		t.Fatal(err)
-	}
-	shimRes, err := r.Run(quickstartConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-
+// TestSessionQuickstart pins the Section III-A quickstart through both
+// remaining entry points — Session.Run and a Session-built direct Runner
+// (the successor of the removed v1 free functions) — and checks they
+// print identical counter values, preserving the contract the v1 shims
+// used to carry.
+func TestSessionQuickstart(t *testing.T) {
 	s := openT(t, WithCPU("Skylake"), WithSeed(42))
+	r, err := s.NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runnerRes, err := r.Run(quickstartConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	sessRes, err := s.Run(context.Background(), quickstartConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	if !shimRes.Equal(sessRes) {
-		t.Errorf("shim and session results differ:\n%vvs\n%v", shimRes, sessRes)
+	if !runnerRes.Equal(sessRes) {
+		t.Errorf("runner and session results differ:\n%vvs\n%v", runnerRes, sessRes)
 	}
-	if shimRes.String() != sessRes.String() {
-		t.Errorf("printed output differs:\n%q\nvs\n%q", shimRes, sessRes)
+	if runnerRes.String() != sessRes.String() {
+		t.Errorf("printed output differs:\n%q\nvs\n%q", runnerRes, sessRes)
 	}
 	if v := sessRes.MustGet("Core cycles"); math.Abs(v-4.0) > 0.1 {
 		t.Errorf("L1 latency = %.2f, want 4 (paper III-A)", v)
@@ -209,6 +206,53 @@ func TestSessionStreamCancelMidSweep(t *testing.T) {
 	}
 	if now := runtime.NumGoroutine(); now > before {
 		t.Errorf("goroutines leaked: %d before stream, %d after drain", before, now)
+	}
+}
+
+// TestSessionSampleRetention: WithSampleRetention(false) strips the raw
+// per-run samples from every evaluated metric while the aggregated
+// values match a retaining session's bit for bit, and the two forms
+// occupy distinct cache entries (DropSamples is part of the content key).
+func TestSessionSampleRetention(t *testing.T) {
+	cfg := quickstartConfig()
+
+	full, err := openT(t).Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean := openT(t, WithSampleRetention(false))
+	dropped, err := lean.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm, dm := full.Metrics(), dropped.Metrics()
+	if len(fm) != len(dm) {
+		t.Fatalf("metric count differs: %d vs %d", len(fm), len(dm))
+	}
+	for i := range fm {
+		if dm[i].Value != fm[i].Value {
+			t.Errorf("%s: value %v, want %v", dm[i].Name, dm[i].Value, fm[i].Value)
+		}
+		if len(fm[i].Samples) == 0 {
+			t.Errorf("%s: retaining session kept no samples", fm[i].Name)
+		}
+		if len(dm[i].Samples) != 0 {
+			t.Errorf("%s: sample-free session retained %d samples", dm[i].Name, len(dm[i].Samples))
+		}
+	}
+
+	// A config that sets DropSamples itself drops samples even in a
+	// retaining session.
+	cfg.DropSamples = true
+	own, err := openT(t).Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range own.Metrics() {
+		if len(m.Samples) != 0 {
+			t.Errorf("%s: per-config DropSamples retained %d samples", m.Name, len(m.Samples))
+		}
 	}
 }
 
