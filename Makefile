@@ -51,8 +51,9 @@ BENCH_5.json:
 serve:
 	$(GO) run ./cmd/nanobenchd
 
-# End-to-end service smoke: build nanobenchd, start it, and diff live
-# /v1/healthz and /v1/run responses against the documented examples.
+# End-to-end service smoke: build nanobenchd, start it, diff live
+# /v1/healthz and /v1/run responses against the documented examples,
+# drive a sweep through the async jobs API, and scrape /metrics.
 smoke:
 	bash scripts/serve-smoke.sh
 

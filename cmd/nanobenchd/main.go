@@ -1,16 +1,21 @@
 // nanobenchd serves the nanobench Session API over HTTP/JSON: single
-// configs, heterogeneous batches, and streaming sweeps, with one session
-// per (CPU model, privilege mode) behind a shared LRU-bounded result
-// cache. The wire schema is documented in docs/API.md.
+// configs, heterogeneous batches, streaming sweeps, and asynchronous
+// jobs behind a bounded admission queue, with one session per (CPU
+// model, privilege mode) behind a shared LRU-bounded result cache.
+// Prometheus metrics are served on /metrics. The wire schema is
+// documented in docs/API.md.
 //
 //	go run nanobench/cmd/nanobenchd -addr :8080
 //	curl -s localhost:8080/v1/healthz
 //	curl -s -X POST localhost:8080/v1/run \
 //	    -d '{"config": {"asm": "add rax, rbx", "n_measurements": 3}}'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"sweep": {"sweep": {"asm": ["add rax, rbx"], "unrolls": [10, 100]}}}'
 //
-// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes, and
-// in-flight evaluations drain (bounded by -drain) before the process
-// exits.
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
+// in-flight requests drain, queued jobs are parked canceled, and
+// running jobs are waited for (all bounded by -drain) before the
+// process exits.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"nanobench"
+	"nanobench/internal/jobs"
 	"nanobench/internal/server"
 )
 
@@ -36,6 +42,11 @@ func main() {
 		cacheMax    = flag.Int("cache_entries", 4096, "shared result cache bound in evaluations (0: unbounded)")
 		maxBatch    = flag.Int("max_batch", server.DefaultMaxBatch, "max configs per request")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+		jobWorkers  = flag.Int("job_workers", jobs.DefaultWorkers, "async job worker pool size")
+		jobQueue    = flag.Int("job_queue", jobs.DefaultQueueSize, "async job admission queue bound (full queue answers 429)")
+		jobWait     = flag.Duration("job_wait", 0, "how long a submission may wait for a queue slot before the 429 (0: fail fast)")
+		jobTTL      = flag.Duration("job_ttl", jobs.DefaultTTL, "how long finished job records are retained for result retrieval")
+		sweepShards = flag.Int("sweep_shards", server.DefaultSweepShards, "shards an async sweep job fans out across (byte-identical at any value)")
 	)
 	flag.Parse()
 
@@ -45,6 +56,11 @@ func main() {
 		WarmUp:          *warmUp,
 		CacheMaxEntries: *cacheMax,
 		MaxBatch:        *maxBatch,
+		JobWorkers:      *jobWorkers,
+		JobQueueSize:    *jobQueue,
+		JobMaxWait:      *jobWait,
+		JobTTL:          *jobTTL,
+		SweepShards:     *sweepShards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,6 +89,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatalf("shutdown: %v", err)
+	}
+	// With the listener closed, drain the job subsystem: queued jobs are
+	// parked canceled, running ones get the remainder of the budget.
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("job drain: %v", err)
 	}
 	log.Print("nanobenchd stopped")
 }

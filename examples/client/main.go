@@ -1,95 +1,81 @@
-// Client: drive a running nanobenchd over HTTP — a single /v1/run, then
-// a streamed /v1/sweep consumed line by line as the results land. Start
+// Client: drive a running nanobenchd through the typed client package —
+// a synchronous /v1/run, then a sweep submitted as an asynchronous job
+// whose progress is streamed while the result is fetched by id. Start
 // the server first:
 //
 //	go run nanobench/cmd/nanobenchd -addr :8080 &
 //	go run nanobench/examples/client -addr localhost:8080
 //
-// The wire schema the requests follow is documented in docs/API.md.
+// The wire schema underneath is documented in docs/API.md; the client
+// package wraps it so nothing here touches net/http directly.
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 
 	"nanobench"
+	"nanobench/client"
 )
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "nanobenchd address")
 	flag.Parse()
-	base := "http://" + *addr
+	ctx := context.Background()
+	c := client.New("http://" + *addr)
 
-	// One config, addressed to the default Skylake/kernel session. The
-	// request body can be written by hand (see docs/API.md); here the
-	// facade types marshal it for us.
-	runBody, err := json.Marshal(map[string]any{
-		"config": nanobench.Config{
-			Code:          nanobench.MustAsm("mov R14, [R14]"),
-			CodeInit:      nanobench.MustAsm("mov [R14], R14"),
-			WarmUpCount:   1,
-			NMeasurements: 3,
-		},
+	// One config, addressed to the default Skylake/kernel session.
+	run, err := c.Run(ctx, "", "", nanobench.Config{
+		Code:          nanobench.MustAsm("mov R14, [R14]"),
+		CodeInit:      nanobench.MustAsm("mov [R14], R14"),
+		WarmUpCount:   1,
+		NMeasurements: 3,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(runBody))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var run struct {
-		CPU    string            `json:"cpu"`
-		Mode   string            `json:"mode"`
-		Result *nanobench.Result `json:"result"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("/v1/run on %s (%s):\n%s\n", run.CPU, run.Mode, run.Result)
 
-	// A 2×3 sweep, streamed: each NDJSON line arrives as soon as its
-	// evaluation (and all earlier ones) finished.
+	// The same 2×3 sweep as docs/API.md, submitted as an async job: the
+	// server queues it, shards the evaluation, and merges the results
+	// back into expansion order.
 	sw := nanobench.NewSweep(nanobench.Config{NMeasurements: 3}).
 		Asm("add rax, rbx", "imul rax, rbx").
 		Unroll(10, 100, 1000)
-	sweepBody, err := json.Marshal(map[string]any{"sweep": sw})
+	job, err := c.SubmitSweep(ctx, "", "", sw)
+	if err != nil {
+		if client.IsCode(err, "queue_full") {
+			log.Fatalf("admission queue full, retry after the server's hint: %v", err)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted job %s (%s)\n", job.ID, job.Submitted.Kind)
+
+	// Follow the job's state transitions live while it runs.
+	err = job.Stream(ctx, func(s client.JobStatus) error {
+		fmt.Printf("  %s: %d/%d done (%d cache hits)\n",
+			s.State, s.Progress.Completed, s.Progress.Total, s.Progress.CacheHits)
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err = http.Post(base+"/v1/sweep?stream=1", "application/json", bytes.NewReader(sweepBody))
+
+	// The finished job's result is byte-identical to the synchronous
+	// /v1/sweep response; WaitSweep long-polls and decodes it.
+	sweep, err := job.WaitSweep(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	fmt.Println("/v1/sweep?stream=1:")
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		var item struct {
-			Index  int               `json:"index"`
-			Result *nanobench.Result `json:"result"`
-			Error  *struct {
-				Code    string `json:"code"`
-				Message string `json:"message"`
-			} `json:"error"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
-			log.Fatal(err)
-		}
-		if item.Error != nil {
-			fmt.Printf("  config %d: %s (%s)\n", item.Index, item.Error.Message, item.Error.Code)
+	fmt.Printf("job %s result (%d configs):\n", job.ID, sweep.Count)
+	for _, it := range sweep.Results {
+		if it.Err != nil {
+			fmt.Printf("  config %d: %s (%s)\n", it.Index, it.Err.Message, it.Err.Code)
 			continue
 		}
-		cycles, _ := item.Result.Get("Core cycles")
-		fmt.Printf("  config %d: %.2f cycles/instr\n", item.Index, cycles)
-	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		cycles, _ := it.Result.Get("Core cycles")
+		fmt.Printf("  config %d: %.2f cycles/instr\n", it.Index, cycles)
 	}
 }

@@ -1,0 +1,152 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus metrics, hand-rolled: the exposition text format is a few
+// lines of code, which beats pulling a client library into the module
+// for two histograms and a handful of counters.
+
+// latencyBuckets are the per-phase histogram bounds in seconds, spanning
+// the sub-millisecond queue waits of an idle server to the minutes a
+// deep sweep occupies a worker.
+var latencyBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}
+
+// histogram is a fixed-bucket latency histogram. It is guarded by the
+// manager's mutex — every observation already happens under it.
+type histogram struct {
+	buckets []uint64 // cumulative counts per latencyBuckets bound
+	count   uint64
+	sum     float64
+}
+
+func (h *histogram) observe(seconds float64) {
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			h.buckets[i]++
+		}
+	}
+	h.count++
+	h.sum += seconds
+}
+
+// managerMetrics aggregates the manager's lifetime counters.
+type managerMetrics struct {
+	submitted    uint64
+	finished     map[State]uint64
+	queueSeconds histogram
+	runSeconds   histogram
+}
+
+func (mm *managerMetrics) init() {
+	mm.finished = map[State]uint64{}
+	mm.queueSeconds.buckets = make([]uint64, len(latencyBuckets))
+	mm.runSeconds.buckets = make([]uint64, len(latencyBuckets))
+}
+
+// A MetricsWriter accumulates metrics in the Prometheus text exposition
+// format (version 0.0.4). Emit families with Counter/Gauge/Histogram,
+// then WriteTo an http.ResponseWriter.
+type MetricsWriter struct {
+	b strings.Builder
+}
+
+// header emits the # HELP / # TYPE preamble of one family.
+func (w *MetricsWriter) header(name, help, typ string) {
+	fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line with optional label pairs.
+func sampleLine(b *strings.Builder, name string, labels [][2]string, value string) {
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, kv := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", kv[0], kv[1])
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// Counter emits a counter family with one unlabeled sample.
+func (w *MetricsWriter) Counter(name, help string, value uint64) {
+	w.header(name, help, "counter")
+	sampleLine(&w.b, name, nil, strconv.FormatUint(value, 10))
+}
+
+// CounterVec emits a counter family with one sample per label value,
+// in sorted label order for a stable exposition.
+func (w *MetricsWriter) CounterVec(name, help, label string, values map[string]uint64) {
+	w.header(name, help, "counter")
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sampleLine(&w.b, name, [][2]string{{label, k}}, strconv.FormatUint(values[k], 10))
+	}
+}
+
+// Gauge emits a gauge family with one unlabeled sample.
+func (w *MetricsWriter) Gauge(name, help string, value float64) {
+	w.header(name, help, "gauge")
+	sampleLine(&w.b, name, nil, formatFloat(value))
+}
+
+// Histogram emits one histogram family from a fixed-bucket histogram.
+func (w *MetricsWriter) Histogram(name, help string, h *histogram) {
+	w.header(name, help, "histogram")
+	for i, le := range latencyBuckets {
+		sampleLine(&w.b, name+"_bucket", [][2]string{{"le", formatFloat(le)}}, strconv.FormatUint(h.buckets[i], 10))
+	}
+	sampleLine(&w.b, name+"_bucket", [][2]string{{"le", "+Inf"}}, strconv.FormatUint(h.count, 10))
+	sampleLine(&w.b, name+"_sum", nil, formatFloat(h.sum))
+	sampleLine(&w.b, name+"_count", nil, strconv.FormatUint(h.count, 10))
+}
+
+// formatFloat renders a float the Prometheus way: shortest
+// round-trippable decimal.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo writes the accumulated exposition.
+func (w *MetricsWriter) WriteTo(out io.Writer) (int64, error) {
+	n, err := io.WriteString(out, w.b.String())
+	return int64(n), err
+}
+
+// WriteMetrics emits the manager's metric families (jobs lifecycle,
+// queue occupancy, per-phase latency histograms) into the writer. The
+// caller appends its own families (cache, HTTP counters) around it.
+func (m *Manager) WriteMetrics(w *MetricsWriter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w.Counter("nanobenchd_jobs_submitted_total", "Jobs admitted to the queue.", m.metrics.submitted)
+	byState := make(map[string]uint64, len(m.metrics.finished))
+	for s, n := range m.metrics.finished {
+		byState[string(s)] = n
+	}
+	w.CounterVec("nanobenchd_jobs_finished_total", "Jobs finished, by terminal state.", "state", byState)
+	w.Gauge("nanobenchd_jobs_queue_depth", "Jobs waiting for a worker.", float64(len(m.queue)))
+	w.Gauge("nanobenchd_jobs_running", "Jobs currently being evaluated.", float64(m.running))
+	w.Gauge("nanobenchd_jobs_workers", "Size of the job worker pool.", float64(m.opts.Workers))
+	w.Histogram("nanobenchd_job_queue_seconds", "Time jobs spent queued before a worker picked them up.", &m.metrics.queueSeconds)
+	w.Histogram("nanobenchd_job_run_seconds", "Time jobs spent being evaluated.", &m.metrics.runSeconds)
+}

@@ -116,7 +116,7 @@ func (e *Executor) Run(jobs []Job) ([]*nano.Result, error) {
 func (e *Executor) RunContext(ctx context.Context, jobs []Job) ([]*nano.Result, error) {
 	results := make([]*nano.Result, len(jobs))
 	errs := make([]error, len(jobs))
-	e.execute(ctx, jobs, func(it Item) {
+	e.execute(ctx, jobs, nil, func(it Item) {
 		results[it.Index] = it.Result
 		errs[it.Index] = it.Err
 	})
@@ -138,6 +138,44 @@ func (e *Executor) Stream(jobs []Job) <-chan Item {
 // never block on a cancelled sweep, and no worker goroutine outlives it
 // beyond the unit it was simulating.
 func (e *Executor) StreamContext(ctx context.Context, jobs []Job) <-chan Item {
+	return e.stream(ctx, jobs, nil)
+}
+
+// IndexedJob is a Job whose machine seed derives from an explicit batch
+// index instead of the job's position in the submitted slice. It is the
+// primitive behind sharded sweeps: a coordinator that expands and
+// deduplicates a batch globally can split the surviving evaluations
+// across shards while every shard still derives exactly the seeds the
+// single-process batch would have — making the merged results
+// byte-identical by construction.
+type IndexedJob struct {
+	// Job is the evaluation to run.
+	Job Job
+	// Index is the batch index the machine seed derives from
+	// (DeriveSeed(root, Index)); it also keys the result cache together
+	// with the job's content.
+	Index int
+}
+
+// StreamIndexed evaluates the indexed jobs and delivers their results
+// like StreamContext: Item.Index is the POSITION in the submitted slice
+// (0-based, delivered in order), while each machine seed derives from
+// the IndexedJob's explicit Index. Jobs sharing a content key are
+// deduplicated; the representative is the one with the lowest explicit
+// Index, matching what a whole-batch submission would pick.
+func (e *Executor) StreamIndexed(ctx context.Context, ijobs []IndexedJob) <-chan Item {
+	jobs := make([]Job, len(ijobs))
+	seedIdx := make([]int, len(ijobs))
+	for i, ij := range ijobs {
+		jobs[i] = ij.Job
+		seedIdx[i] = ij.Index
+	}
+	return e.stream(ctx, jobs, seedIdx)
+}
+
+// stream sequences execute's out-of-order deliveries into an in-order
+// channel. A nil seedIdx means positional seeding (seedIdx[i] == i).
+func (e *Executor) stream(ctx context.Context, jobs []Job, seedIdx []int) <-chan Item {
 	// Buffered to len(jobs): the sequencer can always run to completion
 	// and exit, so a consumer that abandons the channel early leaks
 	// nothing beyond the (garbage-collectable) buffered items.
@@ -149,7 +187,7 @@ func (e *Executor) StreamContext(ctx context.Context, jobs []Job) <-chan Item {
 		ready := make([]bool, len(jobs))
 		items := make([]Item, len(jobs))
 		go func() {
-			e.execute(ctx, jobs, func(it Item) {
+			e.execute(ctx, jobs, seedIdx, func(it Item) {
 				mu.Lock()
 				items[it.Index] = it
 				ready[it.Index] = true
@@ -170,30 +208,39 @@ func (e *Executor) StreamContext(ctx context.Context, jobs []Job) <-chan Item {
 	return out
 }
 
-// unit is one deduplicated evaluation: the set of job indices sharing a
-// content key. The lowest index is the representative; it alone determines
-// the machine seed.
+// unit is one deduplicated evaluation: the set of job positions sharing a
+// content key. The position with the lowest seed index is the
+// representative; it alone determines the machine seed.
 type unit struct {
 	key  Key
 	rep  int
+	seed int // the representative's seed-deriving batch index
 	jobs []int
 }
 
-// execute runs the batch, calling deliver exactly once per job index (from
-// worker goroutines; deliver must be safe for concurrent use). When ctx is
-// cancelled, in-flight units still deliver (the runner aborts between
-// measurement runs), and every not-yet-started unit delivers the context's
-// error instead of simulating.
-func (e *Executor) execute(ctx context.Context, jobs []Job, deliver func(Item)) {
+// execute runs the batch, calling deliver exactly once per job position
+// (from worker goroutines; deliver must be safe for concurrent use). A nil
+// seedIdx derives each machine seed from the job's position; otherwise
+// seedIdx[i] supplies the batch index position i's seed derives from.
+// When ctx is cancelled, in-flight units still deliver (the runner aborts
+// between measurement runs), and every not-yet-started unit delivers the
+// context's error instead of simulating.
+func (e *Executor) execute(ctx context.Context, jobs []Job, seedIdx []int, deliver func(Item)) {
+	at := func(i int) int { return i }
+	if seedIdx != nil {
+		at = func(i int) int { return seedIdx[i] }
+	}
 	byKey := make(map[Key]*unit, len(jobs))
 	var units []*unit
 	for i, j := range jobs {
 		k := KeyOf(j)
 		u := byKey[k]
 		if u == nil {
-			u = &unit{key: k, rep: i}
+			u = &unit{key: k, rep: i, seed: at(i)}
 			byKey[k] = u
 			units = append(units, u)
+		} else if at(i) < u.seed {
+			u.rep, u.seed = i, at(i)
 		}
 		u.jobs = append(u.jobs, i)
 	}
@@ -252,7 +299,7 @@ func (e *Executor) runUnit(ctx context.Context, jobs []Job, u *unit, deliver fun
 		}
 		return
 	}
-	seed := DeriveSeed(e.opts.RootSeed, u.rep)
+	seed := DeriveSeed(e.opts.RootSeed, u.seed)
 	cacheKey := withSeed(u.key, seed)
 	if c := e.opts.Cache; c != nil {
 		if hit := c.get(cacheKey); hit != nil {

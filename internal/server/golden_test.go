@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -9,7 +10,9 @@ import (
 	"os"
 	"regexp"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 var updateGolden = flag.Bool("update", false,
@@ -86,7 +89,13 @@ func TestAPIDocGolden(t *testing.T) {
 	lines := strings.Split(string(raw), "\n")
 	blocks := parseDoc(t, lines)
 
-	srv, err := New(goldenOptions)
+	// The documented job timestamps and latency histograms must be
+	// reproducible, so the golden server runs on a deterministic clock:
+	// every reading advances one millisecond.
+	opts := goldenOptions
+	var clock atomic.Int64
+	opts.now = func() int64 { return clock.Add(int64(time.Millisecond)) }
+	srv, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,25 +103,40 @@ func TestAPIDocGolden(t *testing.T) {
 	defer ts.Close()
 
 	// The scenario runs in documented order — the final /v1/stats
-	// counters reflect exactly the requests above it.
+	// counters reflect exactly the requests above it. Steps with waitJob
+	// quiesce first: the named job must be terminal before the request
+	// fires, so its record (and the metrics derived from it) is stable.
 	steps := []struct {
 		method, path string
 		reqBlock     string // "" for GET
 		respBlock    string
 		wantStatus   int
+		waitJob      string
 	}{
-		{"GET", "/v1/healthz", "", "healthz-response", 200},
-		{"POST", "/v1/run", "run-request", "run-response", 200},
-		{"POST", "/v1/run", "drop-samples-request", "drop-samples-response", 200},
-		{"POST", "/v1/runbatch", "runbatch-request", "runbatch-response", 200},
-		{"POST", "/v1/sweep", "sweep-request", "sweep-response", 200},
-		{"POST", "/v1/sweep?stream=1", "sweep-request", "sweep-stream-response", 200},
-		{"POST", "/v1/run", "error-request", "error-response", 422},
-		{"GET", "/v1/stats", "", "stats-response", 200},
+		{"GET", "/v1/healthz", "", "healthz-response", 200, ""},
+		{"POST", "/v1/run", "run-request", "run-response", 200, ""},
+		{"POST", "/v1/run", "drop-samples-request", "drop-samples-response", 200, ""},
+		{"POST", "/v1/runbatch", "runbatch-request", "runbatch-response", 200, ""},
+		{"POST", "/v1/sweep", "sweep-request", "sweep-response", 200, ""},
+		{"POST", "/v1/sweep?stream=1", "sweep-request", "sweep-stream-response", 200, ""},
+		{"POST", "/v1/jobs", "jobs-submit-request", "jobs-submit-response", 202, ""},
+		{"GET", "/v1/jobs/j000001", "", "jobs-status-response", 200, "j000001"},
+		// A finished job's result is byte-for-byte the synchronous
+		// response — asserted by replaying the /v1/sweep example block.
+		{"GET", "/v1/jobs/j000001/result", "", "sweep-response", 200, ""},
+		{"GET", "/v1/jobs/j000001/events", "", "jobs-events-response", 200, ""},
+		{"POST", "/v1/run", "error-request", "error-response", 422, ""},
+		{"GET", "/v1/stats", "", "stats-response", 200, ""},
+		{"GET", "/metrics", "", "metrics-response", 200, ""},
 	}
 
 	updates := make(map[string]string)
 	for _, step := range steps {
+		if step.waitJob != "" {
+			if _, err := srv.jobMgr.Wait(context.Background(), step.waitJob); err != nil {
+				t.Fatalf("waiting for job %s: %v", step.waitJob, err)
+			}
+		}
 		var body string
 		if step.reqBlock != "" {
 			b, ok := blocks[step.reqBlock]
@@ -137,6 +161,11 @@ func TestAPIDocGolden(t *testing.T) {
 			t.Fatalf("%s %s: status %d, want %d\n%s", step.method, step.path, resp.StatusCode, step.wantStatus, got)
 		}
 		if *updateGolden {
+			// Two steps may share a block (the job result replays the
+			// sweep example) — they must agree even while regenerating.
+			if prev, ok := updates[step.respBlock]; ok && prev != got {
+				t.Fatalf("%s %s: block %q regenerated with different content than an earlier step", step.method, step.path, step.respBlock)
+			}
 			updates[step.respBlock] = got
 			continue
 		}

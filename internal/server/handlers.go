@@ -5,34 +5,39 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sync"
+	"sync/atomic"
 
 	"nanobench"
 )
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, errMethod("POST required"))
-		return
+// handler wraps an endpoint with the shared request plumbing: the
+// method gate (anything else gets the method_not_allowed envelope), the
+// per-endpoint request counter, and — for endpoints that evaluate
+// inline — the in-flight gauge.
+func (s *Server) handler(method string, counter *atomic.Uint64, evaluates bool, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			writeError(w, errMethod(method+" required"))
+			return
+		}
+		if counter != nil {
+			counter.Add(1)
+		}
+		if evaluates {
+			s.inflight.Add(1)
+			defer s.inflight.Add(-1)
+		}
+		fn(w, r)
 	}
-	s.reqRun.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+}
 
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if e := decodeJSON(r, &req); e != nil {
 		writeError(w, e)
 		return
 	}
-	if len(req.Config.Code) == 0 && len(req.Config.CodeInit) == 0 {
-		writeError(w, errInvalid("config: no benchmark code (give code/asm or code_init/asm_init)"))
-		return
-	}
-	if e := validateCost(req.Config); e != nil {
-		writeError(w, e)
-		return
-	}
-	sess, e := s.session(req.CPU, req.Mode)
+	sess, e := s.prepareRun(req)
 	if e != nil {
 		writeError(w, e)
 		return
@@ -80,80 +85,25 @@ func runError(err error) *apiError {
 	if errors.Is(err, context.Canceled) {
 		status = statusClientClosedRequest
 	}
-	return &apiError{status, *body}
+	return &apiError{status: status, body: *body}
 }
 
 func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, errMethod("POST required"))
-		return
-	}
-	s.reqBatch.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-
 	var req batchRequest
 	if e := decodeJSON(r, &req); e != nil {
 		writeError(w, e)
 		return
 	}
-	if len(req.Jobs) == 0 {
-		writeError(w, errInvalid("empty batch: no jobs"))
-		return
-	}
-	if len(req.Jobs) > s.opts.MaxBatch {
-		writeError(w, errInvalid(fmt.Sprintf("batch of %d jobs exceeds the limit of %d", len(req.Jobs), s.opts.MaxBatch)))
-		return
-	}
-
-	// Validate every job up front — a typo in job 7's CPU name fails the
-	// request before any simulation starts — and group the jobs by
-	// session, preserving first-appearance order so the per-session
-	// sub-batches (and therefore the index-derived machine seeds) are
-	// deterministic.
-	type group struct {
-		sess    *nanobench.Session
-		indices []int
-		cfgs    []nanobench.Config
-	}
-	bySession := make(map[*nanobench.Session]*group)
-	var groups []*group
-	for i, job := range req.Jobs {
-		e := validateCost(job.Config)
-		if e == nil {
-			var sess *nanobench.Session
-			if sess, e = s.session(job.CPU, job.Mode); e == nil {
-				g := bySession[sess]
-				if g == nil {
-					g = &group{sess: sess}
-					bySession[sess] = g
-					groups = append(groups, g)
-				}
-				g.indices = append(g.indices, i)
-				g.cfgs = append(g.cfgs, job.Config)
-				continue
-			}
-		}
-		e.body.Message = fmt.Sprintf("job %d: %s", i, e.body.Message)
+	groups, n, e := s.prepareBatch(req)
+	if e != nil {
 		writeError(w, e)
 		return
 	}
-
-	// Drain every group's stream concurrently; each goroutine writes
-	// only its own group's (disjoint) response slots.
-	items := make([]itemJSON, len(req.Jobs))
-	var wg sync.WaitGroup
-	for _, g := range groups {
-		wg.Add(1)
-		go func(g *group) {
-			defer wg.Done()
-			for it := range g.sess.Stream(r.Context(), g.cfgs) {
-				items[g.indices[it.Index]] = toItem(g.indices[it.Index], it)
-			}
-		}(g)
+	resp := batchResponse{Results: make([]itemJSON, 0, n)}
+	for it := range mergeGroups(r.Context(), groups, n, 1) {
+		resp.Results = append(resp.Results, toItem(it.Index, it))
 	}
-	wg.Wait()
-	writeJSON(w, http.StatusOK, batchResponse{Results: items})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // toItem converts a delivered batch item to its wire form under its
@@ -169,52 +119,17 @@ func toItem(index int, it nanobench.BatchItem) itemJSON {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, errMethod("POST required"))
-		return
-	}
-	s.reqSweep.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-
 	var req sweepRequest
 	if e := decodeJSON(r, &req); e != nil {
 		writeError(w, e)
 		return
 	}
-	sess, e := s.session(req.CPU, req.Mode)
+	groups, n, e := s.prepareSweep(req)
 	if e != nil {
 		writeError(w, e)
 		return
 	}
-	if err := req.Sweep.Err(); err != nil {
-		writeError(w, errInvalid(err.Error()))
-		return
-	}
-	n := req.Sweep.Len()
-	if n == 0 {
-		writeError(w, errInvalid("sweep expands to no configs (no benchmark code)"))
-		return
-	}
-	if n > s.opts.MaxBatch {
-		writeError(w, errInvalid(fmt.Sprintf("sweep of %d configs exceeds the limit of %d", n, s.opts.MaxBatch)))
-		return
-	}
-	// Expand here (exactly what StreamSweep would do) so every generated
-	// config passes the cost gate before any simulation starts.
-	cfgs, err := req.Sweep.Configs()
-	if err != nil {
-		writeError(w, errInvalid(err.Error()))
-		return
-	}
-	for i, cfg := range cfgs {
-		if e := validateCost(cfg); e != nil {
-			e.body.Message = fmt.Sprintf("config %d: %s", i, e.body.Message)
-			writeError(w, e)
-			return
-		}
-	}
-	items := sess.Stream(r.Context(), cfgs)
+	items := mergeGroups(r.Context(), groups, n, 1)
 
 	if q := r.URL.Query().Get("stream"); q == "1" || q == "true" {
 		s.streamItems(w, items)
@@ -228,19 +143,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, errMethod("GET required"))
-		return
-	}
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", CPUs: cpuCatalog()})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, errMethod("GET required"))
-		return
-	}
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	keys := s.sessionKeys()
 	sessions := make([]sessionStat, len(keys))
 	for i, k := range keys {
@@ -250,10 +157,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Sessions: sessions,
 		Cache:    s.cache.Info(),
 		InFlight: s.inflight.Load(),
+		Jobs:     s.jobMgr.Stats(),
 		Requests: requestStats{
 			Run:      s.reqRun.Load(),
 			RunBatch: s.reqBatch.Load(),
 			Sweep:    s.reqSweep.Load(),
+			Jobs:     s.reqJobs.Load(),
 		},
 		Options: optionsStat{
 			Seed:            s.opts.Seed,

@@ -2,14 +2,20 @@
 // engine behind cmd/nanobenchd. The wire schema is documented in
 // docs/API.md and enforced byte-for-byte by TestAPIDocGolden.
 //
-// Endpoints (all under /v1):
+// Endpoints:
 //
-//	POST /v1/run       evaluate one config on one CPU model and mode
-//	POST /v1/runbatch  evaluate a heterogeneous batch (mixed CPUs/modes)
-//	POST /v1/sweep     expand and evaluate a Sweep family; ?stream=1
-//	                   delivers results progressively as NDJSON
-//	GET  /v1/healthz   liveness plus the CPU model catalog
-//	GET  /v1/stats     cache counters, in-flight jobs, session options
+//	POST   /v1/run              evaluate one config on one CPU model and mode
+//	POST   /v1/runbatch         evaluate a heterogeneous batch (mixed CPUs/modes)
+//	POST   /v1/sweep            expand and evaluate a Sweep family; ?stream=1
+//	                            delivers results progressively as NDJSON
+//	POST   /v1/jobs             submit a run/runbatch/sweep asynchronously
+//	GET    /v1/jobs/{id}        poll a job record
+//	GET    /v1/jobs/{id}/result fetch a finished job's body; ?wait=1 long-polls
+//	GET    /v1/jobs/{id}/events transition log; ?stream=1 follows live as NDJSON
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/healthz          liveness plus the CPU model catalog
+//	GET    /v1/stats            cache counters, queue occupancy, session options
+//	GET    /metrics             Prometheus text-format metrics
 //
 // The server multiplexes one Session per (CPU model, privilege mode)
 // pair, opened lazily on first use; every session shares a single
@@ -21,13 +27,16 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nanobench"
+	"nanobench/internal/jobs"
 	"nanobench/internal/uarch"
 )
 
@@ -37,6 +46,8 @@ const (
 	DefaultMaxBatch = 65536
 	// DefaultMaxBodyBytes bounds the request body size.
 	DefaultMaxBodyBytes = 8 << 20
+	// DefaultSweepShards is the fan-out of an asynchronous sweep job.
+	DefaultSweepShards = 4
 )
 
 // Options configures a Server. Session-shaped fields (Seed, Parallelism,
@@ -60,14 +71,36 @@ type Options struct {
 	MaxBatch int
 	// MaxBodyBytes bounds the request body size (0: DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+
+	// JobWorkers sizes the asynchronous job worker pool
+	// (0: jobs.DefaultWorkers).
+	JobWorkers int
+	// JobQueueSize bounds the job admission queue; a full queue answers
+	// 429 queue_full (0: jobs.DefaultQueueSize).
+	JobQueueSize int
+	// JobMaxWait is how long a submission may wait for a queue slot
+	// before the 429 (0: fail fast).
+	JobMaxWait time.Duration
+	// JobTTL retains finished job records for result retrieval
+	// (0: jobs.DefaultTTL).
+	JobTTL time.Duration
+	// SweepShards is how many shards an asynchronous sweep job fans out
+	// across — byte-identical to the synchronous path at any value
+	// (0: DefaultSweepShards).
+	SweepShards int
+
+	// now overrides the job subsystem's clock; tests inject a
+	// deterministic one.
+	now func() int64
 }
 
 // Server is the HTTP front end. It is safe for concurrent use; create it
 // with New and serve it like any http.Handler.
 type Server struct {
-	opts  Options
-	cache *nanobench.BatchCache
-	mux   *http.ServeMux
+	opts   Options
+	cache  *nanobench.BatchCache
+	mux    *http.ServeMux
+	jobMgr *jobs.Manager
 
 	mu       sync.Mutex
 	sessions map[sessionKey]*nanobench.Session
@@ -76,6 +109,7 @@ type Server struct {
 	reqRun   atomic.Uint64
 	reqBatch atomic.Uint64
 	reqSweep atomic.Uint64
+	reqJobs  atomic.Uint64
 }
 
 // sessionKey identifies one session of the pool: a canonical CPU model
@@ -97,6 +131,9 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.SweepShards <= 0 {
+		opts.SweepShards = DefaultSweepShards
+	}
 	s := &Server{
 		opts:     opts,
 		cache:    nanobench.NewBatchCacheLRU(opts.CacheMaxEntries),
@@ -106,15 +143,34 @@ func New(opts Options) (*Server, error) {
 	if _, e := s.session("", ""); e != nil {
 		return nil, fmt.Errorf("server: invalid options: %s", e.body.Message)
 	}
-	s.mux.HandleFunc("/v1/run", s.handleRun)
-	s.mux.HandleFunc("/v1/runbatch", s.handleRunBatch)
-	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.jobMgr = jobs.New(jobs.Options{
+		Workers:   opts.JobWorkers,
+		QueueSize: opts.JobQueueSize,
+		MaxWait:   opts.JobMaxWait,
+		TTL:       opts.JobTTL,
+		Now:       opts.now,
+	})
+	s.mux.HandleFunc("/v1/run", s.handler(http.MethodPost, &s.reqRun, true, s.handleRun))
+	s.mux.HandleFunc("/v1/runbatch", s.handler(http.MethodPost, &s.reqBatch, true, s.handleRunBatch))
+	s.mux.HandleFunc("/v1/sweep", s.handler(http.MethodPost, &s.reqSweep, true, s.handleSweep))
+	s.mux.HandleFunc("/v1/jobs", s.handler(http.MethodPost, &s.reqJobs, false, s.handleJobSubmit))
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	s.mux.HandleFunc("/v1/healthz", s.handler(http.MethodGet, nil, false, s.handleHealthz))
+	s.mux.HandleFunc("/v1/stats", s.handler(http.MethodGet, nil, false, s.handleStats))
+	s.mux.HandleFunc("/metrics", s.handler(http.MethodGet, nil, false, s.handleMetrics))
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errNotFound("no such endpoint: "+r.URL.Path))
 	})
 	return s, nil
+}
+
+// Shutdown drains the asynchronous job subsystem: admission closes
+// (submissions answer 503 unavailable), jobs still queued are parked
+// canceled, and running jobs are waited for until ctx expires — then
+// their contexts are canceled and each winds down between benchmark
+// runs. Call it after the HTTP listener stops accepting connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobMgr.Shutdown(ctx)
 }
 
 // ServeHTTP implements http.Handler.

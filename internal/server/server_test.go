@@ -23,6 +23,11 @@ func newServer(t *testing.T, opts Options) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) // second Shutdown in a test is a harmless error
+	})
 	return srv
 }
 
@@ -366,6 +371,11 @@ func TestSweepClientDisconnectCancels(t *testing.T) {
 
 	ts.Close()
 	http.DefaultClient.CloseIdleConnections()
+	// The job workers are part of the baseline-goroutine accounting too:
+	// drain them before comparing against the pre-server count.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"nanobench"
+	"nanobench/internal/jobs"
 )
 
 // The wire schema below is documented in docs/API.md; the golden test
@@ -76,6 +78,7 @@ type statsResponse struct {
 	Sessions []sessionStat            `json:"sessions"`
 	Cache    nanobench.BatchCacheInfo `json:"cache"`
 	InFlight int64                    `json:"inflight"`
+	Jobs     jobs.Stats               `json:"jobs"`
 	Requests requestStats             `json:"requests"`
 	Options  optionsStat              `json:"options"`
 }
@@ -89,6 +92,7 @@ type requestStats struct {
 	Run      uint64 `json:"run"`
 	RunBatch uint64 `json:"runbatch"`
 	Sweep    uint64 `json:"sweep"`
+	Jobs     uint64 `json:"jobs"`
 }
 
 type optionsStat struct {
@@ -110,30 +114,51 @@ type errorResponse struct {
 	Error errorBody `json:"error"`
 }
 
-// apiError pairs an error envelope with its HTTP status.
+// apiError pairs an error envelope with its HTTP status and, for the
+// backpressure codes, a Retry-After hint in seconds.
 type apiError struct {
-	status int
-	body   errorBody
+	status     int
+	body       errorBody
+	retryAfter int
+}
+
+// Error makes apiError usable as an error value, so job records can
+// store the exact envelope their result endpoint will replay.
+func (e *apiError) Error() string {
+	return fmt.Sprintf("%s: %s", e.body.Code, e.body.Message)
 }
 
 // Error codes of the envelope, with their HTTP statuses.
 func errBadRequest(msg string) *apiError {
-	return &apiError{http.StatusBadRequest, errorBody{"bad_request", msg}}
+	return &apiError{status: http.StatusBadRequest, body: errorBody{"bad_request", msg}}
 }
 func errInvalid(msg string) *apiError {
-	return &apiError{http.StatusUnprocessableEntity, errorBody{"invalid_argument", msg}}
+	return &apiError{status: http.StatusUnprocessableEntity, body: errorBody{"invalid_argument", msg}}
 }
 func errNotFound(msg string) *apiError {
-	return &apiError{http.StatusNotFound, errorBody{"not_found", msg}}
+	return &apiError{status: http.StatusNotFound, body: errorBody{"not_found", msg}}
 }
 func errMethod(msg string) *apiError {
-	return &apiError{http.StatusMethodNotAllowed, errorBody{"method_not_allowed", msg}}
+	return &apiError{status: http.StatusMethodNotAllowed, body: errorBody{"method_not_allowed", msg}}
 }
 func errTooLarge(msg string) *apiError {
-	return &apiError{http.StatusRequestEntityTooLarge, errorBody{"request_too_large", msg}}
+	return &apiError{status: http.StatusRequestEntityTooLarge, body: errorBody{"request_too_large", msg}}
 }
 func errInternal(msg string) *apiError {
-	return &apiError{http.StatusInternalServerError, errorBody{"internal", msg}}
+	return &apiError{status: http.StatusInternalServerError, body: errorBody{"internal", msg}}
+}
+
+// errQueueFull is the admission-backpressure rejection: the job queue
+// stayed full past its patience window. retryAfter is the server's
+// drain-time estimate in seconds, sent as a Retry-After header.
+func errQueueFull(msg string, retryAfter int) *apiError {
+	return &apiError{status: http.StatusTooManyRequests, body: errorBody{"queue_full", msg}, retryAfter: retryAfter}
+}
+
+// errUnavailable covers the not-ready and shutting-down cases: a result
+// requested before its job finished, or a submission during drain.
+func errUnavailable(msg string, retryAfter int) *apiError {
+	return &apiError{status: http.StatusServiceUnavailable, body: errorBody{"unavailable", msg}, retryAfter: retryAfter}
 }
 
 // statusClientClosedRequest is nginx's non-standard 499: the client went
@@ -175,10 +200,21 @@ func decodeJSON(r *http.Request, v any) *apiError {
 	return nil
 }
 
+// renderJSON renders v exactly as writeJSON puts it on the wire:
+// pretty-printed with a trailing newline. Job records store these bytes
+// so a job's result replays the synchronous response byte-for-byte.
+func renderJSON(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // writeJSON emits a pretty-printed JSON response with a trailing
 // newline, matching the documented examples byte-for-byte.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	data, err := json.MarshalIndent(v, "", "  ")
+	data, err := renderJSON(v)
 	if err != nil {
 		// Marshalling our own response types cannot fail; if it ever
 		// does, fall through to a plain 500.
@@ -187,10 +223,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(data, '\n'))
+	w.Write(data)
 }
 
-// writeError emits the error envelope.
+// writeError emits the error envelope, with a Retry-After header when
+// the error carries a backpressure hint.
 func writeError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	writeJSON(w, e.status, errorResponse{Error: e.body})
 }

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Smoke-test a live nanobenchd against the documented wire examples:
 # build the binary, start it with the docs/API.md golden configuration,
-# curl /v1/healthz and a small /v1/run, and diff each response against
-# the corresponding example in docs/API.md. CI runs this (make smoke)
-# so the server a user starts and the document they read can never
-# drift apart — the same contract TestAPIDocGolden enforces in-process,
-# checked once more over a real socket and a real process lifecycle.
+# curl /v1/healthz and a small /v1/run, submit a sweep through the async
+# jobs API (submit → long-poll → result), scrape /metrics, and diff each
+# deterministic response against the corresponding example in
+# docs/API.md. (Job records and the metrics body carry wall-clock
+# timestamps, so those are checked structurally, not byte-for-byte.)
+# CI runs this (make smoke) so the server a user starts and the document
+# they read can never drift apart — the same contract TestAPIDocGolden
+# enforces in-process, checked once more over a real socket and a real
+# process lifecycle.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -46,6 +50,32 @@ echo "== POST /v1/run matches the documented example"
 extract run-request | curl -s -X POST --data-binary @- "http://$ADDR/v1/run" \
 	| diff <(extract run-response) - \
 	|| { echo "/v1/run drifted from docs/API.md" >&2; exit 1; }
+
+echo "== POST /v1/jobs accepts the documented submission"
+SUBMIT="$(extract jobs-submit-request | curl -s -X POST --data-binary @- "http://$ADDR/v1/jobs")"
+JOB="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)"
+[ -n "$JOB" ] || { echo "submit returned no job id: $SUBMIT" >&2; exit 1; }
+
+echo "== GET /v1/jobs/$JOB/result?wait=1 matches the documented sync sweep"
+curl -s "http://$ADDR/v1/jobs/$JOB/result?wait=1" | diff <(extract sweep-response) - \
+	|| { echo "async job result drifted from the documented /v1/sweep response" >&2; exit 1; }
+
+echo "== GET /v1/jobs/$JOB reports the job done"
+curl -s "http://$ADDR/v1/jobs/$JOB" | grep -q '"state": "done"' \
+	|| { echo "job record did not report done" >&2; exit 1; }
+
+echo "== GET /metrics exposes the documented families"
+METRICS="$(curl -s "http://$ADDR/metrics")"
+for family in \
+	nanobenchd_jobs_submitted_total \
+	nanobenchd_jobs_finished_total \
+	nanobenchd_job_queue_seconds_bucket \
+	nanobenchd_job_run_seconds_bucket \
+	nanobenchd_cache_hits_total \
+	nanobenchd_requests_total; do
+	printf '%s' "$METRICS" | grep -q "$family" \
+		|| { echo "/metrics is missing $family" >&2; exit 1; }
+done
 
 echo "== graceful shutdown"
 kill -TERM "$SRV"

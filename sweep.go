@@ -11,23 +11,31 @@ import (
 )
 
 // A Sweep declaratively generates a family of configurations from a base
-// Config by varying one or more dimensions: the benchmark code, the
-// unroll count, the loop count, and the event set. Configs expands the
-// cross product of every dimension that was given (dimensions left unset
-// keep the base config's value) in a fixed order — code-major, then
-// unroll, then loop, then events — so sweep results line up with the
-// expansion deterministically.
+// Config by varying one or more dimensions: the CPU model, the privilege
+// mode, the benchmark code, the unroll count, the loop count, and the
+// event set. Configs expands the cross product of every dimension that
+// was given (dimensions left unset keep the base config's value) in a
+// fixed order — CPU-major, then mode, then code, then unroll, then loop,
+// then events — so sweep results line up with the expansion
+// deterministically.
 //
 //	sw := nanobench.NewSweep(nanobench.Config{WarmUpCount: 1}).
 //		Asm("add rax, rbx", "imul rax, rbx").
 //		Unroll(10, 100, 1000)
 //	results, err := session.RunSweep(ctx, sw)  // 2 × 3 configs
 //
+// A sweep that varies CPUs or Modes is heterogeneous: it expands to
+// (CPU, mode, config) jobs rather than bare configs, so it is evaluated
+// with Jobs (feeding a BatchExecutor, the /v1/sweep endpoint, or a
+// /v1/jobs submission) instead of a single session's RunSweep.
+//
 // Builder methods accumulate; calling a dimension method twice appends
 // further variants. An assembly error in Asm is deferred to Configs (and
 // therefore to RunSweep), keeping call chains clean.
 type Sweep struct {
 	base    Config
+	cpus    []string
+	modes   []Mode
 	codes   [][]byte
 	unrolls []int
 	loops   []int
@@ -40,6 +48,20 @@ type Sweep struct {
 // ...) apply to every generated config.
 func NewSweep(base Config) *Sweep {
 	return &Sweep{base: base}
+}
+
+// CPUs adds machine-model variants (names from the uarch catalog, e.g.
+// "Skylake"). A sweep with CPU variants is heterogeneous — see Jobs.
+func (s *Sweep) CPUs(names ...string) *Sweep {
+	s.cpus = append(s.cpus, names...)
+	return s
+}
+
+// Modes adds privilege-mode variants (User, Kernel). A sweep with mode
+// variants is heterogeneous — see Jobs.
+func (s *Sweep) Modes(modes ...Mode) *Sweep {
+	s.modes = append(s.modes, modes...)
+	return s
 }
 
 // Code adds benchmark-code variants (raw machine code).
@@ -92,7 +114,14 @@ func (s *Sweep) Len() int {
 	if len(s.codes) == 0 && len(s.base.Code) == 0 && len(s.base.CodeInit) == 0 {
 		return 0
 	}
-	return crossProduct(len(s.codes), len(s.unrolls), len(s.loops), len(s.events))
+	return crossProduct(len(s.cpus), len(s.modes), len(s.codes), len(s.unrolls), len(s.loops), len(s.events))
+}
+
+// Heterogeneous reports whether the sweep varies the CPU model or the
+// privilege mode. Heterogeneous sweeps expand with Jobs; Configs (and a
+// single session's RunSweep) refuse them.
+func (s *Sweep) Heterogeneous() bool {
+	return len(s.cpus) > 0 || len(s.modes) > 0
 }
 
 // crossProduct multiplies the dimension sizes, treating 0 as an unset
@@ -121,6 +150,8 @@ func (s *Sweep) Err() error { return s.err }
 // of configuration-file lines, one inner array per set.
 type sweepJSON struct {
 	Base    *Config    `json:"base,omitempty"`
+	CPUs    []string   `json:"cpus,omitempty"`
+	Modes   []string   `json:"modes,omitempty"`
 	Codes   [][]byte   `json:"codes,omitempty"`
 	Asm     []string   `json:"asm,omitempty"`
 	Unrolls []int      `json:"unrolls,omitempty"`
@@ -137,9 +168,13 @@ func (s *Sweep) MarshalJSON() ([]byte, error) {
 		return nil, s.err
 	}
 	sj := sweepJSON{
+		CPUs:    s.cpus,
 		Codes:   s.codes,
 		Unrolls: s.unrolls,
 		Loops:   s.loops,
+	}
+	for _, m := range s.modes {
+		sj.Modes = append(sj.Modes, m.String())
 	}
 	if !s.base.IsZero() {
 		base := s.base
@@ -166,7 +201,14 @@ func (s *Sweep) UnmarshalJSON(data []byte) error {
 	if err := dec.Decode(&sj); err != nil {
 		return fmt.Errorf("nanobench: sweep: %w", err)
 	}
-	out := Sweep{unrolls: sj.Unrolls, loops: sj.Loops}
+	out := Sweep{cpus: sj.CPUs, unrolls: sj.Unrolls, loops: sj.Loops}
+	for _, name := range sj.Modes {
+		mode, err := ParseMode(name)
+		if err != nil {
+			return fmt.Errorf("nanobench: sweep: %w", err)
+		}
+		out.modes = append(out.modes, mode)
+	}
 	if sj.Base != nil {
 		out.base = *sj.Base
 	}
@@ -184,10 +226,14 @@ func (s *Sweep) UnmarshalJSON(data []byte) error {
 }
 
 // Configs expands the sweep into its config family, in the deterministic
-// code-major / unroll / loop / events order.
+// code-major / unroll / loop / events order. A heterogeneous sweep (CPU
+// or mode variants) cannot expand to bare configs — use Jobs.
 func (s *Sweep) Configs() ([]Config, error) {
 	if s.err != nil {
 		return nil, s.err
+	}
+	if s.Heterogeneous() {
+		return nil, errors.New("nanobench: sweep: heterogeneous sweep (CPUs/Modes variants); expand with Jobs instead of Configs")
 	}
 	codes := s.codes
 	if len(codes) == 0 {
@@ -228,6 +274,45 @@ func (s *Sweep) Configs() ([]Config, error) {
 					cfg.Events = evs
 					out = append(out, cfg)
 				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Jobs expands the sweep into (CPU, mode, config) jobs, in the
+// deterministic CPU-major / mode / code / unroll / loop / events order.
+// Dimensions left unset inherit the given defaults (an empty defaultCPU
+// is preserved for layers that resolve their own default, like the
+// server's session registry). This is the expansion heterogeneous sweeps
+// evaluate through — a BatchExecutor, the /v1/sweep endpoint, or an
+// asynchronous /v1/jobs submission; a homogeneous sweep expands to the
+// same configs Configs returns, each under the default CPU and mode.
+func (s *Sweep) Jobs(defaultCPU string, defaultMode Mode) ([]BatchJob, error) {
+	cpus := s.cpus
+	if len(cpus) == 0 {
+		cpus = []string{defaultCPU}
+	}
+	modes := s.modes
+	if len(modes) == 0 {
+		modes = []Mode{defaultMode}
+	}
+	// Reuse the config expansion for the inner dimensions.
+	inner := *s
+	inner.cpus, inner.modes = nil, nil
+	cfgs, err := inner.Configs()
+	if err != nil {
+		return nil, err
+	}
+	capHint := crossProduct(len(cpus), len(modes), len(cfgs))
+	if capHint == math.MaxInt {
+		capHint = 0
+	}
+	out := make([]BatchJob, 0, capHint)
+	for _, cpu := range cpus {
+		for _, mode := range modes {
+			for _, cfg := range cfgs {
+				out = append(out, BatchJob{CPU: cpu, Mode: mode, Cfg: cfg})
 			}
 		}
 	}

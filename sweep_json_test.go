@@ -79,6 +79,27 @@ func TestSweepLenSaturatesOnOverflow(t *testing.T) {
 	}
 }
 
+// TestSweepWireCoversEveryDimension is the codec's field guard: a new
+// Sweep dimension that does not travel in sweepJSON would silently drop
+// in /v1/sweep requests. Extend sweepJSON (and docs/API.md) first, then
+// this list.
+func TestSweepWireCoversEveryDimension(t *testing.T) {
+	covered := map[string]bool{
+		"base": true, "cpus": true, "modes": true, "codes": true,
+		"unrolls": true, "loops": true, "events": true,
+		"err": true, // deferred builder error; deliberately not wire state
+	}
+	typ := reflect.TypeOf(Sweep{})
+	for i := 0; i < typ.NumField(); i++ {
+		if !covered[typ.Field(i).Name] {
+			t.Errorf("Sweep field %q has no wire coverage: extend sweepJSON and this guard", typ.Field(i).Name)
+		}
+	}
+	if typ.NumField() != len(covered) {
+		t.Errorf("Sweep has %d fields but the guard lists %d — remove stale entries", typ.NumField(), len(covered))
+	}
+}
+
 func TestSweepJSONErrors(t *testing.T) {
 	var sw Sweep
 	if err := json.Unmarshal([]byte(`{"unroll":[10]}`), &sw); err == nil ||
