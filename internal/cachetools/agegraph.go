@@ -1,8 +1,11 @@
 package cachetools
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // AgeGraph holds the data of a Figure-1-style age graph: for every block
@@ -49,16 +52,28 @@ func (t *Tool) AgeSample(level Level, slice, set int, prefix Seq, block, fresh i
 // sequence. These graphs are the tool of choice for non-deterministic
 // policies (Section VI-C2, Figure 1): each point is the number of trials
 // in which the block survived n fresh misses.
+//
+// Each (block, fresh-count) group is measured independently: the
+// simulated hierarchy is first restreamed to an RNG stream derived from
+// the group index (so the group's outcome is a pure function of the
+// machine seed and the group, not of any previously simulated work), and
+// the group's trials run as one batched nanoBench invocation. This makes
+// the graph byte-identical at any worker count, so groups shard freely
+// across sibling tools when Workers and NewSibling are set.
 func (t *Tool) AgeGraphFor(level Level, slice, set int, prefix Seq, maxFresh, step, trials int) (*AgeGraph, error) {
 	if step < 1 {
 		step = 1
 	}
 	seen := map[int]bool{}
 	var blocks []int
+	maxIdx := 0
 	for _, a := range prefix.Accesses {
 		if !seen[a.Block] {
 			seen[a.Block] = true
 			blocks = append(blocks, a.Block)
+		}
+		if a.Block > maxIdx {
+			maxIdx = a.Block
 		}
 	}
 	g := &AgeGraph{BlockIDs: blocks, Trials: trials}
@@ -66,18 +81,91 @@ func (t *Tool) AgeGraphFor(level Level, slice, set int, prefix Seq, maxFresh, st
 		g.FreshCounts = append(g.FreshCounts, n)
 	}
 	g.Hits = make([][]int, len(blocks))
-	for bi, b := range blocks {
+	for bi := range blocks {
 		g.Hits[bi] = make([]int, len(g.FreshCounts))
-		for ki, n := range g.FreshCounts {
-			for trial := 0; trial < trials; trial++ {
-				hit, err := t.AgeSample(level, slice, set, prefix, b, n)
-				if err != nil {
-					return nil, err
-				}
-				if hit {
-					g.Hits[bi][ki]++
+	}
+
+	type group struct{ bi, ki int }
+	var groups []group
+	for bi := range blocks {
+		for ki := range g.FreshCounts {
+			groups = append(groups, group{bi, ki})
+		}
+	}
+	runGroup := func(tt *Tool, gi int) error {
+		gr := groups[gi]
+		seq := Seq{WbInvd: prefix.WbInvd}
+		seq.Accesses = append(seq.Accesses, prefix.Accesses...)
+		for i := range seq.Accesses {
+			seq.Accesses[i].Measured = false
+		}
+		for f := 0; f < g.FreshCounts[gr.ki]; f++ {
+			seq.Accesses = append(seq.Accesses, Access{Block: maxIdx + 1 + f})
+		}
+		seq.Accesses = append(seq.Accesses, Access{Block: blocks[gr.bi], Measured: true})
+		tt.R.M.Hier.Restream(int64(gi) + 1)
+		res, err := tt.RunSeqTrials(context.Background(), level, slice, set, seq, trials)
+		if err != nil {
+			return err
+		}
+		hits := 0
+		for _, r := range res {
+			if r.Hits > 0 {
+				hits++
+			}
+		}
+		g.Hits[gr.bi][gr.ki] = hits
+		return nil
+	}
+
+	workers := t.Workers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 || t.NewSibling == nil {
+		for gi := range groups {
+			if err := runGroup(t, gi); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	}
+
+	// Shard groups over sibling tools with an atomic work counter. Every
+	// group writes a distinct (bi, ki) cell, and its value is independent
+	// of which worker ran it (see above), so the only synchronization
+	// needed is the counter and the error slot.
+	var next int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tt := t
+			if w > 0 {
+				var err error
+				if tt, err = t.NewSibling(); err != nil {
+					errs[w] = err
+					return
 				}
 			}
+			for {
+				gi := int(atomic.AddInt64(&next, 1)) - 1
+				if gi >= len(groups) {
+					return
+				}
+				if err := runGroup(tt, gi); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return g, nil

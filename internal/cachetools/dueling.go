@@ -1,6 +1,7 @@
 package cachetools
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -80,16 +81,23 @@ func (t *Tool) FindDedicatedSets(slices, sets []int, trials int) (*DuelingReport
 		}
 	}
 	thrash := SeqOf(true, th...)
-	// Stochasticity probe: repeated fill + overflow + probe rounds. Each
-	// round's outcome depends on the (probabilistic) insertion ages, so
+	// Stochasticity probe: one fill pass, then repeated overflow + probe
+	// rounds (the probe of round r refills the set for round r+1). Each
+	// overflow insertion is an independent probabilistic age draw, so
 	// policies with probabilistic insertion virtually never produce the
-	// same hit count twice, while deterministic policies always do.
+	// same hit count twice, while deterministic policies always do. Eight
+	// overflow blocks over six rounds push the chance of every sample
+	// coinciding below 0.2% per set while keeping the sequence short
+	// enough that the generated code stays clear of the measured sets
+	// (checkCodeClean).
 	var st []int
-	for r := 0; r < 4; r++ {
-		for b := 0; b < assoc; b++ {
-			st = append(st, b)
+	for b := 0; b < assoc; b++ {
+		st = append(st, b)
+	}
+	for r := 0; r < 6; r++ {
+		for o := 0; o < 8; o++ {
+			st = append(st, assoc+o)
 		}
-		st = append(st, assoc, assoc+1)
 		for b := 0; b < assoc; b++ {
 			st = append(st, b)
 		}
@@ -108,16 +116,22 @@ func (t *Tool) FindDedicatedSets(slices, sets []int, trials int) (*DuelingReport
 		return res.Hits, err
 	}
 
+	// classifyWith batches each set's n trials into one nanoBench
+	// invocation (RunSeqTrials); the trial-to-trial cache evolution is
+	// identical to n sequential measurements.
 	classifyWith := func(keys []setKey, seq Seq, n int) (map[setKey][]int, error) {
 		out := map[setKey][]int{}
+		m := seq.AllMeasured()
 		for _, k := range keys {
-			for i := 0; i < n; i++ {
-				v, err := measure(k, seq)
-				if err != nil {
-					return nil, err
-				}
-				out[k] = append(out[k], v)
+			res, err := t.RunSeqTrials(context.Background(), L3, k[0], k[1], m, n)
+			if err != nil {
+				return nil, err
 			}
+			vals := make([]int, n)
+			for i, r := range res {
+				vals[i] = r.Hits
+			}
+			out[k] = vals
 		}
 		return out, nil
 	}

@@ -106,11 +106,11 @@ func (t *Tool) InferPolicyContext(ctx context.Context, level Level, slice, set i
 
 	var alive []candidate
 	for _, n := range cands {
-		p, err := policy.New(n, assoc, rand.New(rand.NewSource(1)))
+		s, err := policy.NewSingle(n, assoc, policy.LazyRNG(1))
 		if err != nil {
 			return nil, fmt.Errorf("cachetools: candidate %s: %w", n, err)
 		}
-		alive = append(alive, candidate{n, p})
+		alive = append(alive, candidate{n, s})
 	}
 
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -123,7 +123,7 @@ func (t *Tool) InferPolicyContext(ctx context.Context, level Level, slice, set i
 			// the survivors disagree on, and measure that one. If none
 			// exists, the survivors are observationally equivalent.
 			var ok bool
-			seq, ok = t.discriminatingSequence(rng, alive, opt)
+			seq, ok = t.discriminatingSequence(alive, assoc)
 			if !ok {
 				break
 			}
@@ -138,7 +138,7 @@ func (t *Tool) InferPolicyContext(ctx context.Context, level Level, slice, set i
 		blocks := seq.Blocks()
 		var next []candidate
 		for _, c := range alive {
-			if policy.CountHits(c.pol, blocks) == res.Hits {
+			if c.sim.CountHits(blocks) == res.Hits {
 				next = append(next, c)
 			}
 		}
@@ -157,10 +157,10 @@ func (t *Tool) InferPolicyContext(ctx context.Context, level Level, slice, set i
 	}, nil
 }
 
-// candidate pairs a policy name with a reusable simulation instance.
+// candidate pairs a policy name with a reusable flat-state simulator.
 type candidate struct {
 	name string
-	pol  policy.Policy
+	sim  *policy.Single
 }
 
 func aliveNames(cands []candidate) []string {
@@ -171,19 +171,77 @@ func aliveNames(cands []candidate) []string {
 	return out
 }
 
-// discriminatingSequence searches random sequences in simulation for one
-// on which the surviving candidates predict different hit counts.
-func (t *Tool) discriminatingSequence(rng *rand.Rand, alive []candidate, opt InferOptions) (Seq, bool) {
-	for try := 0; try < 3000; try++ {
-		n := opt.SeqLen + rng.Intn(opt.SeqLen)
-		blocks := make([]int, n)
-		for j := range blocks {
-			blocks[j] = rng.Intn(opt.PoolBlocks)
+// sigKey identifies one candidate's probe-suite signature.
+type sigKey struct {
+	name  string
+	assoc int
+}
+
+// probeSuite returns the canonical per-associativity probe suite: the
+// fixed set of random sequences that defines observational equivalence
+// between candidate policies. Both the discriminating-sequence search and
+// the final equivalence grouping run on this suite, so "no discriminating
+// sequence exists" and "the survivors form one class" are the same
+// statement by construction.
+func (t *Tool) probeSuite(assoc int) [][]int {
+	if s, ok := t.sigSuite[assoc]; ok {
+		return s
+	}
+	rng := rand.New(rand.NewSource(99))
+	suite := make([][]int, 300)
+	for i := range suite {
+		n := 2*assoc + 8 + rng.Intn(2*assoc+8)
+		s := make([]int, n)
+		for j := range s {
+			s[j] = rng.Intn(assoc + 4)
 		}
-		first := policy.CountHits(alive[0].pol, blocks)
-		for _, c := range alive[1:] {
-			if policy.CountHits(c.pol, blocks) != first {
-				return SeqOf(true, blocks...), true
+		suite[i] = s
+	}
+	t.sigSuite[assoc] = suite
+	return suite
+}
+
+// signature memoizes a candidate's hit counts over the probe suite, one
+// byte per sequence. Candidates are deterministic (DefaultCandidates
+// enumerates no probabilistic variant), so a fresh simulator's counts are
+// the candidate's counts.
+func (t *Tool) signature(name string, assoc int) (string, bool) {
+	k := sigKey{name, assoc}
+	if s, ok := t.sigCache[k]; ok {
+		return s, s != ""
+	}
+	suite := t.probeSuite(assoc)
+	p, err := policy.NewSingle(name, assoc, policy.LazyRNG(1))
+	if err != nil {
+		t.sigCache[k] = ""
+		return "", false
+	}
+	key := make([]byte, 0, len(suite))
+	for _, s := range suite {
+		key = append(key, byte(p.CountHits(s)))
+	}
+	t.sigCache[k] = string(key)
+	return string(key), true
+}
+
+// discriminatingSequence returns a probe-suite sequence on which the
+// surviving candidates predict different hit counts, or ok=false when
+// their suite signatures all agree (the survivors are observationally
+// equivalent and will be grouped into one class).
+func (t *Tool) discriminatingSequence(alive []candidate, assoc int) (Seq, bool) {
+	suite := t.probeSuite(assoc)
+	first, ok := t.signature(alive[0].name, assoc)
+	if !ok {
+		return Seq{}, false
+	}
+	for _, c := range alive[1:] {
+		sig, ok := t.signature(c.name, assoc)
+		if !ok {
+			continue
+		}
+		for i := 0; i < len(sig) && i < len(first); i++ {
+			if sig[i] != first[i] {
+				return SeqOf(true, suite[i]...), true
 			}
 		}
 	}
@@ -244,27 +302,11 @@ func (t *Tool) equivClasses(names []string, assoc int) [][]string {
 		}
 		return [][]string{names}
 	}
-	rng := rand.New(rand.NewSource(99))
-	suite := make([][]int, 300)
-	for i := range suite {
-		n := 2*assoc + rng.Intn(assoc)
-		s := make([]int, n)
-		for j := range s {
-			s[j] = rng.Intn(assoc + 4)
-		}
-		suite[i] = s
-	}
 	sig := map[string]string{}
 	for _, n := range names {
-		p, err := policy.New(n, assoc, rand.New(rand.NewSource(1)))
-		if err != nil {
-			continue
+		if s, ok := t.signature(n, assoc); ok {
+			sig[n] = s
 		}
-		key := make([]byte, 0, len(suite))
-		for _, s := range suite {
-			key = append(key, byte(policy.CountHits(p, s)))
-		}
-		sig[n] = string(key)
 	}
 	groups := map[string][]string{}
 	for _, n := range names {

@@ -37,9 +37,25 @@ func (l Level) String() string {
 type Tool struct {
 	R *nano.Runner
 
+	// Workers bounds the parallelism of shardable campaigns (currently
+	// AgeGraphFor): independent (block, fresh-count) groups are
+	// distributed over sibling tools. 0 or 1 runs sequentially. Because
+	// every group restreams the simulated hierarchy to a group-derived
+	// RNG stream first, results are byte-identical at any worker count.
+	Workers int
+	// NewSibling builds an independent tool on its own machine with the
+	// same specification and seed; required for Workers > 1.
+	NewSibling func() (*Tool, error)
+
 	// blockCache memoizes block addresses per (level, slice, set).
 	blockCache map[blockKey][]uint32
 	evictCache map[evictKey][]uint32
+	// evictCodeCache memoizes the encoded eviction-load block per target.
+	evictCodeCache map[evictKey][]byte
+	// sigSuite/sigCache memoize the per-associativity probe suite and each
+	// candidate policy's simulated hit-count signature over it (infer.go).
+	sigSuite map[int][][]int
+	sigCache map[sigKey]string
 }
 
 type blockKey struct {
@@ -74,9 +90,12 @@ func New(r *nano.Runner) (*Tool, error) {
 		return nil, err
 	}
 	return &Tool{
-		R:          r,
-		blockCache: map[blockKey][]uint32{},
-		evictCache: map[evictKey][]uint32{},
+		R:              r,
+		blockCache:     map[blockKey][]uint32{},
+		evictCache:     map[evictKey][]uint32{},
+		evictCodeCache: map[evictKey][]byte{},
+		sigSuite:       map[int][][]int{},
+		sigCache:       map[sigKey]string{},
 	}, nil
 }
 
@@ -135,8 +154,19 @@ func (t *Tool) Blocks(level Level, slice, set, n int) ([]uint32, error) {
 	if !ok {
 		return nil, fmt.Errorf("cachetools: big area not mapped")
 	}
+	// Lines of one set recur at a fixed stride (set counts are powers of
+	// two), so only every sets-th line is a candidate; the slice hash is
+	// the only per-candidate filter left for L3.
+	sets, _ := t.geom(level)
+	stride := uint64(sets) * 64
+	start := uint64(0)
+	for ; start < stride && start < size; start += 64 {
+		if t.setOf(level, base+start) == set {
+			break
+		}
+	}
 	var out []uint32
-	for off := uint64(0); off < size && len(out) < n; off += 64 {
+	for off := start; off < size && len(out) < n; off += stride {
 		phys := base + off
 		if t.setOf(level, phys) != set {
 			continue
@@ -201,8 +231,17 @@ func (t *Tool) evictAddrs(level Level, physTarget uint64) ([]uint32, error) {
 	}
 	size := t.R.BigAreaSize()
 	base, _ := t.R.BigAreaPhys(0)
+	// Every candidate shares the target's L1 (L2 target) or L2 (L3
+	// target) set, so candidates recur at that cache's set stride
+	// starting from the target's own offset; match stays the correctness
+	// filter over the few remaining candidates.
+	stride := uint64(h.L1D.Geom.Sets()) * 64
+	if level == L3 {
+		stride = uint64(h.L2.Geom.Sets()) * 64
+	}
+	start := (physTarget - base) % stride
 	var out []uint32
-	for off := uint64(0); off < size && len(out) < want; off += 64 {
+	for off := start; off < size && len(out) < want; off += stride {
 		if match(base + off) {
 			out = append(out, nano.BigAreaBase+uint32(off))
 		}
@@ -249,14 +288,59 @@ func hitEventFor(level Level) (perfcfg.EventSpec, string) {
 	}
 }
 
-// encodeLoad appends "MOV RBX, [abs addr]" (RBX is not reserved in noMem
-// mode).
-func encodeLoad(code []byte, addr uint32) []byte {
-	out, err := x86.EncodeInstr(code, x86.I(x86.MOV, x86.RBX, x86.MemAt(addr)))
+// loadTemplate is the encoding of "MOV RBX, [abs addr]" with the 32-bit
+// absolute address at loadAddrOff, computed once at init. encodeLoad runs
+// on the sequence-generation hot path (every access of every trial emits
+// one to ~32 of these), so it patches the template instead of re-running
+// the instruction encoder.
+var (
+	loadTemplate []byte
+	loadAddrOff  int
+)
+
+func init() {
+	a, err := x86.EncodeInstr(nil, x86.I(x86.MOV, x86.RBX, x86.MemAt(0x11223344)))
 	if err != nil {
-		panic(err) // static operands; cannot fail
+		panic(err)
 	}
-	return out
+	b, err := x86.EncodeInstr(nil, x86.I(x86.MOV, x86.RBX, x86.MemAt(0x55667788)))
+	if err != nil {
+		panic(err)
+	}
+	if len(a) != len(b) || len(a) < 4 {
+		panic("cachetools: absolute-load encoding is not fixed-length")
+	}
+	// The encodings differ exactly in the 4 displacement bytes.
+	off := -1
+	for i := range a {
+		if a[i] != b[i] {
+			if off == -1 {
+				off = i
+			} else if i >= off+4 {
+				panic("cachetools: absolute-load displacement not contiguous")
+			}
+		}
+	}
+	le := func(c []byte, v uint32) bool {
+		return c[off] == byte(v) && c[off+1] == byte(v>>8) &&
+			c[off+2] == byte(v>>16) && c[off+3] == byte(v>>24)
+	}
+	if off < 0 || off+4 > len(a) || !le(a, 0x11223344) || !le(b, 0x55667788) {
+		panic("cachetools: cannot locate disp32 in absolute-load encoding")
+	}
+	loadTemplate, loadAddrOff = a, off
+}
+
+// encodeLoad appends "MOV RBX, [abs addr]" (RBX is not reserved in noMem
+// mode) by patching the pre-encoded template.
+func encodeLoad(code []byte, addr uint32) []byte {
+	n := len(code)
+	code = append(code, loadTemplate...)
+	code[n+loadAddrOff] = byte(addr)
+	code[n+loadAddrOff+1] = byte(addr >> 8)
+	code[n+loadAddrOff+2] = byte(addr >> 16)
+	code[n+loadAddrOff+3] = byte(addr >> 24)
+	return code
 }
 
 // SeqResult reports one cacheSeq evaluation.
@@ -280,6 +364,17 @@ func (t *Tool) RunSeq(level Level, slice, set int, seq Seq) (SeqResult, error) {
 // RunSeqContext is RunSeq bounded by a context; long sequence campaigns
 // (policy inference, age graphs) pass their caller's context through it.
 func (t *Tool) RunSeqContext(ctx context.Context, level Level, slice, set int, seq Seq) (SeqResult, error) {
+	res, err := t.RunSeqTrials(ctx, level, slice, set, seq, 1)
+	if err != nil {
+		return SeqResult{}, err
+	}
+	return res[0], nil
+}
+
+// seqCode generates the microbenchmark for an access sequence: WBINVD and
+// inter-access higher-level evictions with counting paused, measured
+// accesses with counting enabled (Section VI-C).
+func (t *Tool) seqCode(level Level, slice, set int, seq Seq) (code []byte, measured int, err error) {
 	maxIdx := -1
 	for _, a := range seq.Accesses {
 		if a.Block > maxIdx {
@@ -287,39 +382,48 @@ func (t *Tool) RunSeqContext(ctx context.Context, level Level, slice, set int, s
 		}
 	}
 	if maxIdx < 0 {
-		return SeqResult{}, fmt.Errorf("cachetools: empty access sequence")
+		return nil, 0, fmt.Errorf("cachetools: empty access sequence")
 	}
 	blocks, err := t.Blocks(level, slice, set, maxIdx+1)
 	if err != nil {
-		return SeqResult{}, err
+		return nil, 0, err
 	}
-	var evict []uint32
+	// evictCode is the pre-encoded block of loads that displaces the
+	// target set's lines from the higher-level caches: one pass over
+	// twice the upper-level associativity in distinct lines displaces
+	// them under any of the modelled policies (validated by the
+	// cross-check tests against ground-truth simulation). It is emitted
+	// between consecutive accesses, so it dominates the generated code;
+	// encode it once per (level, target) and memoize.
+	var evictCode []byte
 	if level > L1 {
 		phys, _ := t.R.M.Mem.Translate(blocks[0])
-		evict, err = t.evictAddrs(level, phys)
-		if err != nil {
-			return SeqResult{}, err
+		key := evictKey{level, phys >> 6}
+		var ok bool
+		if evictCode, ok = t.evictCodeCache[key]; !ok {
+			evict, err := t.evictAddrs(level, phys)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, e := range evict {
+				evictCode = encodeLoad(evictCode, e)
+			}
+			t.evictCodeCache[key] = evictCode
 		}
 	}
 
-	var code []byte
+	code = make([]byte, 0, len(nano.PauseCountingBytes)+
+		len(seq.Accesses)*(len(evictCode)+len(loadTemplate)+2*len(nano.PauseCountingBytes))+
+		len(nano.ResumeCountingBytes)+16)
 	code = append(code, nano.PauseCountingBytes...)
 	if seq.WbInvd {
 		code, err = x86.EncodeInstr(code, x86.I(x86.WBINVD))
 		if err != nil {
-			return SeqResult{}, err
+			return nil, 0, err
 		}
 	}
-	measured := 0
 	for _, a := range seq.Accesses {
-		// Evict the target block from the higher-level caches so the
-		// access below reaches the target level: one pass over twice the
-		// upper-level associativity in distinct lines displaces it under
-		// any of the modelled policies (validated by the cross-check
-		// tests against ground-truth simulation).
-		for _, e := range evict {
-			code = encodeLoad(code, e)
-		}
+		code = append(code, evictCode...)
 		if a.Measured {
 			measured++
 			code = append(code, nano.ResumeCountingBytes...)
@@ -337,26 +441,52 @@ func (t *Tool) RunSeqContext(ctx context.Context, level Level, slice, set int, s
 	// occupies).
 	if level > L1 {
 		if err := t.checkCodeClean(level, slice, set, len(code)); err != nil {
-			return SeqResult{}, err
+			return nil, 0, err
 		}
 	}
+	return code, measured, nil
+}
 
+// RunSeqTrials evaluates an access sequence n times in one nanoBench
+// invocation (NMeasurements=n) and returns the per-trial results in run
+// order. Because the benchmark's B-variant is empty in basic mode, a
+// batch of n trials drives the simulated caches through exactly the same
+// access stream as n sequential RunSeq calls: per-set policy RNG streams
+// advance identically, so the per-trial hit counts are decision-identical
+// to unbatched runs. Batching amortizes code generation, result handling,
+// and runner round-trips across the trials — the bulk of the cost of
+// trial-repeated campaigns (set-dueling classification, age graphs).
+func (t *Tool) RunSeqTrials(ctx context.Context, level Level, slice, set int, seq Seq, n int) ([]SeqResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cachetools: trial count %d", n)
+	}
+	code, measured, err := t.seqCode(level, slice, set, seq)
+	if err != nil {
+		return nil, err
+	}
 	ev, name := hitEventFor(level)
 	res, err := t.R.RunContext(ctx, nano.Config{
 		Code:          code,
 		UnrollCount:   1,
-		NMeasurements: 1,
+		NMeasurements: n,
 		BasicMode:     true,
 		NoMem:         true,
 		Aggregate:     nano.Min,
 		Events:        []perfcfg.EventSpec{ev},
 	})
 	if err != nil {
-		return SeqResult{}, err
+		return nil, err
 	}
-	hits, ok := res.Get(name)
+	m, ok := res.Lookup(name)
 	if !ok {
-		return SeqResult{}, fmt.Errorf("cachetools: hit counter missing")
+		return nil, fmt.Errorf("cachetools: hit counter missing")
 	}
-	return SeqResult{Hits: int(hits + 0.5), Measured: measured}, nil
+	if len(m.Samples) != n {
+		return nil, fmt.Errorf("cachetools: %d trial samples, want %d", len(m.Samples), n)
+	}
+	out := make([]SeqResult, n)
+	for k, s := range m.Samples {
+		out[k] = SeqResult{Hits: int(s + 0.5), Measured: measured}
+	}
+	return out, nil
 }

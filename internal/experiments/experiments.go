@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"nanobench"
@@ -302,6 +303,20 @@ func Figure1(w io.Writer, quick bool) (*cachetools.AgeGraph, error) {
 	tool, err := cachetools.New(r)
 	if err != nil {
 		return nil, err
+	}
+	// The (block, fresh-count) groups are independent (each restreams the
+	// simulated hierarchy first), so they shard across sibling machines;
+	// the graph is byte-identical at any worker count.
+	tool.Workers = Workers
+	if tool.Workers == 0 {
+		tool.Workers = runtime.NumCPU()
+	}
+	tool.NewSibling = func() (*cachetools.Tool, error) {
+		sr, _, err := newRunner("IvyBridge", machine.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		return cachetools.New(sr)
 	}
 	maxFresh, step, trials := 200, 8, 32
 	if quick {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"nanobench/internal/cachetools"
 	"nanobench/internal/sched"
 )
 
@@ -61,6 +62,26 @@ func TestTable1QuickDeterministicAcrossWorkers(t *testing.T) {
 			t.Errorf("%s: inference failed: L1=%q(%v) L2=%q(%v) L3=%q(%v)",
 				r.CPU, r.L1, r.L1OK, r.L2, r.L2OK, r.L3, r.L3OK)
 		}
+	}
+}
+
+// TestFigure1QuickDeterministicAcrossWorkers pins the age-graph sharding
+// contract: each (block, fresh-count) group restreams the simulated
+// hierarchy to a group-derived RNG stream, so the rendered graph is
+// byte-identical whether groups run sequentially or across sibling
+// machines.
+func TestFigure1QuickDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker age-graph sweep; run without -short")
+	}
+	var g *cachetools.AgeGraph
+	withWorkers(t, []int{1, 3}, func(w io.Writer) error {
+		var err error
+		g, err = Figure1(w, true)
+		return err
+	})
+	if g == nil || len(g.BlockIDs) != 12 {
+		t.Fatalf("quick Figure 1 graph malformed: %+v", g)
 	}
 }
 

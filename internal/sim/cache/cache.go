@@ -3,6 +3,14 @@
 // with an XOR-bits slice-hash function, and a disableable stream
 // prefetcher. The hierarchy reports per-access results that the core
 // translates into performance-counter events.
+//
+// Replacement decisions run on the flat-state policy.Engine: all sets'
+// replacement state for one cache lives in packed arrays, and line
+// tags/flags are flat per-cache arrays indexed by set*assoc+way. Policy
+// randomness follows the per-set seeding contract of internal/sim/policy:
+// each set's RNG stream is derived from (machine seed, slice, set, stream
+// index), never from a shared RNG, so decisions are independent of
+// set-touch order and of how experiments are sharded across workers.
 package cache
 
 import (
@@ -12,17 +20,70 @@ import (
 	"nanobench/internal/sim/policy"
 )
 
-// PolicyFactory builds the replacement policy for one set of a cache.
-// slice is the cache slice (0 for unsliced caches), set the set index
-// within the slice.
-type PolicyFactory func(slice, set int, assoc int, rng *rand.Rand) policy.Policy
+// PolicyFactory describes the replacement policy of a cache. Spec exposes
+// the declarative form compiled into a flat policy.Engine kernel; New
+// builds the reference per-set Policy object (the equivalence oracle, and
+// the execution path for factories without a Spec).
+type PolicyFactory interface {
+	// New builds the reference policy of one set. slice is the cache
+	// slice (0 for unsliced caches), set the set index within the slice.
+	New(slice, set, assoc int, rng *rand.Rand) policy.Policy
+	// Spec returns the declarative policy description, if the factory
+	// has one. Factories returning ok=false run on the reference engine.
+	Spec() (policy.Spec, bool)
+}
 
 // SimplePolicy adapts a policy name to a PolicyFactory.
-func SimplePolicy(name string) PolicyFactory {
-	return func(_, _ int, assoc int, rng *rand.Rand) policy.Policy {
-		return policy.MustNew(name, assoc, rng)
-	}
+func SimplePolicy(name string) PolicyFactory { return simplePolicy{name} }
+
+type simplePolicy struct{ name string }
+
+func (p simplePolicy) New(_, _, assoc int, rng *rand.Rand) policy.Policy {
+	return policy.MustNew(p.name, assoc, rng)
 }
+
+func (p simplePolicy) Spec() (policy.Spec, bool) { return policy.Spec{Name: p.name}, true }
+
+// AdaptivePolicy adapts a set-dueling description to a PolicyFactory.
+func AdaptivePolicy(d policy.DuelSpec) PolicyFactory { return adaptivePolicy{d} }
+
+type adaptivePolicy struct{ d policy.DuelSpec }
+
+func (p adaptivePolicy) New(slice, set, assoc int, rng *rand.Rand) policy.Policy {
+	switch p.d.Leader(slice, set) {
+	case 'A':
+		return policy.NewLeader(policy.MustNew(p.d.PolicyA, assoc, rng), p.d.PSel, true)
+	case 'B':
+		return policy.NewLeader(policy.MustNew(p.d.PolicyB, assoc, rng), p.d.PSel, false)
+	}
+	f, err := policy.NewFollower(policy.MustNew(p.d.PolicyA, assoc, rng), policy.MustNew(p.d.PolicyB, assoc, rng), p.d.PSel)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p adaptivePolicy) Spec() (policy.Spec, bool) {
+	d := p.d
+	return policy.Spec{Duel: &d}, true
+}
+
+// FuncPolicy wraps an arbitrary per-set policy constructor. Caches built
+// from it run on the reference per-set engine (no flat kernel); tests use
+// it to force the reference path.
+func FuncPolicy(f func(slice, set, assoc int, rng *rand.Rand) policy.Policy) PolicyFactory {
+	return funcPolicy{f}
+}
+
+type funcPolicy struct {
+	f func(slice, set, assoc int, rng *rand.Rand) policy.Policy
+}
+
+func (p funcPolicy) New(slice, set, assoc int, rng *rand.Rand) policy.Policy {
+	return p.f(slice, set, assoc, rng)
+}
+
+func (p funcPolicy) Spec() (policy.Spec, bool) { return policy.Spec{}, false }
 
 // Geometry describes one cache level (or one slice of a sliced cache).
 type Geometry struct {
@@ -57,56 +118,81 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
-type line struct {
-	valid bool
-	dirty bool
-	tag   uint64
-}
+const (
+	flagValid = 1 << 0
+	flagDirty = 1 << 1
+)
 
-type cacheSet struct {
-	lines []line
-	pol   policy.Policy
-	epoch uint32
-	valid int // valid lines in this set
-}
+// invalidTag marks an invalid way in the tags array, so lookup scans test
+// one word per way instead of a flag byte plus a tag word. Real tags are
+// phys >> lineBits with phys far below 2^63; the sentinel can't collide.
+const invalidTag = ^uint64(0)
 
 // Cache is one set-associative cache (a single slice of a sliced cache).
+// Line state is held in flat arrays indexed by set*assoc+way; replacement
+// state lives in the policy engine.
 type Cache struct {
 	Geom     Geometry
 	Slice    int
-	sets     []cacheSet
 	setMask  uint64
 	lineBits uint
+	assoc    int
+
+	tags  []uint64
+	flags []uint8
+
 	// epoch implements O(1) whole-cache invalidation (WBINVD): sets whose
-	// epoch lags are cleared lazily on first touch.
+	// setEpoch lags are cleared lazily on first touch.
 	epoch      uint32
+	setEpoch   []uint32
+	setValid   []int32
 	validCount int
-	// pf and rng materialize sets on first touch: building every set's
-	// policy eagerly would dominate machine construction for megabyte
-	// caches (thousands of sets), and a benchmark touches only a few.
-	pf  PolicyFactory
-	rng *rand.Rand
+
+	eng policy.Engine
+	// seed/stream parameterize the per-set RNG streams (policy.SetSeed);
+	// Restream bumps stream to re-derive them.
+	seed   int64
+	stream int64
 }
 
-// New builds a cache whose per-set policies come from the factory; sets
-// materialize lazily on first touch. Policy constructors must not draw
-// from rng (none do — draws happen on accesses, in execution order), so
-// lazy construction is observationally identical to eager.
-func New(geom Geometry, slice int, pf PolicyFactory, rng *rand.Rand) (*Cache, error) {
+// New builds a cache for the factory's policy, compiled to a flat engine
+// kernel when the factory exposes a Spec. seed is the root of the per-set
+// RNG streams (policy.SetSeed seeding contract).
+func New(geom Geometry, slice int, pf PolicyFactory, seed int64) (*Cache, error) {
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
 	nSets := geom.Sets()
 	c := &Cache{
-		Geom:    geom,
-		Slice:   slice,
-		sets:    make([]cacheSet, nSets),
-		setMask: uint64(nSets - 1),
-		pf:      pf,
-		rng:     rng,
+		Geom:     geom,
+		Slice:    slice,
+		setMask:  uint64(nSets - 1),
+		assoc:    geom.Assoc,
+		tags:     make([]uint64, nSets*geom.Assoc),
+		flags:    make([]uint8, nSets*geom.Assoc),
+		setEpoch: make([]uint32, nSets),
+		setValid: make([]int32, nSets),
+		seed:     seed,
 	}
 	for ls := geom.LineSize; ls > 1; ls >>= 1 {
 		c.lineBits++
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	rngFor := func(set int) *rand.Rand {
+		return policy.NewSetRand(c.seed, c.Slice, set, c.stream)
+	}
+	var err error
+	if spec, ok := pf.Spec(); ok {
+		c.eng, err = policy.NewEngine(spec, slice, nSets, geom.Assoc, rngFor)
+	} else {
+		c.eng = policy.NewReferenceEngine("custom", nSets, func(set int, rng *rand.Rand) policy.Policy {
+			return pf.New(slice, set, geom.Assoc, rng)
+		}, rngFor)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -122,34 +208,29 @@ func (c *Cache) tag(phys uint64) uint64 {
 	return phys >> c.lineBits
 }
 
-// set returns the set for an index, materializing it on first touch and
-// applying any pending epoch-based invalidation first.
-func (c *Cache) set(si int) *cacheSet {
-	s := &c.sets[si]
-	if s.pol == nil {
-		s.lines = make([]line, c.Geom.Assoc)
-		s.pol = c.pf(c.Slice, si, c.Geom.Assoc, c.rng)
-		s.epoch = c.epoch
-		return s
-	}
-	if s.epoch != c.epoch {
-		for i := range s.lines {
-			s.lines[i] = line{}
+// ensure applies any pending epoch-based invalidation to a set and
+// returns its base index into the line arrays.
+func (c *Cache) ensure(si int) int {
+	base := si * c.assoc
+	if c.setEpoch[si] != c.epoch {
+		for i := base; i < base+c.assoc; i++ {
+			c.flags[i] = 0
+			c.tags[i] = invalidTag
 		}
-		s.pol.Reset()
-		s.valid = 0
-		s.epoch = c.epoch
+		c.setValid[si] = 0
+		c.eng.Reset(si)
+		c.setEpoch[si] = c.epoch
 	}
-	return s
+	return base
 }
 
 // Probe reports whether the line containing phys is present, without
 // touching replacement state.
 func (c *Cache) Probe(phys uint64) bool {
-	set := c.set(c.SetIndex(phys))
+	base := c.ensure(c.SetIndex(phys))
 	t := c.tag(phys)
-	for i := range set.lines {
-		if set.lines[i].valid && set.lines[i].tag == t {
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == t {
 			return true
 		}
 	}
@@ -159,34 +240,36 @@ func (c *Cache) Probe(phys uint64) bool {
 // Access looks up phys; on a hit it updates replacement state and returns
 // hit=true. On a miss it fills the line, updating replacement state, and
 // returns the evicted line's physical base address (evicted=true if a
-// valid, line was replaced; wbPhys is meaningful only if dirty).
+// valid line was replaced; wbPhys is meaningful only if dirty).
 func (c *Cache) Access(phys uint64, write bool) (hit bool, evicted bool, evictedDirty bool, evictedPhys uint64) {
 	si := c.SetIndex(phys)
-	set := c.set(si)
+	base := c.ensure(si)
 	t := c.tag(phys)
-	for i := range set.lines {
-		if set.lines[i].valid && set.lines[i].tag == t {
-			set.pol.OnHit(i)
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == t {
+			c.eng.OnHit(si, i-base)
 			if write {
-				set.lines[i].dirty = true
+				c.flags[i] |= flagDirty
 			}
 			return true, false, false, 0
 		}
 	}
-	w := set.pol.Victim()
-	ln := &set.lines[w]
-	if ln.valid {
+	w := c.eng.Victim(si)
+	i := base + w
+	if c.flags[i]&flagValid != 0 {
 		evicted = true
-		evictedDirty = ln.dirty
-		evictedPhys = ln.tag << c.lineBits
+		evictedDirty = c.flags[i]&flagDirty != 0
+		evictedPhys = c.tags[i] << c.lineBits
 	} else {
-		set.valid++
+		c.setValid[si]++
 		c.validCount++
 	}
-	ln.valid = true
-	ln.dirty = write
-	ln.tag = t
-	set.pol.OnFill(w)
+	c.flags[i] = flagValid
+	if write {
+		c.flags[i] |= flagDirty
+	}
+	c.tags[i] = t
+	c.eng.OnFill(si, w)
 	return false, evicted, evictedDirty, evictedPhys
 }
 
@@ -195,44 +278,48 @@ func (c *Cache) Access(phys uint64, write bool) (hit bool, evicted bool, evicted
 // fill. If the line is already present, only the dirty bit may be updated.
 func (c *Cache) Fill(phys uint64, dirty bool) (evicted bool, evictedDirty bool, evictedPhys uint64) {
 	si := c.SetIndex(phys)
-	set := c.set(si)
+	base := c.ensure(si)
 	t := c.tag(phys)
-	for i := range set.lines {
-		if set.lines[i].valid && set.lines[i].tag == t {
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == t {
 			if dirty {
-				set.lines[i].dirty = true
+				c.flags[i] |= flagDirty
 			}
 			return false, false, 0
 		}
 	}
-	w := set.pol.Victim()
-	ln := &set.lines[w]
-	if ln.valid {
+	w := c.eng.Victim(si)
+	i := base + w
+	if c.flags[i]&flagValid != 0 {
 		evicted = true
-		evictedDirty = ln.dirty
-		evictedPhys = ln.tag << c.lineBits
+		evictedDirty = c.flags[i]&flagDirty != 0
+		evictedPhys = c.tags[i] << c.lineBits
 	} else {
-		set.valid++
+		c.setValid[si]++
 		c.validCount++
 	}
-	ln.valid = true
-	ln.dirty = dirty
-	ln.tag = t
-	set.pol.OnFill(w)
+	c.flags[i] = flagValid
+	if dirty {
+		c.flags[i] |= flagDirty
+	}
+	c.tags[i] = t
+	c.eng.OnFill(si, w)
 	return
 }
 
 // InvalidateLine removes the line containing phys if present, returning
 // whether it was present and dirty.
 func (c *Cache) InvalidateLine(phys uint64) (present, dirty bool) {
-	set := c.set(c.SetIndex(phys))
+	si := c.SetIndex(phys)
+	base := c.ensure(si)
 	t := c.tag(phys)
-	for i := range set.lines {
-		if set.lines[i].valid && set.lines[i].tag == t {
-			present, dirty = true, set.lines[i].dirty
-			set.lines[i] = line{}
-			set.pol.OnInvalidate(i)
-			set.valid--
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == t {
+			present, dirty = true, c.flags[i]&flagDirty != 0
+			c.flags[i] = 0
+			c.tags[i] = invalidTag
+			c.eng.OnInvalidate(si, i-base)
+			c.setValid[si]--
 			c.validCount--
 			return
 		}
@@ -250,5 +337,21 @@ func (c *Cache) InvalidateAll() int {
 	return n
 }
 
+// Restream invalidates the cache and re-derives every set's RNG stream
+// for experiment index stream (policy.SetSeed seeding contract). The
+// post-Restream state is a pure function of (seed, slice, stream),
+// independent of anything simulated before — the invariant that lets
+// set-sweeping experiments shard (block, set) groups across workers with
+// byte-identical results at any worker count.
+func (c *Cache) Restream(stream int64) {
+	c.stream = stream
+	c.epoch++
+	c.validCount = 0
+	c.eng.Restream()
+}
+
 // ValidLines counts the currently valid lines (for tests and WBINVD cost).
 func (c *Cache) ValidLines() int { return c.validCount }
+
+// PolicyName returns the name of the compiled policy engine.
+func (c *Cache) PolicyName() string { return c.eng.Name() }

@@ -1,7 +1,6 @@
 package cache
 
 import (
-	"math/rand"
 	"testing"
 )
 
@@ -11,7 +10,7 @@ func testGeom(name string, size uint64, assoc, lat int) Geometry {
 
 func newTestCache(t *testing.T, size uint64, assoc int, pol string) *Cache {
 	t.Helper()
-	c, err := New(testGeom("test", size, assoc, 4), 0, SimplePolicy(pol), rand.New(rand.NewSource(1)))
+	c, err := New(testGeom("test", size, assoc, 4), 0, SimplePolicy(pol), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +158,7 @@ func defaultConfig() Config {
 
 func newTestHierarchy(t *testing.T) *Hierarchy {
 	t.Helper()
-	h, err := NewHierarchy(defaultConfig(), rand.New(rand.NewSource(1)))
+	h, err := NewHierarchy(defaultConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +254,7 @@ func TestHierarchyCodePath(t *testing.T) {
 }
 
 func TestPrefetcherStream(t *testing.T) {
-	h, err := NewHierarchy(defaultConfig(), rand.New(rand.NewSource(1)))
+	h, err := NewHierarchy(defaultConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +275,7 @@ func TestPrefetcherStream(t *testing.T) {
 	}
 
 	// Disabled prefetcher must not prefetch.
-	h2, _ := NewHierarchy(defaultConfig(), rand.New(rand.NewSource(1)))
+	h2, _ := NewHierarchy(defaultConfig(), 1)
 	h2.Prefetcher.Enabled = false
 	total = 0
 	for i := 0; i < 8; i++ {
@@ -301,12 +300,12 @@ func TestPrefetcherDescending(t *testing.T) {
 func TestHierarchyConfigValidation(t *testing.T) {
 	cfg := defaultConfig()
 	cfg.L3Slices = 4 // hash says 2
-	if _, err := NewHierarchy(cfg, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := NewHierarchy(cfg, 1); err == nil {
 		t.Error("expected slice/hash mismatch error")
 	}
 	cfg = defaultConfig()
 	cfg.L2.LineSize = 128
-	if _, err := NewHierarchy(cfg, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := NewHierarchy(cfg, 1); err == nil {
 		t.Error("expected line-size mismatch error")
 	}
 }

@@ -1,0 +1,151 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nanobench/internal/sim/policy"
+)
+
+// refFactory wraps a factory's per-set constructor in FuncPolicy, hiding
+// its Spec so the cache runs on the reference per-set engine.
+func refFactory(pf PolicyFactory) PolicyFactory { return FuncPolicy(pf.New) }
+
+// TestCacheEngineMatchesReference drives identical random access/fill/
+// invalidate/flush/restream workloads through an engine-backed cache and
+// a reference-path cache (same policy forced through FuncPolicy) and
+// requires identical observable results throughout.
+func TestCacheEngineMatchesReference(t *testing.T) {
+	geom := Geometry{Name: "t", Size: 64 << 10, Assoc: 8, LineSize: 64, Latency: 4}
+	duel := func() PolicyFactory {
+		return AdaptivePolicy(policy.DuelSpec{
+			PolicyA: "QLRU_H11_M1_R1_U2",
+			PolicyB: "QLRU_H11_MR161_R1_U2",
+			PSel:    policy.NewPSel(64),
+			Leader: func(slice, set int) byte {
+				switch set % 8 {
+				case 0:
+					return 'A'
+				case 1:
+					return 'B'
+				}
+				return 0
+			},
+		})
+	}
+	cases := []struct {
+		name     string
+		eng, ref PolicyFactory
+	}{
+		{"LRU", SimplePolicy("LRU"), refFactory(SimplePolicy("LRU"))},
+		{"PLRU", SimplePolicy("PLRU"), refFactory(SimplePolicy("PLRU"))},
+		{"MRU*", SimplePolicy("MRU*"), refFactory(SimplePolicy("MRU*"))},
+		{"RANDOM", SimplePolicy("RANDOM"), refFactory(SimplePolicy("RANDOM"))},
+		{"QLRU_H11_MR161_R1_U2", SimplePolicy("QLRU_H11_MR161_R1_U2"), refFactory(SimplePolicy("QLRU_H11_MR161_R1_U2"))},
+		{"QLRU_H21_M2_R1_U1_UMO", SimplePolicy("QLRU_H21_M2_R1_U1_UMO"), refFactory(SimplePolicy("QLRU_H21_M2_R1_U1_UMO"))},
+		// Separate DuelSpec instances so the two caches do not share PSEL.
+		{"adaptive", duel(), refFactory(duel())},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 5; seed++ {
+				ce, err := New(geom, 0, tc.eng, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cr, err := New(geom, 0, tc.ref, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed * 997))
+				addr := func() uint64 {
+					// 16 sets × 12 tags keeps sets contended.
+					return uint64(rng.Intn(16))<<6 | uint64(rng.Intn(12))<<14
+				}
+				stream := int64(0)
+				for op := 0; op < 4000; op++ {
+					switch r := rng.Intn(100); {
+					case r < 60:
+						a, w := addr(), rng.Intn(4) == 0
+						h1, e1, d1, p1 := ce.Access(a, w)
+						h2, e2, d2, p2 := cr.Access(a, w)
+						if h1 != h2 || e1 != e2 || d1 != d2 || p1 != p2 {
+							t.Fatalf("seed %d op %d: Access(%#x) engine=(%v,%v,%v,%#x) reference=(%v,%v,%v,%#x)",
+								seed, op, a, h1, e1, d1, p1, h2, e2, d2, p2)
+						}
+					case r < 75:
+						a, d := addr(), rng.Intn(3) == 0
+						e1, d1, p1 := ce.Fill(a, d)
+						e2, d2, p2 := cr.Fill(a, d)
+						if e1 != e2 || d1 != d2 || p1 != p2 {
+							t.Fatalf("seed %d op %d: Fill(%#x) mismatch", seed, op, a)
+						}
+					case r < 85:
+						a := addr()
+						pr1, d1 := ce.InvalidateLine(a)
+						pr2, d2 := cr.InvalidateLine(a)
+						if pr1 != pr2 || d1 != d2 {
+							t.Fatalf("seed %d op %d: InvalidateLine(%#x) mismatch", seed, op, a)
+						}
+					case r < 90:
+						a := addr()
+						if ce.Probe(a) != cr.Probe(a) {
+							t.Fatalf("seed %d op %d: Probe(%#x) mismatch", seed, op, a)
+						}
+					case r < 96:
+						if n1, n2 := ce.InvalidateAll(), cr.InvalidateAll(); n1 != n2 {
+							t.Fatalf("seed %d op %d: InvalidateAll %d vs %d", seed, op, n1, n2)
+						}
+					default:
+						stream++
+						ce.Restream(stream)
+						cr.Restream(stream)
+					}
+					if ce.ValidLines() != cr.ValidLines() {
+						t.Fatalf("seed %d op %d: ValidLines %d vs %d", seed, op, ce.ValidLines(), cr.ValidLines())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPerSetRNGOrderIndependence pins the seeding contract: a set's
+// random policy decisions do not depend on the order sets are first
+// touched (or on which other sets are touched at all).
+func TestPerSetRNGOrderIndependence(t *testing.T) {
+	geom := Geometry{Name: "t", Size: 16 << 10, Assoc: 8, LineSize: 64, Latency: 4}
+	// victims returns the eviction sequence of one set under a thrashing
+	// workload, with warm-up touches to the given other sets first.
+	victims := func(set int, touchFirst []int) []uint64 {
+		c, err := New(geom, 0, SimplePolicy("RANDOM"), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range touchFirst {
+			c.Access(uint64(s)<<6, false)
+		}
+		var out []uint64
+		for tag := 0; tag < 40; tag++ {
+			a := uint64(set)<<6 | uint64(tag)<<12
+			_, ev, _, phys := c.Access(a, false)
+			if ev {
+				out = append(out, phys)
+			}
+		}
+		return out
+	}
+	base := victims(5, nil)
+	if len(base) == 0 {
+		t.Fatal("thrash workload evicted nothing")
+	}
+	for _, order := range [][]int{{0, 1, 2, 3}, {31, 17, 2}, {12}} {
+		got := victims(5, order)
+		if fmt.Sprint(got) != fmt.Sprint(base) {
+			t.Fatalf("set 5 eviction order changed with touch order %v:\n  base %v\n  got  %v", order, base, got)
+		}
+	}
+}

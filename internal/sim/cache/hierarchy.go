@@ -2,7 +2,8 @@ package cache
 
 import (
 	"fmt"
-	"math/rand"
+
+	"nanobench/internal/sim/policy"
 )
 
 // Config describes a full cache hierarchy. L3 geometry is per slice.
@@ -48,8 +49,9 @@ type Hierarchy struct {
 	lineSize   int
 }
 
-// NewHierarchy builds the hierarchy from the configuration.
-func NewHierarchy(cfg Config, rng *rand.Rand) (*Hierarchy, error) {
+// NewHierarchy builds the hierarchy from the configuration. seed is the
+// root of every cache's per-set policy RNG streams (policy.SetSeed).
+func NewHierarchy(cfg Config, seed int64) (*Hierarchy, error) {
 	if cfg.L3Slices != cfg.SliceHash.Slices() {
 		return nil, fmt.Errorf("cache: %d slices but hash addresses %d", cfg.L3Slices, cfg.SliceHash.Slices())
 	}
@@ -62,24 +64,44 @@ func NewHierarchy(cfg Config, rng *rand.Rand) (*Hierarchy, error) {
 		Prefetcher: NewPrefetcher(cfg.PrefetchDegree),
 		lineSize:   cfg.L1D.LineSize,
 	}
+	// Each level gets its own derived root so (slice, set) pairs at
+	// different levels (L1I, L1D, and L2 are all slice 0) never share an
+	// RNG stream; L3 slices are differentiated by their slice index.
+	levelSeed := func(level int) int64 { return policy.SetSeed(seed, 0, 0, int64(level)) }
 	var err error
-	if h.L1I, err = New(cfg.L1I, 0, cfg.L1IPolicy, rng); err != nil {
+	if h.L1I, err = New(cfg.L1I, 0, cfg.L1IPolicy, levelSeed(0)); err != nil {
 		return nil, err
 	}
-	if h.L1D, err = New(cfg.L1D, 0, cfg.L1DPolicy, rng); err != nil {
+	if h.L1D, err = New(cfg.L1D, 0, cfg.L1DPolicy, levelSeed(1)); err != nil {
 		return nil, err
 	}
-	if h.L2, err = New(cfg.L2, 0, cfg.L2Policy, rng); err != nil {
+	if h.L2, err = New(cfg.L2, 0, cfg.L2Policy, levelSeed(2)); err != nil {
 		return nil, err
 	}
 	for s := 0; s < cfg.L3Slices; s++ {
-		c, err := New(cfg.L3, s, cfg.L3Policy, rng)
+		c, err := New(cfg.L3, s, cfg.L3Policy, levelSeed(3))
 		if err != nil {
 			return nil, err
 		}
 		h.L3 = append(h.L3, c)
 	}
 	return h, nil
+}
+
+// Restream invalidates every level and re-derives all per-set policy RNG
+// streams for experiment index stream (see Cache.Restream): the hierarchy
+// state becomes a pure function of (machine seed, stream), independent of
+// previously simulated work. Set-sweeping experiments use one stream
+// index per independent (block, set) group so results are byte-identical
+// at any worker count.
+func (h *Hierarchy) Restream(stream int64) {
+	h.L1I.Restream(stream)
+	h.L1D.Restream(stream)
+	h.L2.Restream(stream)
+	for _, c := range h.L3 {
+		c.Restream(stream)
+	}
+	h.Prefetcher.Reset()
 }
 
 // Slice returns the L3 slice for a physical address.

@@ -48,10 +48,18 @@ type coreState struct {
 	// forwarding: a load overlapping a recent store cannot begin before
 	// the store's data is ready. stbufLen counts the occupied entries
 	// (saturating at the ring size) so loads skip the scan entirely until
-	// the first store.
+	// the first store. stbufLo/stbufHi bound the address ranges of all
+	// entries ever buffered (expanded on insert, never shrunk): a load
+	// outside the bounds cannot be contained in any entry and skips the
+	// scan. The bounds go stale as entries are overwritten, which only
+	// costs unnecessary scans, never wrong forwarding — load-only
+	// microbenchmark regions (e.g. the cache tools' big area) stay
+	// outside the prologue's store range, making their loads O(1) here.
 	stbuf    [storeBufSize]storeEntry
 	stbufPos int
 	stbufLen int
+	stbufLo  uint64
+	stbufHi  uint64
 
 	pred predictor
 }
@@ -237,21 +245,6 @@ func (m *Machine) fetch(d *x86.DecodedInstr) error {
 		}
 		c.fetchLine = line
 		c.hasFetchLine = true
-	}
-	return nil
-}
-
-// readCodeBytes reads up to 15 bytes of code at rip, stopping at unmapped
-// pages.
-func (m *Machine) readCodeBytes(rip uint32) []byte {
-	var buf [15]byte
-	if m.Mem.Read(rip, buf[:]) {
-		return buf[:]
-	}
-	for n := 14; n > 0; n-- {
-		if m.Mem.Read(rip, buf[:n]) {
-			return buf[:n]
-		}
 	}
 	return nil
 }
@@ -578,7 +571,7 @@ func (m *Machine) load(addr uint32, size int, addrReady int64) (uint64, int64, c
 	// at all before the first store.
 	lat := res.Latency
 	ready := addrReady
-	if c.stbufLen > 0 {
+	if c.stbufLen > 0 && uint64(addr) >= c.stbufLo && uint64(addr)+uint64(size) <= c.stbufHi {
 		idx := c.stbufPos
 		for k := 0; k < c.stbufLen; k++ {
 			idx--
@@ -625,6 +618,17 @@ func (m *Machine) recordLoadEvents(res cache.Result) {
 	at := c.retireCycle
 	if c.feCycle > at {
 		at = c.feCycle
+	}
+	if !m.PMU.AnyActive() {
+		// Counting paused (or no core counter programmed): only the
+		// uncore C-Box counters can observe this load.
+		if res.Slice >= 0 && res.Slice < len(m.CBox) {
+			m.CBox[res.Slice].Record(pmu.CBoLookup, at)
+			if res.Level == 4 {
+				m.CBox[res.Slice].Record(pmu.CBoMiss, at)
+			}
+		}
+		return
 	}
 	var counts [pmu.NumEvents]uint16
 	counts[pmu.EvLoadRetired] = 1
@@ -677,6 +681,12 @@ func (m *Machine) store(addr uint32, size int, v uint64, addrReady, dataReady in
 	}
 	c.stbuf[c.stbufPos] = storeEntry{addr: addr, size: uint8(size), done: done}
 	c.stbufPos = (c.stbufPos + 1) % storeBufSize
+	if c.stbufLen == 0 || uint64(addr) < c.stbufLo {
+		c.stbufLo = uint64(addr)
+	}
+	if c.stbufLen == 0 || uint64(addr)+uint64(size) > c.stbufHi {
+		c.stbufHi = uint64(addr) + uint64(size)
+	}
 	if c.stbufLen < storeBufSize {
 		c.stbufLen++
 	}

@@ -116,6 +116,9 @@ type Machine struct {
 	prog       program
 	decVersion uint64
 	decCache   map[uint32]*decEntry
+	// decMemo caches decode results by code-byte content (see decodeRaw);
+	// it survives WriteCode because changed bytes change the key.
+	decMemo map[decKey]x86.DecodedInstr
 	// lineShift is log2 of the L1I line size, folded into every decoded
 	// entry's line span at predecode time.
 	lineShift uint8
@@ -155,7 +158,7 @@ func New(spec Spec) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	hier, err := cache.NewHierarchy(spec.Cache, rng)
+	hier, err := cache.NewHierarchy(spec.Cache, spec.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +176,7 @@ func New(spec Spec) (*Machine, error) {
 		rng:             rng,
 		msr:             map[uint32]uint64{},
 		decCache:        map[uint32]*decEntry{},
+		decMemo:         map[decKey]x86.DecodedInstr{},
 		MaxInstructions: 64 << 20,
 		lineShift:       lineShift,
 		irqScratch:      0x40000, // inside the reserved low megabyte

@@ -176,20 +176,56 @@ func (m *Machine) decodeSlow(rip uint32) (*x86.DecodedInstr, error) {
 	return &e.d, nil
 }
 
+// decKey identifies a decode-memo entry: the raw code-byte window an
+// instruction was decoded from (n valid bytes, zero-padded). Decoding is
+// a pure function of the window, so identical windows always produce the
+// same instruction up to the address-derived fields, which RelocAt
+// recomputes on every hit.
+type decKey struct {
+	b [15]byte
+	n uint8
+}
+
+// decMemoCap bounds the content-keyed decode memo; when full, the map is
+// reset rather than evicted entry-by-entry (the working set of distinct
+// instruction encodings in any one experiment is far below the cap).
+const decMemoCap = 1 << 16
+
 // decodeRaw decodes and pre-decodes the instruction at rip from simulated
 // memory, resolving its fallthrough/target addresses and line span.
+//
+// Results are memoized by code-byte content, not by address: experiment
+// drivers regenerate near-identical images for every access sequence, and
+// the eager predecode in WriteCode would otherwise re-run the full decoder
+// over thousands of repeated MOV/branch encodings. The memo never needs
+// invalidation — changed bytes are a different key.
 func (m *Machine) decodeRaw(rip uint32) (x86.DecodedInstr, error) {
-	code := m.readCodeBytes(rip)
-	if len(code) == 0 {
+	var key decKey
+	n := 15
+	for ; n > 0; n-- {
+		if m.Mem.Read(rip, key.b[:n]) {
+			break
+		}
+	}
+	if n == 0 {
 		return x86.DecodedInstr{}, &Fault{RIP: rip, Reason: "code read from unmapped memory"}
 	}
-	in, n, err := x86.Decode(code)
+	key.n = uint8(n)
+	if d, ok := m.decMemo[key]; ok {
+		d.RelocAt(rip, m.lineShift)
+		return d, nil
+	}
+	in, ln, err := x86.Decode(key.b[:n])
 	if err != nil {
 		return x86.DecodedInstr{}, &Fault{RIP: rip, Reason: fmt.Sprintf("undecodable instruction: %v", err)}
 	}
-	d, err := x86.PredecodeAt(in, n, rip, m.lineShift)
+	d, err := x86.PredecodeAt(in, ln, rip, m.lineShift)
 	if err != nil {
 		return x86.DecodedInstr{}, &Fault{RIP: rip, Reason: err.Error()}
 	}
+	if len(m.decMemo) >= decMemoCap {
+		m.decMemo = make(map[decKey]x86.DecodedInstr, decMemoCap)
+	}
+	m.decMemo[key] = d
 	return d, nil
 }

@@ -494,6 +494,16 @@ func (p *PMU) RecordBatch(counts *[NumEvents]uint16, cycle int64) {
 	}
 }
 
+// AnyActive reports whether any event counter is enabled and programmed:
+// when false, Record/RecordBatch deliveries are no-ops and callers may
+// skip assembling event vectors entirely.
+func (p *PMU) AnyActive() bool {
+	if p.listenersStale {
+		p.rebuildListeners()
+	}
+	return len(p.active) > 0
+}
+
 // SetGlobalEnable enables or disables all fixed and programmable counters
 // at the given cycle (the IA32_PERF_GLOBAL_CTRL model used for nanoBench's
 // pause/resume feature).

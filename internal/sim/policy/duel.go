@@ -33,6 +33,9 @@ func (s *PSel) MissB() {
 // UseB reports whether follower sets should currently use policy B.
 func (s *PSel) UseB() bool { return s.v > s.max/2 }
 
+// Reset restores the counter to its power-on midpoint.
+func (s *PSel) Reset() { s.v = s.max / 2 }
+
 // leader wraps a fixed policy and reports its misses to the selector.
 type leader struct {
 	Policy

@@ -1,0 +1,151 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// duelEngine is the flat-state set-dueling combinator: leader-set
+// membership precomputed into two bitmaps, PSEL as a plain shared
+// counter, and the two candidate policies compiled to sub-kernels that
+// each own all sets' state. Per-set call routing mirrors the reference
+// leader/follower wrappers exactly: leader sets drive only their own
+// policy (bumping PSEL on fills), follower sets drive both policies and
+// take victims from whichever currently wins — so only the winning
+// policy's RNG stream advances on a follower miss, as in hardware where
+// the losing policy is never asked for a victim.
+type duelEngine struct {
+	name     string
+	a, b     Engine
+	psel     *PSel
+	aMask    []uint64
+	bMask    []uint64
+	provider RNGFor
+	// rngs memoizes one stream per set, shared by both sub-kernels (the
+	// per-line state bits are shared between the two policies, and so is
+	// their randomness — matching the reference follower wiring).
+	rngs []*rand.Rand
+}
+
+func newDuelEngine(d *DuelSpec, slice, sets, assoc int, rng RNGFor) (*duelEngine, error) {
+	if d.PSel == nil || d.Leader == nil {
+		return nil, fmt.Errorf("policy: dueling spec needs PSel and Leader")
+	}
+	e := &duelEngine{
+		psel:     d.PSel,
+		aMask:    make([]uint64, (sets+63)/64),
+		bMask:    make([]uint64, (sets+63)/64),
+		provider: rng,
+		rngs:     make([]*rand.Rand, sets),
+	}
+	for s := 0; s < sets; s++ {
+		switch d.Leader(slice, s) {
+		case 'A':
+			e.aMask[s>>6] |= 1 << uint(s&63)
+		case 'B':
+			e.bMask[s>>6] |= 1 << uint(s&63)
+		}
+	}
+	shared := RNGFor(e.rng)
+	var err error
+	if e.a, err = newKernel(d.PolicyA, sets, assoc, shared); err != nil {
+		return nil, err
+	}
+	if e.b, err = newKernel(d.PolicyB, sets, assoc, shared); err != nil {
+		return nil, err
+	}
+	e.name = fmt.Sprintf("DUEL(%s,%s)", e.a.Name(), e.b.Name())
+	return e, nil
+}
+
+func (e *duelEngine) rng(set int) *rand.Rand {
+	if e.rngs[set] == nil {
+		e.rngs[set] = e.provider(set)
+	}
+	return e.rngs[set]
+}
+
+// leader returns 'A'/'B' for leader sets, 0 for followers.
+func (e *duelEngine) leader(set int) byte {
+	if e.aMask[set>>6]>>uint(set&63)&1 != 0 {
+		return 'A'
+	}
+	if e.bMask[set>>6]>>uint(set&63)&1 != 0 {
+		return 'B'
+	}
+	return 0
+}
+
+func (e *duelEngine) Name() string { return e.name }
+
+func (e *duelEngine) OnHit(set, way int) {
+	switch e.leader(set) {
+	case 'A':
+		e.a.OnHit(set, way)
+	case 'B':
+		e.b.OnHit(set, way)
+	default:
+		e.a.OnHit(set, way)
+		e.b.OnHit(set, way)
+	}
+}
+
+func (e *duelEngine) Victim(set int) int {
+	switch e.leader(set) {
+	case 'A':
+		return e.a.Victim(set)
+	case 'B':
+		return e.b.Victim(set)
+	}
+	if e.psel.UseB() {
+		return e.b.Victim(set)
+	}
+	return e.a.Victim(set)
+}
+
+func (e *duelEngine) OnFill(set, way int) {
+	switch e.leader(set) {
+	case 'A':
+		e.psel.MissA()
+		e.a.OnFill(set, way)
+	case 'B':
+		e.psel.MissB()
+		e.b.OnFill(set, way)
+	default:
+		e.a.OnFill(set, way)
+		e.b.OnFill(set, way)
+	}
+}
+
+func (e *duelEngine) OnInvalidate(set, way int) {
+	switch e.leader(set) {
+	case 'A':
+		e.a.OnInvalidate(set, way)
+	case 'B':
+		e.b.OnInvalidate(set, way)
+	default:
+		e.a.OnInvalidate(set, way)
+		e.b.OnInvalidate(set, way)
+	}
+}
+
+func (e *duelEngine) Reset(set int) {
+	switch e.leader(set) {
+	case 'A':
+		e.a.Reset(set)
+	case 'B':
+		e.b.Reset(set)
+	default:
+		e.a.Reset(set)
+		e.b.Reset(set)
+	}
+}
+
+func (e *duelEngine) Restream() {
+	for i := range e.rngs {
+		e.rngs[i] = nil
+	}
+	e.psel.Reset()
+	e.a.Restream()
+	e.b.Restream()
+}

@@ -1,0 +1,305 @@
+package policy
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// This file holds the flat-state kernels behind NewEngine. Each kernel
+// packs the replacement state of every set into contiguous arrays indexed
+// by set*assoc+way (ages, stamps) or one word per set (occupancy,
+// tree/status bits), replacing per-set heap objects and interface calls.
+// Kernels require assoc ≤ 64 so occupancy fits a word; newKernel routes
+// anything wider to the reference engine.
+
+// setOcc tracks per-set way occupancy as one bitmask word per set.
+type setOcc struct {
+	words []uint64
+	full  uint64
+}
+
+func newSetOcc(sets, assoc int) setOcc {
+	return setOcc{words: make([]uint64, sets), full: fullMask(assoc)}
+}
+
+func fullMask(assoc int) uint64 {
+	if assoc >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(assoc) - 1
+}
+
+func (o *setOcc) isFull(set int) bool    { return o.words[set] == o.full }
+func (o *setOcc) test(set, way int) bool { return o.words[set]>>uint(way)&1 != 0 }
+func (o *setOcc) mark(set, way int)      { o.words[set] |= 1 << uint(way) }
+func (o *setOcc) clear(set, way int)     { o.words[set] &^= 1 << uint(way) }
+func (o *setOcc) reset(set int)          { o.words[set] = 0 }
+func (o *setOcc) leftmostEmpty(set int) int {
+	return bits.TrailingZeros64(^o.words[set] & o.full)
+}
+func (o *setOcc) rightmostEmpty(set int) int {
+	return 63 - bits.LeadingZeros64(^o.words[set]&o.full)
+}
+
+// stampEngine implements LRU and FIFO (fifo=true: hits do not update).
+// Stamps are uint32 (half the reference's footprint); the per-set clock
+// is renormalized by rank on the wrap no real workload reaches.
+type stampEngine struct {
+	name   string
+	fifo   bool
+	assoc  int
+	occ    setOcc
+	stamps []uint32
+	clock  []uint32
+}
+
+func newStampEngine(name string, sets, assoc int, fifo bool) *stampEngine {
+	return &stampEngine{
+		name: name, fifo: fifo, assoc: assoc,
+		occ:    newSetOcc(sets, assoc),
+		stamps: make([]uint32, sets*assoc),
+		clock:  make([]uint32, sets),
+	}
+}
+
+func (e *stampEngine) Name() string { return e.name }
+
+func (e *stampEngine) bump(set, way int) {
+	if e.clock[set] == ^uint32(0) {
+		e.renorm(set)
+	}
+	e.clock[set]++
+	e.stamps[set*e.assoc+way] = e.clock[set]
+}
+
+// renorm rank-compresses a set's stamps, preserving their order, so the
+// clock can restart. Recency order — the only thing Victim consults — is
+// unchanged.
+func (e *stampEngine) renorm(set int) {
+	base := set * e.assoc
+	old := append([]uint32(nil), e.stamps[base:base+e.assoc]...)
+	for w := 0; w < e.assoc; w++ {
+		rank := uint32(1)
+		for v := 0; v < e.assoc; v++ {
+			if old[v] < old[w] {
+				rank++
+			}
+		}
+		e.stamps[base+w] = rank
+	}
+	e.clock[set] = uint32(e.assoc) + 1
+}
+
+func (e *stampEngine) OnHit(set, way int) {
+	if e.fifo {
+		return
+	}
+	e.bump(set, way)
+}
+
+func (e *stampEngine) Victim(set int) int {
+	if !e.occ.isFull(set) {
+		return e.occ.leftmostEmpty(set)
+	}
+	base := set * e.assoc
+	victim, best := 0, e.stamps[base]
+	for w := 1; w < e.assoc; w++ {
+		if s := e.stamps[base+w]; s < best {
+			victim, best = w, s
+		}
+	}
+	return victim
+}
+
+func (e *stampEngine) OnFill(set, way int) {
+	e.occ.mark(set, way)
+	e.bump(set, way)
+}
+
+func (e *stampEngine) OnInvalidate(set, way int) {
+	e.occ.clear(set, way)
+	e.stamps[set*e.assoc+way] = 0
+}
+
+func (e *stampEngine) Reset(set int) {
+	e.occ.reset(set)
+	e.clock[set] = 0
+	base := set * e.assoc
+	for w := 0; w < e.assoc; w++ {
+		e.stamps[base+w] = 0
+	}
+}
+
+func (e *stampEngine) Restream() {}
+
+// plruEngine implements tree-PLRU with each set's tree bits packed into
+// one word (bit n = heap node n, 1 ≡ "points right/away").
+type plruEngine struct {
+	assoc int
+	occ   setOcc
+	tree  []uint64
+}
+
+func newPLRUEngine(sets, assoc int) *plruEngine {
+	return &plruEngine{assoc: assoc, occ: newSetOcc(sets, assoc), tree: make([]uint64, sets)}
+}
+
+func (e *plruEngine) Name() string { return "PLRU" }
+
+func (e *plruEngine) touch(set, way int) {
+	word := e.tree[set]
+	node := 1
+	lo, hi := 0, e.assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			word |= 1 << uint(node) // point right, away from the leaf
+			node = 2 * node
+			hi = mid
+		} else {
+			word &^= 1 << uint(node)
+			node = 2*node + 1
+			lo = mid
+		}
+	}
+	e.tree[set] = word
+}
+
+func (e *plruEngine) OnHit(set, way int) { e.touch(set, way) }
+
+func (e *plruEngine) Victim(set int) int {
+	if !e.occ.isFull(set) {
+		return e.occ.leftmostEmpty(set)
+	}
+	word := e.tree[set]
+	node := 1
+	lo, hi := 0, e.assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if word>>uint(node)&1 == 0 { // points left
+			node = 2 * node
+			hi = mid
+		} else {
+			node = 2*node + 1
+			lo = mid
+		}
+	}
+	return lo
+}
+
+func (e *plruEngine) OnFill(set, way int) {
+	e.occ.mark(set, way)
+	e.touch(set, way)
+}
+
+func (e *plruEngine) OnInvalidate(set, way int) { e.occ.clear(set, way) }
+
+func (e *plruEngine) Reset(set int) {
+	e.occ.reset(set)
+	e.tree[set] = 0
+}
+
+func (e *plruEngine) Restream() {}
+
+// mruEngine implements MRU/bit-PLRU and the Sandy Bridge MRU* variant
+// with one status word per set (bit w = 1 ≡ replacement candidate).
+type mruEngine struct {
+	name  string
+	sb    bool
+	assoc int
+	occ   setOcc
+	cand  []uint64
+}
+
+func newMRUEngine(name string, sets, assoc int, sb bool) *mruEngine {
+	e := &mruEngine{name: name, sb: sb, assoc: assoc, occ: newSetOcc(sets, assoc), cand: make([]uint64, sets)}
+	// Power-on state: every line is a replacement candidate.
+	for s := range e.cand {
+		e.cand[s] = e.occ.full
+	}
+	return e
+}
+
+func (e *mruEngine) Name() string { return e.name }
+
+func (e *mruEngine) access(set, way int) {
+	word := e.cand[set] &^ (1 << uint(way))
+	if word == 0 {
+		// Last candidate bit was cleared: all other lines become
+		// candidates again.
+		word = e.occ.full &^ (1 << uint(way))
+	}
+	e.cand[set] = word
+}
+
+func (e *mruEngine) OnHit(set, way int) { e.access(set, way) }
+
+func (e *mruEngine) Victim(set int) int {
+	if !e.occ.isFull(set) {
+		return e.occ.leftmostEmpty(set)
+	}
+	word := e.cand[set]
+	if word == 0 {
+		return 0
+	}
+	return bits.TrailingZeros64(word)
+}
+
+func (e *mruEngine) OnFill(set, way int) {
+	e.occ.mark(set, way)
+	if e.sb && !e.occ.isFull(set) {
+		e.cand[set] = e.occ.full
+		return
+	}
+	e.access(set, way)
+}
+
+func (e *mruEngine) OnInvalidate(set, way int) { e.occ.clear(set, way) }
+
+func (e *mruEngine) Reset(set int) {
+	e.occ.reset(set)
+	e.cand[set] = e.occ.full
+}
+
+func (e *mruEngine) Restream() {}
+
+// randomEngine implements RANDOM replacement with one lazily-derived RNG
+// stream per set.
+type randomEngine struct {
+	assoc    int
+	occ      setOcc
+	provider RNGFor
+	rngs     []*rand.Rand
+}
+
+func newRandomEngine(sets, assoc int, rng RNGFor) *randomEngine {
+	return &randomEngine{assoc: assoc, occ: newSetOcc(sets, assoc), provider: rng, rngs: make([]*rand.Rand, sets)}
+}
+
+func (e *randomEngine) Name() string { return "RANDOM" }
+
+func (e *randomEngine) rng(set int) *rand.Rand {
+	if e.rngs[set] == nil {
+		e.rngs[set] = e.provider(set)
+	}
+	return e.rngs[set]
+}
+
+func (e *randomEngine) OnHit(set, way int) {}
+
+func (e *randomEngine) Victim(set int) int {
+	if !e.occ.isFull(set) {
+		return e.occ.leftmostEmpty(set)
+	}
+	return e.rng(set).Intn(e.assoc)
+}
+
+func (e *randomEngine) OnFill(set, way int)       { e.occ.mark(set, way) }
+func (e *randomEngine) OnInvalidate(set, way int) { e.occ.clear(set, way) }
+func (e *randomEngine) Reset(set int)             { e.occ.reset(set) }
+
+func (e *randomEngine) Restream() {
+	for i := range e.rngs {
+		e.rngs[i] = nil
+	}
+}

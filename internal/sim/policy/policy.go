@@ -7,6 +7,18 @@
 // These implementations serve two roles: they are the ground truth wired
 // into the simulated machines' caches, and they are the candidate models
 // the case-study-II inference tools compare measurements against.
+//
+// Each policy exists in two forms: the per-set Policy objects below (the
+// reference implementations) and the flat-state Engine kernels built by
+// NewEngine, which pack all sets' state of one cache into contiguous
+// arrays for the simulation hot paths. The two are pinned bit-identical
+// by TestEngineMatchesReference; the Single type exposes the same kernels
+// for single-set trace simulation (CountHits/Simulate).
+//
+// Randomized decisions follow the per-set seeding contract documented in
+// rng.go: each set's stream is derived from (root seed, slice, set,
+// stream index) via SetSeed, so decisions do not depend on the order sets
+// are first touched or on how work is split across workers.
 package policy
 
 import (

@@ -1,0 +1,228 @@
+package policy
+
+import "math/rand"
+
+// qlruEngine is the compiled flat-state kernel for one QLRU variant. The
+// parsed spec is baked into a hit-promotion table and pre-branched
+// R/U-variant fields instead of being re-interpreted per access, and the
+// U-variant aging rule runs in O(1) instead of an O(assoc) sweep: each
+// set's ages are stored relative to a per-set bias (aging every valid way
+// by delta is one bias decrement), and a per-set histogram of effective
+// ages keeps both the "an age-3 block exists" early-out and the
+// delta = 3 - maxAge computation constant-time.
+type qlruEngine struct {
+	q     QLRUParams
+	name  string
+	assoc int
+	occ   setOcc
+	// ages[set*assoc+way] is the stored age; the way's effective age is
+	// ages[i] - bias[set]. Valid ways always have effective ages in
+	// [0, 3]; stored values of invalid ways are never read before being
+	// rewritten by OnFill.
+	ages []int16
+	bias []int16
+	// hist[set*4+a] counts the valid ways of set whose effective age is a.
+	hist []int32
+	// hitTab[age] is the post-hit age: {0, 0, HitY, HitX}.
+	hitTab   [4]uint8
+	provider RNGFor
+	rngs     []*rand.Rand // memoized per-set streams (probabilistic only)
+}
+
+// biasRenorm triggers re-basing a set's stored ages. Aging decrements the
+// bias by at most 3, so stored values stay comfortably inside int16 and
+// the O(assoc) renormalization amortizes to nothing.
+const biasRenorm = -16000
+
+func newQLRUEngine(q QLRUParams, sets, assoc int, rng RNGFor) *qlruEngine {
+	e := &qlruEngine{
+		q: q, name: q.Name(), assoc: assoc,
+		occ:      newSetOcc(sets, assoc),
+		ages:     make([]int16, sets*assoc),
+		bias:     make([]int16, sets),
+		hist:     make([]int32, sets*4),
+		hitTab:   [4]uint8{0, 0, q.HitY, q.HitX},
+		provider: rng,
+	}
+	if q.InsertProb > 0 {
+		e.rngs = make([]*rand.Rand, sets)
+	}
+	return e
+}
+
+func (e *qlruEngine) Name() string { return e.name }
+
+// update applies the U-variant age adjustment; i is the accessed way, or
+// -1 on a UMO miss. The histogram makes every step O(1): the early-out is
+// hist[3] > 0, the U0/U1 delta comes from the highest occupied bucket,
+// and aging all valid ways is a bias decrement plus a histogram shift
+// (the accessed way, when the variant exempts it, is compensated back).
+func (e *qlruEngine) update(set, i int) {
+	h := e.hist[set*4 : set*4+4]
+	if h[3] > 0 {
+		return
+	}
+	if e.occ.words[set] == 0 {
+		return
+	}
+	delta := int16(1)
+	if e.q.UVariant < 2 {
+		// delta = 3 - maxAge; some valid way exists, so a bucket is
+		// occupied and maxAge ≤ 2 (h[3] == 0 here).
+		switch {
+		case h[2] > 0:
+			delta = 1
+		case h[1] > 0:
+			delta = 2
+		default:
+			delta = 3
+		}
+	}
+	skip := -1
+	if (e.q.UVariant == 1 || e.q.UVariant == 3) && i >= 0 {
+		skip = i
+	}
+	var skipAge int16
+	if skip >= 0 && e.occ.test(set, skip) {
+		skipAge = e.ages[set*e.assoc+skip] - e.bias[set]
+		h[skipAge]--
+	} else {
+		skip = -1
+	}
+	// Shift the histogram up by delta; no valid way has age 3, so
+	// age+delta ≤ 3 (delta = 3-maxAge for U0/U1, 1 for U2/U3) and the
+	// reference clamp can never fire.
+	for a := 3 - delta; a >= 0; a-- {
+		h[a+delta] = h[a]
+	}
+	for a := int16(0); a < delta; a++ {
+		h[a] = 0
+	}
+	e.bias[set] -= delta
+	if skip >= 0 {
+		// The exempted way keeps its effective age: the bias decrement
+		// raised every effective age by delta, so its stored age drops.
+		e.ages[set*e.assoc+skip] -= delta
+		h[skipAge]++
+	}
+	if e.bias[set] <= biasRenorm {
+		e.renorm(set)
+	}
+}
+
+// renorm rewrites a set's stored ages as plain effective ages and resets
+// the bias. Stored values of invalid ways may be stale; clamping them
+// into [0, 3] is safe (they are rewritten before any read) and keeps
+// every stored value small.
+func (e *qlruEngine) renorm(set int) {
+	base := set * e.assoc
+	b := e.bias[set]
+	for w := 0; w < e.assoc; w++ {
+		a := e.ages[base+w] - b
+		if a < 0 {
+			a = 0
+		} else if a > 3 {
+			a = 3
+		}
+		e.ages[base+w] = a
+	}
+	e.bias[set] = 0
+}
+
+func (e *qlruEngine) OnHit(set, way int) {
+	i := set*e.assoc + way
+	old := e.ages[i] - e.bias[set]
+	nw := int16(e.hitTab[old])
+	if nw != old {
+		e.ages[i] = nw + e.bias[set]
+		e.hist[set*4+int(old)]--
+		e.hist[set*4+int(nw)]++
+	}
+	if !e.q.UpdateOnMissOnly && e.hist[set*4+3] == 0 {
+		e.update(set, way)
+	}
+}
+
+func (e *qlruEngine) Victim(set int) int {
+	if !e.occ.isFull(set) {
+		if e.q.RVariant == 2 {
+			return e.occ.rightmostEmpty(set)
+		}
+		return e.occ.leftmostEmpty(set)
+	}
+	if e.q.UpdateOnMissOnly {
+		e.update(set, -1)
+	}
+	if e.hist[set*4+3] == 0 {
+		// No age-3 block: R1 (and, for determinism, R0/R2) replaces the
+		// leftmost way.
+		return 0
+	}
+	base := set * e.assoc
+	want := 3 + e.bias[set]
+	for w := 0; w < e.assoc; w++ {
+		if e.ages[base+w] == want {
+			return w
+		}
+	}
+	return 0
+}
+
+func (e *qlruEngine) rng(set int) *rand.Rand {
+	if e.rngs[set] == nil {
+		e.rngs[set] = e.provider(set)
+	}
+	return e.rngs[set]
+}
+
+func (e *qlruEngine) insertionAge(set int) uint8 {
+	if e.q.InsertProb > 0 {
+		if r := e.rng(set); r != nil && r.Intn(e.q.InsertProb) == 0 {
+			return e.q.InsertAge
+		}
+		return 3
+	}
+	return e.q.InsertAge
+}
+
+func (e *qlruEngine) OnFill(set, way int) {
+	i := set*e.assoc + way
+	if e.occ.test(set, way) {
+		// Replacing a valid line (eviction fill): drop its old age.
+		e.hist[set*4+int(e.ages[i]-e.bias[set])]--
+	}
+	e.occ.mark(set, way)
+	a := int16(e.insertionAge(set))
+	e.ages[i] = a + e.bias[set]
+	e.hist[set*4+int(a)]++
+	if !e.q.UpdateOnMissOnly && e.hist[set*4+3] == 0 {
+		e.update(set, way)
+	}
+}
+
+func (e *qlruEngine) OnInvalidate(set, way int) {
+	i := set*e.assoc + way
+	if e.occ.test(set, way) {
+		e.hist[set*4+int(e.ages[i]-e.bias[set])]--
+	}
+	e.occ.clear(set, way)
+	e.ages[i] = e.bias[set]
+}
+
+func (e *qlruEngine) Reset(set int) {
+	e.occ.reset(set)
+	base := set * e.assoc
+	for w := 0; w < e.assoc; w++ {
+		e.ages[base+w] = 0
+	}
+	e.bias[set] = 0
+	for a := 0; a < 4; a++ {
+		e.hist[set*4+a] = 0
+	}
+}
+
+func (e *qlruEngine) Restream() {
+	for i := range e.rngs {
+		e.rngs[i] = nil
+	}
+}

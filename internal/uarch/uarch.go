@@ -7,7 +7,6 @@ package uarch
 
 import (
 	"fmt"
-	"math/rand"
 
 	"nanobench/internal/sim/cache"
 	"nanobench/internal/sim/machine"
@@ -101,22 +100,12 @@ func (c *CPU) MachineSpec(seed int64) machine.Spec {
 	l3Factory := cache.SimplePolicy(c.L3Policy)
 	if c.L3Adaptive != nil {
 		ad := c.L3Adaptive
-		psel := policy.NewPSel(1024)
-		l3Factory = func(slice, set int, assoc int, rng *rand.Rand) policy.Policy {
-			switch ad.Leader(slice, set) {
-			case 'A':
-				return policy.NewLeader(policy.MustNew(ad.PolicyA, assoc, rng), psel, true)
-			case 'B':
-				return policy.NewLeader(policy.MustNew(ad.PolicyB, assoc, rng), psel, false)
-			}
-			f, err := policy.NewFollower(
-				policy.MustNew(ad.PolicyA, assoc, rng),
-				policy.MustNew(ad.PolicyB, assoc, rng), psel)
-			if err != nil {
-				panic(err)
-			}
-			return f
-		}
+		l3Factory = cache.AdaptivePolicy(policy.DuelSpec{
+			PolicyA: ad.PolicyA,
+			PolicyB: ad.PolicyB,
+			PSel:    policy.NewPSel(1024),
+			Leader:  ad.Leader,
+		})
 	}
 
 	return machine.Spec{

@@ -192,6 +192,22 @@ func PredecodeAt(in Instr, n int, rip uint32, lineShift uint8) (DecodedInstr, er
 	return d, nil
 }
 
+// RelocAt rewrites the address-derived fields of a pre-decoded
+// instruction — the absolute fallthrough, the resolved branch target, and
+// the cache-line span — for a copy located at virtual address rip. Every
+// other field of a DecodedInstr is a pure function of the encoded bytes,
+// so a memoized decode plus RelocAt is equivalent to running PredecodeAt
+// at the new address.
+func (d *DecodedInstr) RelocAt(rip uint32, lineShift uint8) {
+	d.Next = rip + uint32(d.Len)
+	if d.TargetOK {
+		d.Target = uint32(int64(d.Next) + d.Imm)
+	}
+	mask := uint32(1)<<lineShift - 1
+	d.LineFirst = rip &^ mask
+	d.LineLast = (rip + uint32(d.Len) - 1) &^ mask
+}
+
 // DecodeOne decodes and pre-decodes the instruction at the start of buf,
 // as if it were located at virtual address rip with 1<<lineShift-byte
 // instruction-cache lines.

@@ -1,13 +1,13 @@
 // benchjson converts `go test -bench` output into a stable JSON artifact
 // and compares two such artifacts, failing on performance regressions.
-// It is the engine behind `make bench` (emits BENCH_5.json) and
+// It is the engine behind `make bench` (emits BENCH_7.json) and
 // `make bench-compare` (diffs it against the committed baseline in
 // bench/BENCH_BASELINE.json and fails the job on a >10% regression in
-// step throughput).
+// any gated benchmark).
 //
 // Convert:
 //
-//	go run ./scripts/benchjson -in bench.txt [-in more.txt ...] -out BENCH_5.json
+//	go run ./scripts/benchjson -in bench.txt [-in more.txt ...] -out BENCH_7.json
 //
 // Multiple -in files (and repeated runs via -count) merge; when the same
 // benchmark appears more than once, the fastest run (minimum ns/op) wins,
@@ -15,13 +15,14 @@
 //
 // Compare:
 //
-//	go run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_5.json \
-//	    [-bench BenchmarkStepThroughput] [-metric ns/instr] [-tolerance 0.10]
+//	go run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_7.json \
+//	    [-bench BenchmarkStepThroughput ...] [-metric ns/instr] [-tolerance 0.10]
 //
-// Every benchmark in the baseline whose name starts with -bench is
-// checked: the run under test must not exceed baseline×(1+tolerance) on
-// -metric (falling back to ns/op when the metric is absent). Exit status
-// 1 on regression, with a human-readable table either way.
+// Every benchmark in the baseline whose name starts with one of the
+// (repeatable) -bench prefixes is checked: the run under test must not
+// exceed baseline×(1+tolerance) on -metric (falling back to ns/op when
+// the metric is absent). Exit status 1 on regression, with a
+// human-readable table either way.
 package main
 
 import (
@@ -128,7 +129,8 @@ func main() {
 	out := flag.String("out", "", "JSON artifact to write")
 	baseline := flag.String("baseline", "", "baseline artifact for -against comparison")
 	against := flag.String("against", "", "artifact to compare against the baseline")
-	benchPrefix := flag.String("bench", "BenchmarkStepThroughput", "benchmark name prefix the comparison gates on")
+	var benchPrefixes multiFlag
+	flag.Var(&benchPrefixes, "bench", "benchmark name prefix the comparison gates on (repeatable; default BenchmarkStepThroughput)")
 	metric := flag.String("metric", "ns/instr", "custom metric to compare (ns/op when absent)")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative regression before failing")
 	flag.Parse()
@@ -162,15 +164,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if len(benchPrefixes) == 0 {
+			benchPrefixes = multiFlag{"BenchmarkStepThroughput"}
+		}
 		names := make([]string, 0, len(base.Benchmarks))
 		for name := range base.Benchmarks {
-			if strings.HasPrefix(name, *benchPrefix) {
-				names = append(names, name)
+			for _, p := range benchPrefixes {
+				if strings.HasPrefix(name, p) {
+					names = append(names, name)
+					break
+				}
 			}
 		}
 		sort.Strings(names)
 		if len(names) == 0 {
-			fatal(fmt.Errorf("%s: no benchmarks match prefix %q", *baseline, *benchPrefix))
+			fatal(fmt.Errorf("%s: no benchmarks match prefixes %q", *baseline, benchPrefixes.String()))
 		}
 		failed := false
 		for _, name := range names {
