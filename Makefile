@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build build-bins test test-short test-race vet fmt fmt-check ci bench bench-compare profile serve smoke
+.PHONY: build build-bins test test-short test-race vet lint fuzz-smoke fmt fmt-check ci bench bench-compare profile serve smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,31 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# Invariant linting (docs/LINTS.md): the in-tree nanolint suite always
+# runs; staticcheck and govulncheck join in when installed (they are not
+# vendored, so offline environments skip them rather than fail).
+lint:
+	$(GO) run ./cmd/nanolint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipped"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipped"; \
+	fi
+
+# Short-budget fuzz pass over every hostile-input parser (docs/LINTS.md).
+# Each target also runs its seed corpus as a plain test in `make test`.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzConfigUnmarshalJSON$$' -fuzztime $(FUZZTIME) ./internal/nano
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQLRU$$' -fuzztime $(FUZZTIME) ./internal/sim/policy
+	$(GO) test -run '^$$' -fuzz '^FuzzParseMode$$' -fuzztime $(FUZZTIME) ./internal/sim/machine
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/perfcfg
 
 # One pass over every benchmark (no test functions) plus stable
 # multi-iteration measurements of the gated headlines (step throughput
@@ -90,4 +115,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build build-bins test-short test
+ci: fmt-check vet lint build build-bins test-short test

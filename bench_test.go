@@ -42,7 +42,7 @@ func BenchmarkExampleL1Latency(b *testing.B) {
 
 func BenchmarkNanoBenchKernelRuntime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		kernel, _, err := experiments.NanoBenchTiming(io.Discard)
+		kernel, _, err := experiments.NanoBenchTiming(io.Discard, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func BenchmarkNanoBenchKernelRuntime(b *testing.B) {
 
 func BenchmarkNanoBenchUserRuntime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, user, err := experiments.NanoBenchTiming(io.Discard)
+		_, user, err := experiments.NanoBenchTiming(io.Discard, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

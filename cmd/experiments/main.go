@@ -53,7 +53,7 @@ func main() {
 	}
 
 	step(*example, func() error { _, err := experiments.ExampleL1Latency(w); return err })
-	step(*timing, func() error { _, _, err := experiments.NanoBenchTiming(w); return err })
+	step(*timing, func() error { _, _, err := experiments.NanoBenchTiming(w, nil); return err })
 	step(*table1, func() error { _, err := experiments.Table1(w, *quick); return err })
 	step(*fig1, func() error { _, err := experiments.Figure1(w, *quick); return err })
 	step(*serial, func() error { _, _, err := experiments.Serialization(w); return err })

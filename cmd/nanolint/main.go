@@ -1,0 +1,77 @@
+// Command nanolint runs the repository's custom static-analysis suite
+// (internal/lint): detrand, ctxfirst, errenvelope, and benchguard, each
+// scoped to the packages whose invariants it encodes (docs/LINTS.md).
+//
+// Usage:
+//
+//	nanolint [-checks detrand,ctxfirst] [-list] [packages]
+//
+// Packages default to ./... resolved from the current directory. The
+// exit status is 1 when any diagnostic survives the //nanolint:allow
+// waivers, making it a CI gate: `make lint` runs it over the module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nanobench/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	rules := lint.DefaultRules()
+	if *checks != "" {
+		want := make(map[string]bool)
+		for _, c := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(c)] = true
+		}
+		var filtered []lint.Rule
+		for _, r := range rules {
+			if want[r.Analyzer.Name] {
+				filtered = append(filtered, r)
+				delete(want, r.Analyzer.Name)
+			}
+		}
+		for c := range want {
+			fmt.Fprintf(os.Stderr, "nanolint: unknown check %q\n", c)
+			os.Exit(2)
+		}
+		rules = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nanolint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(wd, rules, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nanolint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nanolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

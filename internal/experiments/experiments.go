@@ -86,11 +86,24 @@ D1.08 MEM_LOAD_RETIRED.L1_MISS`),
 	return res, nil
 }
 
+// Clock supplies the wall-clock readings NanoBenchTiming times the tool
+// with. A nil Clock means the real wall clock; tests inject a fake to
+// keep the experiment deterministic (the detrand invariant, docs/LINTS.md).
+type Clock func() time.Time
+
 // NanoBenchTiming measures the wall-clock execution time of one nanoBench
 // evaluation (Section III-K: one NOP, unrollCount 100, loopCount 0,
 // nMeasurements 10, four events; the paper reports ~15 ms kernel / ~50 ms
-// user on an i7-8700K).
-func NanoBenchTiming(w io.Writer) (kernel, user time.Duration, err error) {
+// user on an i7-8700K). Unlike every other experiment, the measurand here
+// is the tool's own elapsed time, so the clock is a parameter rather
+// than simulated state.
+func NanoBenchTiming(w io.Writer, clock Clock) (kernel, user time.Duration, err error) {
+	if clock == nil {
+		// E2 quantifies real tool overhead, off the deterministic
+		// result path; this default is the CLI behaviour.
+		//nanolint:allow detrand E2's measurand is the tool's own wall time (Section III-K); deterministic callers inject a Clock
+		clock = time.Now
+	}
 	cfg := nano.Config{
 		Code:          nano.MustAsm("nop"),
 		UnrollCount:   100,
@@ -110,11 +123,11 @@ C5.00 BR_MISP`),
 		if _, err := r.Run(cfg); err != nil { // warm the host paths
 			return 0, err
 		}
-		start := time.Now()
+		start := clock()
 		if _, err := r.Run(cfg); err != nil {
 			return 0, err
 		}
-		return time.Since(start), nil
+		return clock().Sub(start), nil
 	}
 	kernel, err = timeIt(machine.Kernel)
 	if err != nil {

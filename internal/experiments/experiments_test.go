@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"nanobench/internal/cachetools"
 	"nanobench/internal/sched"
@@ -244,5 +245,29 @@ func TestPoliciesEquivalent(t *testing.T) {
 	}
 	if policiesEquivalent("LRU", "NOPE", 8) {
 		t.Error("unknown name must not be equivalent")
+	}
+}
+
+// TestNanoBenchTimingInjectedClock pins E2's clock injection (the detrand
+// invariant's sanctioned escape): with a stepped fake clock the reported
+// durations are a pure function of the clock sequence, byte-identical on
+// every run.
+func TestNanoBenchTimingInjectedClock(t *testing.T) {
+	t.Parallel()
+	var ticks int64
+	clock := func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond))
+	}
+	kernel, user, err := NanoBenchTiming(io.Discard, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each mode reads the clock twice (start, end), one tick apart.
+	if kernel != time.Millisecond || user != time.Millisecond {
+		t.Errorf("kernel=%v user=%v, want 1ms each from the stepped clock", kernel, user)
+	}
+	if ticks != 4 {
+		t.Errorf("clock read %d times, want 4 (start/end per mode)", ticks)
 	}
 }

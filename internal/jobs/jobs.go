@@ -226,6 +226,9 @@ func New(opts Options) *Manager {
 		opts.TTL = DefaultTTL
 	}
 	if opts.Now == nil {
+		// The injected-clock default: job timestamps are observability
+		// metadata, not result bytes, and golden tests override Options.Now.
+		//nanolint:allow detrand injected-clock default; timestamps are metadata off the result path and tests inject Options.Now
 		opts.Now = func() int64 { return time.Now().UnixNano() }
 	}
 	m := &Manager{

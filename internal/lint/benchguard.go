@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BenchGuard keeps the PR 5/7 flat-engine wins from silently regressing:
+// on the simulator hot-path packages (internal/sim/policy,
+// internal/sim/machine) calls into fmt and log are forbidden — both
+// box their arguments into interfaces and allocate on every call. Two
+// positions are sanctioned because they are off the hot path by
+// construction: inside a return statement (error/fault construction on
+// a path that already aborts the run) and inside the arguments of a
+// panic. Anything else — notably formatting into a variable on the
+// access path — needs a //nanolint:allow waiver explaining why the call
+// site is cold.
+var BenchGuard = &Analyzer{
+	Name: "benchguard",
+	Doc:  "no fmt/log boxing on simulator hot paths outside return statements and panics",
+	Run:  runBenchGuard,
+}
+
+func runBenchGuard(pass *Pass) {
+	for _, f := range pass.Files {
+		benchGuardWalk(pass, f, false)
+	}
+}
+
+// benchGuardWalk visits n; escaped marks positions already inside a
+// return statement or panic argument list.
+func benchGuardWalk(pass *Pass, n ast.Node, escaped bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range c.Results {
+				benchGuardWalk(pass, r, true)
+			}
+			return false
+		case *ast.CallExpr:
+			if isPanicCall(pass, c) {
+				for _, a := range c.Args {
+					benchGuardWalk(pass, a, true)
+				}
+				return false
+			}
+			if !escaped {
+				if pkg, name, ok := boxingCall(pass, c); ok {
+					pass.Report(c.Pos(), "%s.%s on a hot-path package boxes its arguments; move it into a return/panic or waive with the cold-path reason", pkg, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// boxingCall reports a call to any fmt or log package-level function.
+func boxingCall(pass *Pass, call *ast.CallExpr) (pkg, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || obj.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, _ := obj.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+		return "", "", false
+	}
+	switch obj.Pkg().Path() {
+	case "fmt", "log":
+		return obj.Pkg().Name(), obj.Name(), true
+	}
+	return "", "", false
+}
+
+// isPanicCall reports whether call is the builtin panic.
+func isPanicCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}

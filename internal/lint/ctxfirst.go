@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFirst enforces the context discipline on the blocking API surfaces
+// (facade, client, sched, jobs, server): an exported function or
+// interface method that accepts a context.Context takes it as the first
+// parameter, and no struct stores a context.Context field — contexts
+// flow down call chains, they are not captured (storing one detaches
+// cancellation from the call that should own it).
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported blocking APIs take context.Context first and never store it in a struct",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if !n.Name.IsExported() {
+					return true
+				}
+				obj, ok := pass.Info.Defs[n.Name].(*types.Func)
+				if !ok {
+					return true
+				}
+				sig, ok := obj.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				checkCtxPosition(pass, n.Name.Pos(), n.Name.Name, sig)
+			case *ast.TypeSpec:
+				switch t := n.Type.(type) {
+				case *ast.StructType:
+					checkCtxFields(pass, t)
+				case *ast.InterfaceType:
+					checkCtxInterface(pass, n.Name.Name, t)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxPosition flags a signature that takes a context.Context
+// anywhere but parameter zero.
+func checkCtxPosition(pass *Pass, pos token.Pos, name string, sig *types.Signature) {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			if i != 0 {
+				pass.Report(pos, "%s takes context.Context as parameter %d; context must be the first parameter", name, i+1)
+			}
+			return
+		}
+	}
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		pass.Report(field.Pos(), "context.Context stored in a struct field; pass it per call instead (stored contexts detach cancellation)")
+	}
+}
+
+// checkCtxInterface applies the first-parameter rule to exported
+// interface methods.
+func checkCtxInterface(pass *Pass, typeName string, it *ast.InterfaceType) {
+	for _, m := range it.Methods.List {
+		ft, ok := m.Type.(*ast.FuncType)
+		if !ok || len(m.Names) == 0 || !m.Names[0].IsExported() {
+			continue
+		}
+		tv, ok := pass.Info.Types[ft]
+		if !ok {
+			continue
+		}
+		sig, ok := tv.Type.(*types.Signature)
+		if !ok {
+			continue
+		}
+		checkCtxPosition(pass, m.Names[0].Pos(), typeName+"."+m.Names[0].Name, sig)
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

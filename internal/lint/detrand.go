@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detrand enforces the determinism contract on result-path packages:
+// byte-identical output at any worker count, shard count, or
+// set-initialization order. Three sources of hidden nondeterminism are
+// forbidden:
+//
+//  1. Wall-clock reads: time.Now, time.Since, time.Until. The sanctioned
+//     escape is an injected clock (the jobs.Options.Now pattern).
+//  2. The global math/rand stream: any package-level draw (rand.Intn,
+//     rand.Perm, rand.Shuffle, ...) and rand.Seed. Constructing explicit
+//     streams (rand.New, rand.NewSource, rand.NewZipf) is allowed — the
+//     sanctioned streams derive from policy.SetSeed or
+//     sched.DeriveSeed.
+//  3. Map iteration whose order escapes the function: sends, writes to
+//     output streams, and writes to variables declared outside the
+//     enclosing function from inside a `range` over a map. Accumulating
+//     into a function-local (collect-then-sort) stays legal; per-key
+//     index writes are order-independent and stay legal too.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock reads, global math/rand, and escaping map-iteration order on deterministic packages",
+	Run:  runDetrand,
+}
+
+var detrandTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Package-level math/rand functions that only construct explicit streams.
+var detrandRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDetrand(pass *Pass) {
+	// Uses covers selector references, dot imports, and method values
+	// uniformly; RunPackage sorts diagnostics, so map order is harmless.
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods (e.g. on *rand.Rand) are stream-explicit
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if detrandTimeFuncs[fn.Name()] {
+				pass.Report(id.Pos(), "time.%s on a deterministic package: inject a clock (jobs.Options.Now pattern)", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if fn.Name() == "Seed" {
+				pass.Report(id.Pos(), "rand.Seed reseeds the shared global stream; derive explicit streams via policy.SetSeed / sched.DeriveSeed")
+			} else if !detrandRandOK[fn.Name()] {
+				pass.Report(id.Pos(), "global math/rand draw rand.%s on a deterministic package: use an explicit *rand.Rand seeded via policy.SetSeed / sched.DeriveSeed", fn.Name())
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		detrandMapRanges(pass, f, nil)
+	}
+}
+
+// detrandMapRanges walks n tracking the innermost enclosing function
+// scope, and checks every `range` over a map against the escape rules.
+func detrandMapRanges(pass *Pass, n ast.Node, fnScope *types.Scope) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncDecl:
+			detrandMapRanges(pass, c.Body, pass.Info.Scopes[c.Type])
+			return false
+		case *ast.FuncLit:
+			detrandMapRanges(pass, c.Body, pass.Info.Scopes[c.Type])
+			return false
+		case *ast.RangeStmt:
+			tv, ok := pass.Info.Types[c.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				detrandCheckRangeBody(pass, c, fnScope)
+			}
+		}
+		return true
+	})
+}
+
+// detrandCheckRangeBody flags order-dependent escapes inside one
+// map-range body.
+func detrandCheckRangeBody(pass *Pass, rs *ast.RangeStmt, fnScope *types.Scope) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own scope; judged when (if) it runs
+		case *ast.SendStmt:
+			pass.Report(n.Pos(), "channel send inside range over a map publishes iteration order; iterate sorted keys")
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue // per-key index/field writes are order-independent
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil || declaredWithin(obj, fnScope) {
+					continue
+				}
+				pass.Report(id.Pos(), "write to %s (declared outside the function) inside range over a map leaks iteration order; accumulate locally and sort", id.Name)
+			}
+		case *ast.CallExpr:
+			if name, ok := emitterCall(pass, n); ok {
+				pass.Report(n.Pos(), "%s inside range over a map emits in iteration order; iterate sorted keys", name)
+			}
+		}
+		return true
+	})
+}
+
+// declaredWithin reports whether obj's declaration scope lies inside
+// fnScope.
+func declaredWithin(obj types.Object, fnScope *types.Scope) bool {
+	if fnScope == nil {
+		return false
+	}
+	for s := obj.Parent(); s != nil; s = s.Parent() {
+		if s == fnScope {
+			return true
+		}
+	}
+	return false
+}
+
+// Output-stream method names whose call order is observable.
+var emitterMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// emitterCall recognizes calls that make iteration order observable:
+// fmt printing and writer/encoder methods.
+func emitterCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil {
+		if obj.Pkg().Path() == "fmt" && (strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {
+			return "fmt." + obj.Name(), true
+		}
+		if sig, _ := obj.Type().(*types.Signature); sig != nil && sig.Recv() != nil && emitterMethods[obj.Name()] {
+			return "." + obj.Name() + " call", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrEnvelope enforces the wire contract of internal/server: every error
+// a handler surfaces goes through the typed apiError envelope
+// (writeError), never through http.Error or a naked 5xx WriteHeader —
+// docs/API.md documents the envelope as the only error shape clients
+// will ever see, and the golden tests replay it byte-for-byte.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc:  "server errors go through the typed apiError envelope, not http.Error or naked 5xx WriteHeader",
+	Run:  runErrEnvelope,
+}
+
+func runErrEnvelope(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Error" {
+				pass.Report(call.Pos(), "http.Error bypasses the apiError envelope; use writeError (docs/API.md error schema)")
+				return true
+			}
+			if sig, _ := obj.Type().(*types.Signature); sig != nil && sig.Recv() != nil && obj.Name() == "WriteHeader" && len(call.Args) == 1 {
+				if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+					if code, ok := constant.Int64Val(tv.Value); ok && code >= 500 {
+						pass.Report(call.Pos(), "naked WriteHeader(%d) bypasses the apiError envelope; use writeError (docs/API.md error schema)", code)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,317 @@
+// Package lint is nanolint: a suite of static analyzers that mechanically
+// enforce the repository's determinism, context, and wire-discipline
+// invariants (docs/LINTS.md). The analyzers mirror the golang.org/x/tools
+// go/analysis shape — Analyzer, Pass, Diagnostic — but are self-hosted on
+// the standard library's go/ast + go/types so the module keeps its
+// zero-dependency go.mod; packages are type-checked offline from the
+// compiler's export data (see loader.go).
+//
+// Violations are suppressed only by an explicit waiver directive:
+//
+//	//nanolint:allow <check> <reason>
+//
+// The reason is mandatory, the check name must be one of the registered
+// analyzers, and the waiver covers exactly one statement: the statement
+// (or declaration, or struct field) it trails, or — when the directive
+// sits on its own line — the next one below it. Waivers that suppress
+// nothing are themselves errors, so stale annotations cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a type-checked package via the
+// Pass and reports findings through pass.Report.
+type Analyzer struct {
+	Name string // the check name used in diagnostics and waiver directives
+	Doc  string // one-line summary shown by `nanolint -list`
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File // non-test source files of the package
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Diagnostic)
+	check  string
+}
+
+// Report records one finding of the running analyzer.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Check: p.check, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position, the check that produced it, and
+// the message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string
+	Message string
+}
+
+// DirectiveCheck is the pseudo-check name of the waiver machinery itself.
+// Malformed or unused //nanolint:allow directives are reported under this
+// name and cannot be waived.
+const DirectiveCheck = "nanolint"
+
+// Analyzers returns the full suite, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Detrand, CtxFirst, ErrEnvelope, BenchGuard}
+}
+
+// Rule scopes one analyzer to a set of import paths. A match entry either
+// names a package exactly or, with a trailing slash, every package under
+// that prefix.
+type Rule struct {
+	Analyzer *Analyzer
+	Match    []string
+}
+
+func (r Rule) matches(pkgPath string) bool {
+	for _, m := range r.Match {
+		if strings.HasSuffix(m, "/") {
+			if strings.HasPrefix(pkgPath, m) {
+				return true
+			}
+		} else if pkgPath == m {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultRules maps each analyzer to the packages whose invariants it
+// encodes. This table is the single source of truth shared by
+// cmd/nanolint, `make lint`, and the self-clean test; docs/LINTS.md is
+// its prose twin.
+func DefaultRules() []Rule {
+	return []Rule{
+		// Deterministic packages: everything on the result path. A stray
+		// wall-clock read or global-RNG draw here breaks byte-identical
+		// replay at any worker/shard count.
+		{Analyzer: Detrand, Match: []string{
+			"nanobench",
+			"nanobench/internal/sched",
+			"nanobench/internal/sim/",
+			"nanobench/internal/cachetools",
+			"nanobench/internal/nano",
+			"nanobench/internal/experiments",
+			"nanobench/internal/jobs",
+			"nanobench/internal/server",
+			"nanobench/internal/uarch",
+			"nanobench/internal/x86",
+			"nanobench/internal/perfcfg",
+			"nanobench/internal/instbench",
+		}},
+		// Blocking API surfaces: context flows in as the first parameter
+		// and never hides in a struct.
+		{Analyzer: CtxFirst, Match: []string{
+			"nanobench",
+			"nanobench/client",
+			"nanobench/internal/sched",
+			"nanobench/internal/jobs",
+			"nanobench/internal/server",
+		}},
+		// The wire contract: errors leave internal/server only through the
+		// typed apiError envelope.
+		{Analyzer: ErrEnvelope, Match: []string{
+			"nanobench/internal/server",
+		}},
+		// The flat-engine hot paths: no fmt/log boxing outside error
+		// construction and panics.
+		{Analyzer: BenchGuard, Match: []string{
+			"nanobench/internal/sim/policy",
+			"nanobench/internal/sim/machine",
+		}},
+	}
+}
+
+// waiver is one parsed //nanolint:allow directive.
+type waiver struct {
+	pos    token.Pos // position of the directive comment
+	check  string
+	reason string
+	lo, hi token.Pos // statement span the waiver covers (0,0 = nothing)
+	used   bool
+	bad    bool // malformed: already reported, never "unused"
+}
+
+const directivePrefix = "//nanolint:allow"
+
+// RunPackage executes every rule-selected analyzer on pkg, applies the
+// waiver directives, validates the directives themselves, and returns the
+// surviving diagnostics sorted by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, rules []Rule) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	ran := make(map[string]bool)
+
+	var raw []Diagnostic
+	for _, r := range rules {
+		if !r.matches(pkg.Path()) {
+			continue
+		}
+		ran[r.Analyzer.Name] = true
+		pass := &Pass{
+			Fset:  fset,
+			Files: files,
+			Pkg:   pkg,
+			Info:  info,
+			check: r.Analyzer.Name,
+			report: func(d Diagnostic) {
+				raw = append(raw, d)
+			},
+		}
+		r.Analyzer.Run(pass)
+	}
+
+	var out []Diagnostic
+	var waivers []*waiver
+	for _, f := range files {
+		ws, diags := fileWaivers(fset, f, known)
+		waivers = append(waivers, ws...)
+		out = append(out, diags...)
+	}
+
+	// Apply waivers: a diagnostic is suppressed when a well-formed waiver
+	// for its check covers its position.
+	for _, d := range raw {
+		suppressed := false
+		for _, w := range waivers {
+			if w.bad || w.check != d.Check {
+				continue
+			}
+			if d.Pos >= w.lo && d.Pos < w.hi {
+				w.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	// A waiver for a check that ran here but matched nothing is stale.
+	for _, w := range waivers {
+		if !w.bad && !w.used && ran[w.check] {
+			out = append(out, Diagnostic{
+				Pos:     w.pos,
+				Check:   DirectiveCheck,
+				Message: fmt.Sprintf("unused nanolint:allow directive: no %s finding on the covered statement", w.check),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// fileWaivers parses every //nanolint:allow directive in f, computing the
+// statement span each one covers, and reports malformed directives.
+func fileWaivers(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*waiver, []Diagnostic) {
+	var ws []*waiver
+	var diags []Diagnostic
+	spans := coverageSpans(f)
+
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			w := &waiver{pos: c.Pos()}
+			ws = append(ws, w)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				// e.g. //nanolint:allowed — not ours, but close enough to
+				// a typo that silence would be dangerous.
+				w.bad = true
+				diags = append(diags, Diagnostic{c.Pos(), DirectiveCheck,
+					"malformed nanolint directive: want //nanolint:allow <check> <reason>"})
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				w.bad = true
+				diags = append(diags, Diagnostic{c.Pos(), DirectiveCheck,
+					"nanolint:allow directive is missing a check name and reason"})
+				continue
+			}
+			w.check = fields[0]
+			if !known[w.check] {
+				w.bad = true
+				diags = append(diags, Diagnostic{c.Pos(), DirectiveCheck,
+					fmt.Sprintf("nanolint:allow names unknown check %q (have %s)", w.check, checkNames())})
+				continue
+			}
+			w.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), w.check))
+			if w.reason == "" {
+				w.bad = true
+				diags = append(diags, Diagnostic{c.Pos(), DirectiveCheck,
+					fmt.Sprintf("nanolint:allow %s needs a reason: //nanolint:allow %s <why this is sound>", w.check, w.check)})
+				continue
+			}
+			w.lo, w.hi = waiverSpan(fset, c, spans)
+		}
+	}
+	return ws, diags
+}
+
+func checkNames() string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// span is the source range of one waivable node: a statement, a top-level
+// declaration, an inner spec, or a struct field.
+type span struct{ lo, hi token.Pos }
+
+// coverageSpans collects the positions a waiver may attach to.
+func coverageSpans(f *ast.File) []span {
+	var spans []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field:
+			spans = append(spans, span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	return spans
+}
+
+// waiverSpan resolves the one statement a directive covers. A trailing
+// directive (code earlier on its line) covers the innermost node that
+// starts on that line; an own-line directive covers the next node below
+// it — and nothing further.
+func waiverSpan(fset *token.FileSet, c *ast.Comment, spans []span) (lo, hi token.Pos) {
+	line := fset.Position(c.Pos()).Line
+	// Trailing: the latest node that starts on the directive's line,
+	// before the directive itself.
+	for i := len(spans) - 1; i >= 0; i-- {
+		s := spans[i]
+		if s.lo < c.Pos() && fset.Position(s.lo).Line == line {
+			return s.lo, s.hi
+		}
+	}
+	// Own-line: the first node that starts after the directive.
+	for _, s := range spans {
+		if s.lo > c.Pos() {
+			return s.lo, s.hi
+		}
+	}
+	return 0, 0
+}

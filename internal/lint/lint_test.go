@@ -1,0 +1,382 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"nanobench/internal/lint"
+)
+
+// ---- offline type-checking for fixtures and inline sources ----
+//
+// Fixtures import only the standard library; export data is resolved on
+// demand via `go list -export` and cached for the test process, the same
+// mechanism the loader uses for full-repo runs.
+
+var (
+	testFset    = token.NewFileSet()
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+	testImp     = importer.ForCompiler(testFset, "gc", func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		f, ok := exportCache[path]
+		exportMu.Unlock()
+		if !ok {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+			if err != nil {
+				return nil, fmt.Errorf("no export data for %q: %v", path, err)
+			}
+			f = strings.TrimSpace(string(out))
+			exportMu.Lock()
+			exportCache[path] = f
+			exportMu.Unlock()
+		}
+		return os.Open(f)
+	})
+)
+
+func typecheck(t *testing.T, pkgPath, filename string, src any) (*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	f, err := parser.ParseFile(testFset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", filename, err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: testImp}
+	pkg, err := conf.Check(pkgPath, testFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", filename, err)
+	}
+	return f, pkg, info
+}
+
+// lintSource runs rules over one inline source string.
+func lintSource(t *testing.T, pkgPath, src string, rules []lint.Rule) []lint.Diagnostic {
+	t.Helper()
+	f, pkg, info := typecheck(t, pkgPath, pkgPath+"/src.go", src)
+	return lint.RunPackage(testFset, []*ast.File{f}, pkg, info, rules)
+}
+
+func ruleFor(a *lint.Analyzer, pkgPath string) []lint.Rule {
+	return []lint.Rule{{Analyzer: a, Match: []string{pkgPath}}}
+}
+
+func messages(diags []lint.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		pos := testFset.Position(d.Pos)
+		out = append(out, fmt.Sprintf("%d: [%s] %s", pos.Line, d.Check, d.Message))
+	}
+	return out
+}
+
+// ---- analysistest-style fixture runner ----
+
+// want is one expected-diagnostic annotation: `// want "regex"` (double-
+// or back-quoted, several per comment), attached to its source line.
+type want struct {
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func parseWants(t *testing.T, f *ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			line := testFset.Position(c.Pos()).Line
+			for {
+				rest = strings.TrimSpace(rest)
+				if rest == "" {
+					break
+				}
+				end := strings.IndexByte(rest[1:], rest[0])
+				if (rest[0] != '"' && rest[0] != '`') || end < 0 {
+					t.Fatalf("line %d: malformed want annotation %q", line, c.Text)
+				}
+				pat, err := strconv.Unquote(rest[:end+2])
+				if err != nil {
+					t.Fatalf("line %d: unquoting %q: %v", line, rest[:end+2], err)
+				}
+				wants = append(wants, &want{line: line, re: regexp.MustCompile(pat)})
+				rest = rest[end+2:]
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks that the analyzer produces exactly the diagnostics
+// the fixture's want annotations describe.
+func runFixture(t *testing.T, filename string, a *lint.Analyzer) {
+	t.Helper()
+	path := "fixture/" + strings.TrimSuffix(filename, ".go")
+	f, pkg, info := typecheck(t, path, filepath.Join("testdata", filename), nil)
+	diags := lint.RunPackage(testFset, []*ast.File{f}, pkg, info, ruleFor(a, path))
+	wants := parseWants(t, f)
+
+	for _, d := range diags {
+		pos := testFset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", filename, pos.Line, d.Check, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", filename, w.line, w.re)
+		}
+	}
+}
+
+func TestDetrandFixtures(t *testing.T) {
+	runFixture(t, "detrand_flagged.go", lint.Detrand)
+	runFixture(t, "detrand_ok.go", lint.Detrand)
+}
+
+func TestCtxFirstFixtures(t *testing.T) {
+	runFixture(t, "ctxfirst_flagged.go", lint.CtxFirst)
+	runFixture(t, "ctxfirst_ok.go", lint.CtxFirst)
+}
+
+func TestErrEnvelopeFixtures(t *testing.T) {
+	runFixture(t, "errenvelope_flagged.go", lint.ErrEnvelope)
+	runFixture(t, "errenvelope_ok.go", lint.ErrEnvelope)
+}
+
+func TestBenchGuardFixtures(t *testing.T) {
+	runFixture(t, "benchguard_flagged.go", lint.BenchGuard)
+	runFixture(t, "benchguard_ok.go", lint.BenchGuard)
+}
+
+// ---- the waiver directive machinery (satellite: its own coverage) ----
+
+const clockSrc = `package p
+
+import "time"
+
+func Stamp() int64 {
+	%s
+	return 0
+}
+`
+
+func TestWaiverSuppresses(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //nanolint:allow detrand fixture exercising the waiver path
+}
+`
+	diags := lintSource(t, "p", src, ruleFor(lint.Detrand, "p"))
+	if len(diags) != 0 {
+		t.Fatalf("waived violation still reported: %v", messages(diags))
+	}
+}
+
+func TestWaiverOwnLineCoversNextStatement(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func Stamps() (time.Time, time.Time) {
+	//nanolint:allow detrand first statement is waived
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}
+`
+	diags := lintSource(t, "p", src, ruleFor(lint.Detrand, "p"))
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the second time.Now flagged, got %v", messages(diags))
+	}
+	if line := testFset.Position(diags[0].Pos).Line; line != 8 {
+		t.Errorf("surviving diagnostic on line %d, want 8 (the statement after the waived one)", line)
+	}
+}
+
+func TestWaiverCoversMultilineStatement(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func Sum(a, b time.Time) bool {
+	//nanolint:allow detrand whole next statement is covered, however many lines it spans
+	eq := a.Equal(
+		time.Now(),
+	)
+	return eq
+}
+`
+	diags := lintSource(t, "p", src, ruleFor(lint.Detrand, "p"))
+	if len(diags) != 0 {
+		t.Fatalf("violation inside covered multi-line statement still reported: %v", messages(diags))
+	}
+}
+
+func TestWaiverMissingReasonRejected(t *testing.T) {
+	src := fmt.Sprintf(clockSrc, `_ = time.Now() //nanolint:allow detrand`)
+	diags := lintSource(t, "p", src, ruleFor(lint.Detrand, "p"))
+	assertDiagCounts(t, diags, map[string]int{
+		lint.DirectiveCheck: 1, // needs a reason
+		"detrand":           1, // and the bad waiver suppresses nothing
+	})
+	if !strings.Contains(diags[1].Message, "needs a reason") {
+		t.Errorf("unexpected directive message: %q", diags[1].Message)
+	}
+}
+
+func TestWaiverUnknownCheckRejected(t *testing.T) {
+	src := fmt.Sprintf(clockSrc, `_ = time.Now() //nanolint:allow nosuchcheck some reason`)
+	diags := lintSource(t, "p", src, ruleFor(lint.Detrand, "p"))
+	assertDiagCounts(t, diags, map[string]int{
+		lint.DirectiveCheck: 1,
+		"detrand":           1,
+	})
+	if !strings.Contains(diags[1].Message, `unknown check "nosuchcheck"`) {
+		t.Errorf("unexpected directive message: %q", diags[1].Message)
+	}
+}
+
+func TestWaiverMalformedSpellingRejected(t *testing.T) {
+	src := fmt.Sprintf(clockSrc, `_ = time.Now() //nanolint:allowing detrand reason`)
+	diags := lintSource(t, "p", src, ruleFor(lint.Detrand, "p"))
+	assertDiagCounts(t, diags, map[string]int{
+		lint.DirectiveCheck: 1,
+		"detrand":           1,
+	})
+}
+
+func TestWaiverUnusedRejected(t *testing.T) {
+	src := `package p
+
+func Stamp() int64 {
+	_ = 1 //nanolint:allow detrand nothing here actually violates
+	return 0
+}
+`
+	diags := lintSource(t, "p", src, ruleFor(lint.Detrand, "p"))
+	assertDiagCounts(t, diags, map[string]int{lint.DirectiveCheck: 1})
+	if !strings.Contains(diags[0].Message, "unused nanolint:allow") {
+		t.Errorf("unexpected directive message: %q", diags[0].Message)
+	}
+}
+
+func TestWaiverForCheckThatDidNotRunIsNotUnused(t *testing.T) {
+	// A benchguard waiver in a package where only detrand runs: the
+	// check's scope rules decide, so the waiver is dormant, not stale.
+	src := `package p
+
+func Stamp() int64 {
+	_ = 1 //nanolint:allow benchguard dormant outside benchguard scope
+	return 0
+}
+`
+	diags := lintSource(t, "p", src, ruleFor(lint.Detrand, "p"))
+	if len(diags) != 0 {
+		t.Fatalf("dormant waiver reported: %v", messages(diags))
+	}
+}
+
+func TestWaiverOnStructField(t *testing.T) {
+	src := `package p
+
+import "context"
+
+type request struct {
+	ctx context.Context //nanolint:allow ctxfirst fixture: field-scoped waiver
+	id  int
+}
+
+var _ = request{}
+`
+	diags := lintSource(t, "p", src, ruleFor(lint.CtxFirst, "p"))
+	if len(diags) != 0 {
+		t.Fatalf("waived struct field still reported: %v", messages(diags))
+	}
+}
+
+func assertDiagCounts(t *testing.T, diags []lint.Diagnostic, want map[string]int) {
+	t.Helper()
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Check]++
+	}
+	for check, n := range want {
+		if got[check] != n {
+			t.Errorf("check %s: got %d diagnostics, want %d (all: %v)", check, got[check], n, messages(diags))
+		}
+	}
+	for check := range got {
+		if _, ok := want[check]; !ok {
+			t.Errorf("unexpected %s diagnostics: %v", check, messages(diags))
+		}
+	}
+}
+
+// ---- the acceptance gates ----
+
+// A deliberate time.Now in internal/sched must fail the suite under the
+// real DefaultRules scope table.
+func TestDefaultRulesCatchSchedWallClock(t *testing.T) {
+	src := `package sched
+
+import "time"
+
+// Seed derives a worker seed (fixture for the scope table).
+func Seed() int64 { return time.Now().UnixNano() }
+`
+	diags := lintSource(t, "nanobench/internal/sched", src, lint.DefaultRules())
+	if len(diags) != 1 || diags[0].Check != "detrand" {
+		t.Fatalf("time.Now in internal/sched: got %v, want one detrand finding", messages(diags))
+	}
+}
+
+// The suite runs self-clean on the repository: every violation is either
+// fixed or carries a reasoned waiver. This is the in-process twin of
+// `make lint`.
+func TestSuiteSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	diags, err := lint.Run(".", lint.DefaultRules(), "nanobench/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the packages under analysis from source while
+// resolving every import — stdlib and module-internal alike — from the
+// compiler's export data, located via `go list -export`. That keeps
+// nanolint dependency-free (no golang.org/x/tools) and fully offline:
+// the toolchain that built the package is the same one whose export
+// format we read back.
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File // parsed non-test GoFiles
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// Load lists patterns in dir (any directory inside the module), resolves
+// export data for the full dependency graph, and type-checks every
+// module-local matched package from source. Test files are not loaded:
+// the invariants nanolint encodes guard production code paths.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listArgs := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,Module"}, patterns...)
+	deps, err := goList(dir, listArgs)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// -deps flattens the graph; re-list without it to know which packages
+	// the patterns actually name.
+	matched, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,Module"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			// A path outside the pre-listed graph (shouldn't happen for
+			// well-formed packages); resolve it on demand.
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+			if err != nil {
+				return nil, fmt.Errorf("lint: no export data for %q: %v", path, err)
+			}
+			f = strings.TrimSpace(string(out))
+			exports[path] = f
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range matched {
+		if lp.Standard || lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		p, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one package's non-test files.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{Path: lp.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run loads the pattern-matched packages and returns every diagnostic the
+// rule-scoped suite produces, formatted and sorted. It is the engine
+// behind both cmd/nanolint and the self-clean test.
+func Run(dir string, rules []Rule, patterns ...string) ([]string, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, p := range pkgs {
+		for _, d := range RunPackage(p.Fset, p.Files, p.Pkg, p.Info, rules) {
+			pos := p.Fset.Position(d.Pos)
+			out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s", pos.Filename, pos.Line, pos.Column, d.Check, d.Message))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"fmt"
+	"log"
+)
+
+type engine struct{ name string }
+
+func (e *engine) setName(a, b string) {
+	e.name = fmt.Sprintf("DUEL(%s,%s)", a, b) // want `fmt\.Sprintf on a hot-path package boxes its arguments`
+}
+
+func traceStep(step int) {
+	log.Printf("step %d", step) // want `log\.Printf on a hot-path package boxes its arguments`
+}
+
+func describe(assoc int) string {
+	s := fmt.Sprint(assoc) // want `fmt\.Sprint on a hot-path package boxes its arguments`
+	return s
+}

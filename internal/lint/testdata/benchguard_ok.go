@@ -1,0 +1,28 @@
+package fixture2
+
+import "fmt"
+
+type fault struct{ reason string }
+
+func (f *fault) Error() string { return f.reason }
+
+// Error construction inside a return statement is off the hot path by
+// construction: the run is already aborting.
+func load(addr uint64, mapped bool) (uint64, error) {
+	if !mapped {
+		return 0, &fault{reason: fmt.Sprintf("#PF: load from unmapped %#x", addr)}
+	}
+	return addr, nil
+}
+
+// So are panic arguments.
+func mustAssoc(assoc int) {
+	if assoc <= 0 {
+		panic(fmt.Sprintf("bad assoc %d", assoc))
+	}
+}
+
+// Plain concatenation never boxes.
+func duelName(a, b string) string {
+	return "DUEL(" + a + "," + b + ")"
+}

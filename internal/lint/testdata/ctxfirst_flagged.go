@@ -1,0 +1,18 @@
+package fixture
+
+import "context"
+
+func RunJob(name string, ctx context.Context) error { // want `RunJob takes context\.Context as parameter 2`
+	_ = name
+	return ctx.Err()
+}
+
+type holder struct {
+	ctx context.Context // want `context\.Context stored in a struct field`
+}
+
+func (h holder) use() error { return h.ctx.Err() }
+
+type Runner interface {
+	Execute(name string, ctx context.Context) error // want `Runner\.Execute takes context\.Context as parameter 2`
+}

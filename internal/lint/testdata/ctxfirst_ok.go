@@ -1,0 +1,25 @@
+package fixture2
+
+import "context"
+
+// Context first: the shape every blocking API in the repo uses.
+func Run(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// No context at all is fine too.
+func Stat(name string) int { return len(name) }
+
+// The first-parameter rule binds exported APIs; unexported helpers are
+// out of contract (but get no struct-storage exemption).
+func helper(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}
+
+type Waiter interface {
+	Wait(ctx context.Context, id string) error
+}
+
+var _ = helper

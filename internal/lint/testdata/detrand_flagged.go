@@ -1,0 +1,56 @@
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now on a deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since on a deterministic package`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until on a deterministic package`
+}
+
+func globalDraw() int {
+	return rand.Intn(4) // want `global math/rand draw rand\.Intn`
+}
+
+func reseed() {
+	rand.Seed(1) // want `rand\.Seed reseeds the shared global stream`
+}
+
+var results []string
+
+func leakToGlobal(m map[string]int) {
+	for k := range m {
+		results = append(results, k) // want `write to results \(declared outside the function\) inside range over a map`
+	}
+}
+
+func leakToCaptured(m map[string]int) func() {
+	var keys []string
+	return func() {
+		for k := range m {
+			keys = append(keys, k) // want `write to keys \(declared outside the function\) inside range over a map`
+		}
+	}
+}
+
+func emitInOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over a map`
+	}
+}
+
+func sendInOrder(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over a map`
+	}
+}

@@ -1,0 +1,49 @@
+package fixture2
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Options carries an injected clock — the sanctioned escape for code that
+// needs timestamps (the jobs.Options.Now pattern).
+type Options struct{ Now func() int64 }
+
+func stamp(o Options) int64 { return o.Now() }
+
+func span(d time.Duration) time.Duration { return 2 * d }
+
+// Explicit streams are fine: rand.New/rand.NewSource construct seeded
+// streams, the forbidden thing is drawing from the shared global one.
+func explicitStream(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(4)
+}
+
+// Collect-then-sort: the append target is function-local, so iteration
+// order never escapes.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Per-key writes land at the same place regardless of iteration order.
+func perKeyWrite(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+// Commutative reduction into a function-local.
+func pureReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "net/http"
+
+func fail(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error bypasses the apiError envelope`
+	w.WriteHeader(500)                                    // want `naked WriteHeader\(500\) bypasses the apiError envelope`
+	w.WriteHeader(http.StatusServiceUnavailable)          // want `naked WriteHeader\(503\) bypasses the apiError envelope`
+}

@@ -1,0 +1,21 @@
+package fixture2
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// The envelope path itself: an explicit status with a typed JSON body.
+// Success statuses and client-error statuses written by the envelope
+// encoder are fine; only http.Error and naked 5xx writes are barred.
+func writeEnvelope(w http.ResponseWriter, status int, v any) {
+	data, _ := json.Marshal(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func okPath(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusNotFound)
+}

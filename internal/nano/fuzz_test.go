@@ -1,0 +1,45 @@
+package nano
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzConfigUnmarshalJSON throws hostile wire bodies at the strict Config
+// codec — the exact bytes /v1/run accepts from the network. Invariants:
+// no panic; an accepted config re-marshals, and the marshalled form is a
+// fixed point (unmarshal∘marshal is the identity on canonical bytes, the
+// property the docs/API.md golden bodies rely on).
+func FuzzConfigUnmarshalJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"asm":"nop","unroll_count":100,"n_measurements":10}`))
+	f.Add([]byte(`{"code":"kA==","loop_count":2,"aggregate":"med"}`))
+	f.Add([]byte(`{"events":["0E.01 UOPS_ISSUED.ANY","A1.01 PORT0"]}`))
+	f.Add([]byte(`{"events":["CBO.LOOKUP LLC","MSR.E8 APERF"],"basic_mode":true}`))
+	f.Add([]byte(`{"asm":"mov rax, [r14]; add rbx, rax","warm_up_count":3}`))
+	f.Add([]byte(`{"asm":"nop","code":"kA=="}`))
+	f.Add([]byte(`{"unrol_count":1}`))
+	f.Add([]byte(`{"aggregate":"bogus"}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Config
+		if err := c.UnmarshalJSON(data); err != nil {
+			return
+		}
+		wire, err := c.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted config failed to marshal: %v\ninput: %q", err, data)
+		}
+		var c2 Config
+		if err := c2.UnmarshalJSON(wire); err != nil {
+			t.Fatalf("re-unmarshalling own output failed: %v\nwire: %s", err, wire)
+		}
+		wire2, err := c2.MarshalJSON()
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("marshal is not a fixed point:\n first: %s\nsecond: %s", wire, wire2)
+		}
+	})
+}

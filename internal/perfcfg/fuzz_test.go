@@ -1,0 +1,43 @@
+package perfcfg
+
+import "testing"
+
+// FuzzParse feeds hostile counter-configuration files to the event
+// parser (the wire format of a config's "events", via
+// nano.ParseEventLines). Invariants: no panic; accepted specs render
+// back (String/Code) to text that re-parses to the identical specs —
+// the property the Config JSON codec's event round-trip rests on.
+func FuzzParse(f *testing.F) {
+	f.Add("2E.4F LONGEST_LAT_CACHE.REFERENCE")
+	f.Add("0E.01 UOPS_ISSUED.ANY\nA1.01 PORT0\nC5.00 BR_MISP")
+	f.Add("CBO.LOOKUP LLC_LOOKUPS\nCBO.MISS LLC_MISSES")
+	f.Add("MSR.E8 APERF\nMSR.E7 MPERF")
+	f.Add("# comment only\n\n  \n")
+	f.Add("d1.01 lower case code")
+	f.Add("0E.01")
+	f.Add("0E.01 name with  spaces   # trailing comment")
+	f.Add("ZZ.01 BAD")
+	f.Add("MSR.XYZ BAD")
+	f.Fuzz(func(t *testing.T, text string) {
+		specs, err := Parse(text)
+		if err != nil {
+			return
+		}
+		rendered := ""
+		for _, s := range specs {
+			rendered += s.String() + "\n"
+		}
+		specs2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered form does not re-parse: %v\n%s", err, rendered)
+		}
+		if len(specs2) != len(specs) {
+			t.Fatalf("round trip changed spec count: %d != %d", len(specs2), len(specs))
+		}
+		for i := range specs {
+			if specs[i] != specs2[i] {
+				t.Fatalf("spec %d changed in round trip: %+v != %+v", i, specs[i], specs2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,25 @@
+package machine
+
+import "testing"
+
+// FuzzParseMode covers the wire-format privilege-mode parser. Invariants:
+// no panic; accepted names round-trip through Mode.String; acceptance is
+// case-insensitive exactly.
+func FuzzParseMode(f *testing.F) {
+	f.Add("user")
+	f.Add("kernel")
+	f.Add("KERNEL")
+	f.Add("User ")
+	f.Add("")
+	f.Add("ring0")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMode(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Fatalf("ParseMode(%q) = %v, but %q does not round-trip: %v %v", s, m, m.String(), back, err)
+		}
+	})
+}

@@ -54,7 +54,7 @@ func newDuelEngine(d *DuelSpec, slice, sets, assoc int, rng RNGFor) (*duelEngine
 	if e.b, err = newKernel(d.PolicyB, sets, assoc, shared); err != nil {
 		return nil, err
 	}
-	e.name = fmt.Sprintf("DUEL(%s,%s)", e.a.Name(), e.b.Name())
+	e.name = "DUEL(" + e.a.Name() + "," + e.b.Name() + ")"
 	return e, nil
 }
 

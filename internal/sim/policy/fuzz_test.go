@@ -1,0 +1,41 @@
+package policy
+
+import "testing"
+
+// FuzzParseQLRU feeds hostile variant names to the QLRU spec parser
+// (QLRU_Hxy_M{x|Rpx}_R{0,1,2}_U{0,1,2,3}[_UMO]). Invariants: no panic;
+// an accepted spec validates, builds a policy, and its canonical Name()
+// round-trips to the identical spec.
+func FuzzParseQLRU(f *testing.F) {
+	f.Add("QLRU_H11_M1_R1_U2")
+	f.Add("QLRU_H00_M0_R0_U0")
+	f.Add("QLRU_H11_MR161_R1_U2_UMO")
+	f.Add("qlru_h21_m1_r2_u3")
+	f.Add("QLRU_H11_M1_R1_U2_UMO_EXTRA")
+	f.Add("QLRU_H1_M1_R1_U2")
+	f.Add("QLRU_H11_MR1_R1_U2")
+	f.Add("QLRU_H11_M-1_R1_U2")
+	f.Add("LRU")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, name string) {
+		q, err := ParseQLRU(name)
+		if err != nil {
+			return
+		}
+		if verr := q.Validate(); verr != nil {
+			t.Fatalf("ParseQLRU(%q) accepted an invalid spec: %v", name, verr)
+		}
+		canonical := q.Name()
+		q2, err := ParseQLRU(canonical)
+		if err != nil {
+			t.Fatalf("canonical name %q of accepted %q does not re-parse: %v", canonical, name, err)
+		}
+		if q2 != q {
+			t.Fatalf("round trip through %q changed the spec: %+v != %+v", canonical, q2, q)
+		}
+		// Building a policy from an accepted spec must not panic, with or
+		// without a stream (probabilistic variants draw lazily).
+		p := q.New(8, NewSetRand(1, 0, 0, 0))
+		p.OnFill(p.Victim())
+	})
+}

@@ -118,10 +118,20 @@ func plruRank(t *plru) []int {
 	return ranks
 }
 
+// plruProbeRoot tags the probe-RNG seed derivation below in the root slot
+// of the package seeding contract (SetSeed), so the stream can never
+// collide with a cache set's stream.
+const plruProbeRoot = 0x706C7275 // "plru"
+
 // plruPermForAccess computes the rank permutation caused by accessing the
 // leaf at rank pos, and verifies state-independence on random tree states.
+// The probe RNG derives from SetSeed — (assoc, pos) locating the probe the
+// way (slice, set) locate a cache stream — rather than an ad-hoc linear
+// seed: any fixed derivation works (the permutation is verified
+// state-independent below), but sharing SetSeed keeps every non-test RNG
+// in the package on the one audited scheme (rng.go).
 func plruPermForAccess(assoc, pos int) ([]int, error) {
-	rng := rand.New(rand.NewSource(int64(assoc)*131 + int64(pos)))
+	rng := rand.New(&splitmixSource{s: uint64(SetSeed(plruProbeRoot, assoc, pos, 0))})
 	var ref []int
 	for trial := 0; trial < 16; trial++ {
 		pp, _ := NewPLRU(assoc)

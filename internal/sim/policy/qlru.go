@@ -68,16 +68,25 @@ func (q QLRUParams) Validate() error {
 	return nil
 }
 
-// Name renders the canonical variant name.
+// Name renders the canonical variant name. Built with strconv rather
+// than fmt so engines may render names without boxing (benchguard).
 func (q QLRUParams) Name() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "QLRU_H%d%d_M", q.HitX, q.HitY)
+	sb.WriteString("QLRU_H")
+	sb.WriteString(strconv.Itoa(int(q.HitX)))
+	sb.WriteString(strconv.Itoa(int(q.HitY)))
+	sb.WriteString("_M")
 	if q.InsertProb > 0 {
-		fmt.Fprintf(&sb, "R%d%d", q.InsertProb, q.InsertAge)
+		sb.WriteString("R")
+		sb.WriteString(strconv.Itoa(q.InsertProb))
+		sb.WriteString(strconv.Itoa(int(q.InsertAge)))
 	} else {
-		fmt.Fprintf(&sb, "%d", q.InsertAge)
+		sb.WriteString(strconv.Itoa(int(q.InsertAge)))
 	}
-	fmt.Fprintf(&sb, "_R%d_U%d", q.RVariant, q.UVariant)
+	sb.WriteString("_R")
+	sb.WriteString(strconv.Itoa(int(q.RVariant)))
+	sb.WriteString("_U")
+	sb.WriteString(strconv.Itoa(int(q.UVariant)))
 	if q.UpdateOnMissOnly {
 		sb.WriteString("_UMO")
 	}
