@@ -51,35 +51,38 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzConfigUnmarshalJSON$$' -fuzztime $(FUZZTIME) ./internal/nano
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQLRU$$' -fuzztime $(FUZZTIME) ./internal/sim/policy
 	$(GO) test -run '^$$' -fuzz '^FuzzParseMode$$' -fuzztime $(FUZZTIME) ./internal/sim/machine
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceMatchesStep$$' -fuzztime $(FUZZTIME) ./internal/sim/machine
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/perfcfg
 
 # One pass over every benchmark (no test functions) plus stable
-# multi-iteration measurements of the gated headlines (step throughput
-# and the three cache-policy benchmarks), folded into the BENCH_7.json
-# artifact CI uploads and gates on. On repeated measurements of one
-# benchmark the fastest run wins, so the artifact is comparable across
-# noisy machines.
+# multi-iteration measurements of the gated headlines (step throughput,
+# the per-engine trace-mode series, and the three cache-policy
+# benchmarks), folded into the BENCH_9.json artifact CI uploads and
+# gates on. On repeated measurements of one benchmark the fastest run
+# wins, so the artifact is comparable across noisy machines.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.txt; st=$$?; cat bench.txt; [ $$st -eq 0 ]
-	$(GO) test -bench BenchmarkStepThroughput -benchtime 2s -count 3 -run '^$$' ./internal/sim/machine > bench-step.txt; st=$$?; cat bench-step.txt; [ $$st -eq 0 ]
+	$(GO) test -bench 'BenchmarkStepThroughput|BenchmarkEngineThroughput' -benchtime 2s -count 3 -run '^$$' ./internal/sim/machine > bench-step.txt; st=$$?; cat bench-step.txt; [ $$st -eq 0 ]
 	$(GO) test -bench 'BenchmarkTableIPolicies|BenchmarkFigure1AgeGraph|BenchmarkSetDueling' -benchtime 1x -count 3 -run '^$$' . > bench-cache.txt; st=$$?; cat bench-cache.txt; [ $$st -eq 0 ]
-	$(GO) run ./scripts/benchjson -in bench.txt -in bench-step.txt -in bench-cache.txt -out BENCH_7.json
+	$(GO) run ./scripts/benchjson -in bench.txt -in bench-step.txt -in bench-cache.txt -out BENCH_9.json
 
 # Gate: fail on a >10% regression against the committed baseline
 # (bench/BENCH_BASELINE.json — see bench/README.md) in step throughput
-# (ns/instr) and in the wall time (ns/op) of the cache-policy
-# simulation benchmarks. The baseline was captured from the pre-flat-
-# engine policy layer, so the cache benchmarks sit ~3x under their
-# limits; the gate catches any slide back toward the interface-dispatch
-# path.
-bench-compare: BENCH_7.json
-	$(GO) run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_7.json \
+# (ns/instr, including the per-engine trace-mode series) and in the
+# wall time (ns/op) of the cache-policy simulation benchmarks. The
+# cache baseline was captured from the pre-flat-engine policy layer, so
+# those benchmarks sit ~3x under their limits; the step baseline is the
+# PR 9 trace-engine capture, so the gate catches any slide back toward
+# per-µop dispatch.
+bench-compare: BENCH_9.json
+	$(GO) run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_9.json \
 		-bench BenchmarkStepThroughput \
+		-bench BenchmarkEngineThroughput \
 		-bench BenchmarkTableIPolicies \
 		-bench BenchmarkFigure1AgeGraph \
 		-bench BenchmarkSetDueling
 
-BENCH_7.json:
+BENCH_9.json:
 	$(MAKE) bench
 
 # CPU and allocation profiles of the two hot paths — the cache-policy

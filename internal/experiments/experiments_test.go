@@ -10,6 +10,7 @@ import (
 
 	"nanobench/internal/cachetools"
 	"nanobench/internal/sched"
+	"nanobench/internal/sim/machine"
 )
 
 // The experiments are exercised end-to-end by the benchmark harness in the
@@ -166,8 +167,16 @@ func TestSerializationShape(t *testing.T) {
 // redesign settles events eagerly but must be observationally identical,
 // including the unfenced-RDPMC undercount this experiment measures; any
 // drift here means the O(1) accounting changed measurement semantics.
+//
+// These are explicitly trace-mode pins: the machines under these
+// experiments run the default engine, asserted below to be the trace
+// tier (block dispatch + schedule replay), which must reproduce the
+// stream-counter reference bit-for-bit.
 func TestSerializationCounterEquivalence(t *testing.T) {
 	t.Parallel()
+	if e := new(machine.Machine).Engine(); e != machine.EngineTrace {
+		t.Fatalf("default engine = %v, want trace (these values pin trace-mode execution)", e)
+	}
 	cpuid, lfence, err := Serialization(io.Discard)
 	if err != nil {
 		t.Fatal(err)

@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"nanobench/internal/sim/machine"
 )
 
 var updateGolden = flag.Bool("update", false,
@@ -181,6 +183,52 @@ func TestAPIDocGolden(t *testing.T) {
 
 	if *updateGolden {
 		rewriteDoc(t, lines, blocks, updates)
+	}
+}
+
+// TestSweepGoldenTraceMode replays the documented POST /v1/sweep example
+// against a fresh server and asserts the response byte-for-byte. The
+// server's machines run the default execution engine — asserted here to
+// be the trace tier — so the documented example pins trace-mode
+// execution end-to-end through the wire format: a trace-engine
+// divergence of any counter value or cycle count fails this test before
+// it could reach a client.
+func TestSweepGoldenTraceMode(t *testing.T) {
+	if e := new(machine.Machine).Engine(); e != machine.EngineTrace {
+		t.Fatalf("default engine = %v, want trace (the documented examples pin trace-mode output)", e)
+	}
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := parseDoc(t, strings.Split(string(raw), "\n"))
+	reqB, okReq := blocks["sweep-request"]
+	respB, okResp := blocks["sweep-response"]
+	if !okReq || !okResp {
+		t.Fatalf("%s: missing sweep-request/sweep-response golden blocks", docPath)
+	}
+	opts := goldenOptions
+	var clock atomic.Int64
+	opts.now = func() int64 { return clock.Add(int64(time.Millisecond)) }
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(reqB.content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d\n%s", resp.StatusCode, got)
+	}
+	if got != respB.content {
+		t.Errorf("trace-mode sweep differs from the documented example\n--- documented\n%s--- served\n%s", respB.content, got)
 	}
 }
 

@@ -66,31 +66,50 @@ func benchWorkloads() []struct{ name, asm string } {
 func BenchmarkStepThroughput(b *testing.B) {
 	for _, w := range benchWorkloads() {
 		b.Run(w.name, func(b *testing.B) {
-			m := benchMachine(b)
-			code := x86.MustAssemble(w.asm)
-			if err := m.WriteCode(testCodeBase, code); err != nil {
-				b.Fatal(err)
-			}
-			// One warm-up run so branch predictors and caches settle.
-			if _, err := m.Run(testCodeBase); err != nil {
-				b.Fatal(err)
-			}
-			var instrs uint64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				m.PMU.ResetAll(m.Cycle())
-				res, err := m.Run(testCodeBase)
-				if err != nil {
-					b.Fatal(err)
-				}
-				instrs += res.Instructions
-			}
-			b.StopTimer()
-			if instrs > 0 {
-				ns := float64(b.Elapsed().Nanoseconds())
-				b.ReportMetric(ns/float64(instrs), "ns/instr")
-				b.ReportMetric(float64(instrs)*1000/ns, "simulated-MIPS")
-			}
+			benchRunWorkload(b, w.asm, EngineTrace)
 		})
+	}
+}
+
+// BenchmarkEngineThroughput measures the loop workload under each of the
+// three execution tiers, so the per-tier cost of trace mode's block
+// dispatch and schedule replay is visible (and gated) separately from the
+// headline number.
+func BenchmarkEngineThroughput(b *testing.B) {
+	loop := benchWorkloads()[0]
+	for _, e := range []Engine{EngineStep, EngineChained, EngineTrace} {
+		b.Run(e.String(), func(b *testing.B) {
+			benchRunWorkload(b, loop.asm, e)
+		})
+	}
+}
+
+func benchRunWorkload(b *testing.B, asm string, e Engine) {
+	b.Helper()
+	m := benchMachine(b)
+	m.SetEngine(e)
+	code := x86.MustAssemble(asm)
+	if err := m.WriteCode(testCodeBase, code); err != nil {
+		b.Fatal(err)
+	}
+	// One warm-up run so branch predictors and caches settle.
+	if _, err := m.Run(testCodeBase); err != nil {
+		b.Fatal(err)
+	}
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PMU.ResetAll(m.Cycle())
+		res, err := m.Run(testCodeBase)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.StopTimer()
+	if instrs > 0 {
+		ns := float64(b.Elapsed().Nanoseconds())
+		b.ReportMetric(ns/float64(instrs), "ns/instr")
+		b.ReportMetric(float64(instrs)*1000/ns, "simulated-MIPS")
 	}
 }

@@ -50,20 +50,29 @@ func (g *progGen) dataSlot() uint32 {
 
 // emitRandom appends one random instruction (or short branch pattern).
 func (g *progGen) emitRandom() {
-	switch g.rng.Intn(10) {
+	switch g.rng.Intn(11) {
 	case 0: // mov reg, imm
 		g.emit(x86.I(x86.MOV, g.reg(), x86.Imm(g.rng.Int63n(1<<40))))
 	case 1: // load
 		g.emit(x86.I(x86.MOV, g.reg(), x86.MemAt(g.dataSlot())))
 	case 2: // store
 		g.emit(x86.I(x86.MOV, x86.MemAt(g.dataSlot()), g.reg()))
-	case 3: // shift
+	case 3: // shift: immediate count (ReplaySafe) or CL count (record-only)
 		ops := []x86.Op{x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR}
-		g.emit(x86.I(ops[g.rng.Intn(len(ops))], g.reg(), x86.Imm(int64(g.rng.Intn(32)))))
+		op := ops[g.rng.Intn(len(ops))]
+		if g.rng.Intn(2) == 0 {
+			g.emit(x86.I(op, g.reg(), x86.RCX))
+		} else {
+			g.emit(x86.I(op, g.reg(), x86.Imm(int64(g.rng.Intn(32)))))
+		}
 	case 4: // unary
 		ops := []x86.Op{x86.INC, x86.DEC, x86.NEG, x86.NOT, x86.BSWAP}
 		g.emit(x86.I(ops[g.rng.Intn(len(ops))], g.reg()))
-	case 5: // forward conditional branch skipping one ALU instruction
+	case 5: // bit scan / popcount (BSF/BSR are not ReplaySafe: their
+		// destination write depends on the source value)
+		ops := []x86.Op{x86.POPCNT, x86.BSF, x86.BSR}
+		g.emit(x86.I(ops[g.rng.Intn(len(ops))], g.reg(), g.reg()))
+	case 6: // forward conditional branch skipping one ALU instruction
 		skip, err := x86.EncodeInstr(nil, x86.I(x86.ADD, g.reg(), g.reg()))
 		if err != nil {
 			g.t.Fatal(err)
@@ -71,7 +80,7 @@ func (g *progGen) emitRandom() {
 		conds := []x86.Op{x86.JZ, x86.JNZ, x86.JS, x86.JNS, x86.JC, x86.JNC}
 		g.emit(x86.I(conds[g.rng.Intn(len(conds))], x86.Imm(int64(len(skip)))))
 		g.buf = append(g.buf, skip...)
-	case 6: // self-modifying store: patch the MOV RAX, imm64 slot's immediate
+	case 7: // self-modifying store: patch the MOV RAX, imm64 slot's immediate
 		if g.patchOff > 0 {
 			g.emit(x86.I(x86.MOV, x86.MemAt(testCodeBase+uint32(g.patchOff)), g.reg()))
 			break
@@ -136,43 +145,49 @@ func machineState(t *testing.T, m *Machine, res RunResult) string {
 	return out
 }
 
+// runProgramEngine executes code twice on a fresh machine under the given
+// engine tier and returns the combined observable state (the second run
+// executes with a possibly patched image and warm predictors).
+func runProgramEngine(t *testing.T, code []byte, e Engine) (string, error) {
+	t.Helper()
+	m := benchmarkishMachine(t)
+	m.SetEngine(e)
+	if err := m.WriteCode(testCodeBase, code); err != nil {
+		t.Fatal(err)
+	}
+	var state string
+	for i := 0; i < 2; i++ {
+		res, err := m.Run(testCodeBase)
+		if err != nil {
+			return "", err
+		}
+		state += machineState(t, m, res)
+	}
+	return state, nil
+}
+
 // TestChainedMatchesSingleStep is the engine-equivalence property test:
 // for randomized programs (random branches, loops, loads/stores, and
-// code-region self-writes triggering invalidation), the chained
-// dispatcher and pure single-step execution produce identical registers,
-// cycle counts, and counter values.
+// code-region self-writes triggering invalidation), all three execution
+// tiers — the reference single-step interpreter, the chained dispatcher,
+// and trace mode — must produce identical registers, cycle counts,
+// counter values, and error strings.
 func TestChainedMatchesSingleStep(t *testing.T) {
+	engines := []Engine{EngineStep, EngineChained, EngineTrace}
 	for seed := int64(0); seed < 40; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			code := randProgram(t, rand.New(rand.NewSource(seed)))
-
-			runEngine := func(noChain bool) (string, error) {
-				m := benchmarkishMachine(t)
-				m.noChain = noChain
-				if err := m.WriteCode(testCodeBase, code); err != nil {
-					t.Fatal(err)
+			ref, errRef := runProgramEngine(t, code, engines[0])
+			for _, e := range engines[1:] {
+				got, err := runProgramEngine(t, code, e)
+				if (errRef == nil) != (err == nil) ||
+					(errRef != nil && errRef.Error() != err.Error()) {
+					t.Fatalf("error divergence: %v=%v %v=%v", engines[0], errRef, e, err)
 				}
-				var state string
-				// Two runs per program: the second executes with a possibly
-				// patched (re-installed-free) image and warm predictors.
-				for i := 0; i < 2; i++ {
-					res, err := m.Run(testCodeBase)
-					if err != nil {
-						return "", err
-					}
-					state += machineState(t, m, res)
+				if got != ref {
+					t.Fatalf("state divergence:\n%v:\n%s\n%v:\n%s", engines[0], ref, e, got)
 				}
-				return state, nil
-			}
-
-			chained, errC := runEngine(false)
-			stepped, errS := runEngine(true)
-			if (errC == nil) != (errS == nil) || (errC != nil && errC.Error() != errS.Error()) {
-				t.Fatalf("error divergence: chained=%v stepped=%v", errC, errS)
-			}
-			if chained != stepped {
-				t.Fatalf("state divergence:\nchained:\n%s\nstepped:\n%s", chained, stepped)
 			}
 		})
 	}

@@ -286,7 +286,8 @@ func (m *Machine) execOne(d *x86.DecodedInstr) (bool, error) {
 	// Fused shapes (register-only single-µop data processing) skip the
 	// class dispatch and the generic operand walk entirely.
 	if d.Fast != x86.FastNone {
-		m.execFused(d)
+		issue, portEv, start, _, _, retired := m.execFusedStep(d)
+		m.PMU.RecordFusedStep(issue, portEv, start, retired)
 		c.rip = d.Next
 		return false, nil
 	}

@@ -123,9 +123,18 @@ type Machine struct {
 	// entry's line span at predecode time.
 	lineShift uint8
 	// noChain makes Run execute through step() — resolving every
-	// instruction from c.rip — instead of the chained dispatcher. It
-	// exists for the chained-vs-single-step equivalence property test.
+	// instruction from c.rip — instead of the chained dispatcher; noTrace
+	// keeps the chained dispatcher but disables block (trace) execution.
+	// Together they form the engine-selection seam (SetEngine/Engine in
+	// trace.go) the differential property tests force each tier through.
 	noChain bool
+	noTrace bool
+
+	// Trace-mode scratch: the per-block PMU event buffers, the replay-key
+	// buffer, and the entry port-use snapshot (see trace.go).
+	bev     blockEvents
+	keyBuf  []int64
+	puEntry [x86.NumPorts]int64
 
 	// MaxInstructions bounds one Run (a runaway-loop backstop).
 	MaxInstructions uint64
@@ -378,6 +387,35 @@ func (m *Machine) Run(entry uint32) (RunResult, error) {
 		}
 		if idx >= 0 {
 			d = &m.prog.instrs[idx]
+			// Trace tier: a fused entry heading a block executes the whole
+			// block in one pass. Blocks are skipped — never split — when
+			// user-mode timer interrupts could fire (their delivery window
+			// is per instruction) or when the block could cross the
+			// instruction budget (the per-instruction path faults at
+			// exactly the chained tier's point).
+			if !m.noTrace && d.Fast != x86.FastNone &&
+				!(m.ifEn && m.mode == User && m.Spec.InterruptInterval > 0) {
+				if bi := m.prog.blockOf[idx]; bi != blockNoTrace {
+					if bi < 0 {
+						bi = m.buildBlock(idx)
+					}
+					if bi >= 0 {
+						b := &m.prog.blocks[bi]
+						if c.instructions-startInstr+uint64(len(b.steps)) <= m.MaxInstructions {
+							if err := m.execBlock(b); err != nil {
+								return RunResult{}, err
+							}
+							if nk := m.prog.links[b.lastIdx].fall; nk >= 0 {
+								idx = nk
+							} else {
+								prevIdx, prevTaken = b.lastIdx, false
+								idx = -1
+							}
+							continue
+						}
+					}
+				}
+			}
 		}
 		stop, err := m.execOne(d)
 		if err != nil {

@@ -34,6 +34,14 @@ type program struct {
 	// links[i] chains instrs[i] to its successors by index; -1 marks a
 	// successor not yet resolved (or outside the program).
 	links []link
+	// blocks are the trace-mode execution blocks discovered over this
+	// program (see trace.go); blockOf[i] maps instrs[i] to the block it
+	// heads (blockNone: not built yet, blockNoTrace: not worth tracing).
+	// Living inside program means every install/drop — and therefore
+	// every decVersion bump from a code write — discards all cached
+	// blocks and their recorded port schedules before the next dispatch.
+	blocks  []traceBlock
+	blockOf []int32
 }
 
 // link holds the chained successors of one pre-decoded entry: fall is the
@@ -58,6 +66,8 @@ func (p *program) install(base uint32, size int) {
 	}
 	p.instrs = p.instrs[:0]
 	p.links = p.links[:0]
+	p.blocks = p.blocks[:0]
+	p.blockOf = p.blockOf[:0]
 }
 
 // drop invalidates the program entirely.
@@ -66,6 +76,8 @@ func (p *program) drop() {
 	p.byteIdx = p.byteIdx[:0]
 	p.instrs = p.instrs[:0]
 	p.links = p.links[:0]
+	p.blocks = p.blocks[:0]
+	p.blockOf = p.blockOf[:0]
 }
 
 // overlaps reports whether the n bytes at addr intersect the program.
@@ -99,6 +111,7 @@ func (m *Machine) predecodeImage() {
 		}
 		p.instrs = append(p.instrs, d)
 		p.links = append(p.links, link{fall: -1, tgt: -1})
+		p.blockOf = append(p.blockOf, blockNone)
 		p.byteIdx[off] = int32(len(p.instrs) - 1)
 		off += uint32(d.Len)
 	}
@@ -156,6 +169,7 @@ func (m *Machine) decodeInto(rip, off uint32) (*x86.DecodedInstr, error) {
 	}
 	m.prog.instrs = append(m.prog.instrs, d)
 	m.prog.links = append(m.prog.links, link{fall: -1, tgt: -1})
+	m.prog.blockOf = append(m.prog.blockOf, blockNone)
 	i := int32(len(m.prog.instrs) - 1)
 	m.prog.byteIdx[off] = i
 	return &m.prog.instrs[i], nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"nanobench/internal/sim/pmu"
 	"nanobench/internal/x86"
 )
 
@@ -441,14 +442,22 @@ func (m *Machine) shiftCompute(op x86.Op, val, count uint64, done int64) uint64 
 	return res
 }
 
-// execFused runs the fused single-µop shapes classified at predecode
+// execFusedStep runs the fused single-µop shapes classified at predecode
 // time (x86.FastKind): register-only data processing whose operand-ready
 // dependency slots were folded flat into the entry. Each arm performs
 // exactly the operations of its generic counterpart — same µop dispatch,
 // same ALU helper, same retire — in the same order, so timing and
 // counter values are bit-identical; only the per-step operand walk and
 // call chain are gone.
-func (m *Machine) execFused(d *x86.DecodedInstr) {
+//
+// The instruction's PMU events are returned, not delivered: execOne
+// forwards them to one RecordFusedStep call, while trace-mode block
+// execution buffers them for a single end-of-block RecordBlock delivery
+// (counter adds commute, so the deferral is observationally identical).
+// dn is the µop's raw dispatch completion (what lastCompletion tracks)
+// and done the value-ready cycle max(ready, dn); trace recording stores
+// both to reproduce exit state and operand ready cycles on replay.
+func (m *Machine) execFusedStep(d *x86.DecodedInstr) (issue int64, portEv pmu.Event, start, done, dn, retired int64) {
 	c := &m.core
 	u := &d.Uops[0]
 	var ready int64
@@ -468,51 +477,49 @@ func (m *Machine) execFused(d *x86.DecodedInstr) {
 		if d.ReadsFlags && c.flagReady > ready {
 			ready = c.flagReady
 		}
-		issue, portEv, start, dn := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
-		done := maxI64(ready, dn)
+		issue, portEv, start, dn = m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
+		done = maxI64(ready, dn)
 		res, write := m.aluBinary(d.Op, c.regs[r], src, done)
 		if write && d.WritesDst {
 			c.regs[r] = res
 			c.regReady[r] = done
 		}
-		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
 	case x86.FastUnary:
 		r := d.Reg[0]
 		ready = c.regReady[r]
 		if d.ReadsFlags && c.flagReady > ready {
 			ready = c.flagReady
 		}
-		issue, portEv, start, dn := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
-		done := maxI64(ready, dn)
+		issue, portEv, start, dn = m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
+		done = maxI64(ready, dn)
 		res := m.aluUnary(d.Op, c.regs[r], done)
 		c.regs[r] = res
 		c.regReady[r] = done
-		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
 	case x86.FastMOVRR:
 		s := d.Reg[1]
 		v := c.regs[s]
 		ready = c.regReady[s]
-		issue, portEv, start, dn := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
-		done := maxI64(ready, dn)
+		issue, portEv, start, dn = m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
+		done = maxI64(ready, dn)
 		c.regs[d.Reg[0]] = v
 		c.regReady[d.Reg[0]] = done
-		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
 	case x86.FastMOVRI:
-		issue, portEv, start, done := m.dispatchQuiet(u.Ports, 0, u.Latency, u.Occupancy)
+		issue, portEv, start, dn = m.dispatchQuiet(u.Ports, 0, u.Latency, u.Occupancy)
+		done = dn
 		c.regs[d.Reg[0]] = uint64(d.Imm)
 		c.regReady[d.Reg[0]] = done
-		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
 	case x86.FastShift:
 		count, cready := m.shiftCount(d)
 		r := d.Reg[0]
 		ready = maxI64(c.regReady[r], cready)
-		issue, portEv, start, dn := m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
-		done := maxI64(ready, dn)
+		issue, portEv, start, dn = m.dispatchQuiet(u.Ports, ready, u.Latency, u.Occupancy)
+		done = maxI64(ready, dn)
 		res := m.shiftCompute(d.Op, c.regs[r], count, done)
 		c.regs[r] = res
 		c.regReady[r] = done
-		m.PMU.RecordFusedStep(issue, portEv, start, m.retireQuiet(done))
 	}
+	retired = m.retireQuiet(done)
+	return issue, portEv, start, done, dn, retired
 }
 
 // aluUnary computes unary integer operations and sets flags; done is the

@@ -1,0 +1,33 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzTraceMatchesStep fuzzes the trace tier against the reference
+// single-step interpreter: each seed drives the same randomized program
+// generator as TestChainedMatchesSingleStep (branches, loops, CL shifts,
+// BSF/BSR, self-modifying code), and the two engines must agree on every
+// observable — registers, instruction and cycle counts, PMU counter
+// values, and error strings. The corpus seeds cover the property test's
+// deterministic seed range; the fuzzer then explores the seed space.
+func FuzzTraceMatchesStep(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(1) << 40)
+	f.Add(int64(-1))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		code := randProgram(t, rand.New(rand.NewSource(seed)))
+		stepped, errS := runProgramEngine(t, code, EngineStep)
+		traced, errT := runProgramEngine(t, code, EngineTrace)
+		if (errS == nil) != (errT == nil) ||
+			(errS != nil && errS.Error() != errT.Error()) {
+			t.Fatalf("error divergence: step=%v trace=%v", errS, errT)
+		}
+		if traced != stepped {
+			t.Fatalf("state divergence:\nstep:\n%s\ntrace:\n%s", stepped, traced)
+		}
+	})
+}

@@ -11,6 +11,8 @@
 // IV-A1 of the paper describes.
 package pmu
 
+import "math/bits"
+
 // Event identifies a countable core event.
 type Event uint8
 
@@ -473,6 +475,70 @@ func (p *PMU) RecordFusedStep(issue int64, portEv Event, start, retired int64) {
 	}
 	for _, c := range p.listeners[EvInstRetired] {
 		c.add(retired)
+	}
+}
+
+// NumPortEvents is the number of per-port dispatch events
+// (EvUopsPort0..EvUopsPort7, contiguous).
+const NumPortEvents = 8
+
+// RecordBlock delivers the batched event set of one trace-executed block
+// of fused single-µop instructions — the µop-issued cycles, the per-port
+// dispatch cycles (ports[p] for every port p with a set bit in portMask),
+// and the instruction-retirement cycles — in one listener walk per event
+// instead of one RecordFusedStep walk per instruction. Counter adds
+// commute and no counter read can execute mid-block (fused shapes cannot
+// read counters), so this is observationally identical to the
+// per-instruction deliveries it replaces.
+func (p *PMU) RecordBlock(issued, retired []int64, ports *[NumPortEvents][]int64, portMask uint32) {
+	if p.listenersStale {
+		p.rebuildListeners()
+	}
+	for _, c := range p.listeners[EvUopsIssued] {
+		for _, cy := range issued {
+			c.add(cy)
+		}
+	}
+	for mb := portMask; mb != 0; mb &= mb - 1 {
+		pt := bits.TrailingZeros32(mb)
+		for _, c := range p.listeners[EvUopsPort0+Event(pt)] {
+			for _, cy := range ports[pt] {
+				c.add(cy)
+			}
+		}
+	}
+	for _, c := range p.listeners[EvInstRetired] {
+		for _, cy := range retired {
+			c.add(cy)
+		}
+	}
+}
+
+// RecordBlockDeltas is RecordBlock for a replayed trace block: the cycle
+// arrays were recorded relative to the recording's block-entry front-end
+// cycle, and base (the replaying entry's front-end cycle) is added during
+// delivery, so replay hands the recorded arrays over without copying.
+func (p *PMU) RecordBlockDeltas(base int64, issued, retired []int64, ports *[NumPortEvents][]int64, portMask uint32) {
+	if p.listenersStale {
+		p.rebuildListeners()
+	}
+	for _, c := range p.listeners[EvUopsIssued] {
+		for _, cy := range issued {
+			c.add(base + cy)
+		}
+	}
+	for mb := portMask; mb != 0; mb &= mb - 1 {
+		pt := bits.TrailingZeros32(mb)
+		for _, c := range p.listeners[EvUopsPort0+Event(pt)] {
+			for _, cy := range ports[pt] {
+				c.add(base + cy)
+			}
+		}
+	}
+	for _, c := range p.listeners[EvInstRetired] {
+		for _, cy := range retired {
+			c.add(base + cy)
+		}
 	}
 }
 

@@ -57,11 +57,27 @@ type DecodedInstr struct {
 	Fast      FastKind
 	ReadsDst  bool
 	WritesDst bool
+	// ReplaySafe marks a fused instruction whose scheduler side effects
+	// (register/flag ready-cycle updates) are a pure function of the
+	// entry timing state: re-running it with identical operand-ready
+	// deltas reproduces identical dispatch and completion cycles. BSF/BSR
+	// (destination written only for a non-zero source) and CL-count
+	// shifts (flags written only for a non-zero count held in RCX) update
+	// ready cycles value-dependently and are excluded. Trace execution
+	// only caches port schedules for blocks of ReplaySafe instructions.
+	ReplaySafe bool
 	// TargetOK marks Target as a resolved absolute branch/call target.
 	TargetOK bool
-	Reg      [2]Reg // register operand at the corresponding index (ArgGP/ArgX)
-	Imm      int64  // immediate operand, whichever index holds it
-	Mem      Mem    // memory operand, whichever index holds it
+	// ReadRegs/WriteRegs are GP-register bitmasks (bit r = Reg(r)) of the
+	// fused shapes' register reads and writes, folded at predecode so
+	// block builders compute live-in sets without re-deriving operand
+	// roles. Zero for non-fused instructions. ReadRegs includes the
+	// destination when ReadsDst and the implicit RCX of CL-count shifts.
+	ReadRegs  uint16
+	WriteRegs uint16
+	Reg       [2]Reg // register operand at the corresponding index (ArgGP/ArgX)
+	Imm       int64  // immediate operand, whichever index holds it
+	Mem       Mem    // memory operand, whichever index holds it
 	// Next is the absolute fallthrough RIP (the instruction's address plus
 	// Len); Target the absolute destination of a direct branch or call.
 	Next   uint32
@@ -106,8 +122,13 @@ func classifyFast(d *DecodedInstr) {
 			switch d.Kind[1] {
 			case ArgGP:
 				d.Fast = FastMOVRR
+				d.ReadRegs = 1 << d.Reg[1]
 			case ArgI:
 				d.Fast = FastMOVRI
+			}
+			if d.Fast != FastNone {
+				d.WriteRegs = 1 << d.Reg[0]
+				d.ReplaySafe = true
 			}
 		}
 	case ADD, SUB, AND, OR, XOR, CMP, TEST, ADC, SBB, IMUL, POPCNT, BSF, BSR:
@@ -115,16 +136,35 @@ func classifyFast(d *DecodedInstr) {
 			d.Fast = FastALU2
 			d.ReadsDst = d.Op != POPCNT && d.Op != BSF && d.Op != BSR
 			d.WritesDst = d.Op != CMP && d.Op != TEST
+			if d.Kind[1] == ArgGP {
+				d.ReadRegs = 1 << d.Reg[1]
+			}
+			if d.ReadsDst {
+				d.ReadRegs |= 1 << d.Reg[0]
+			}
+			if d.WritesDst {
+				d.WriteRegs = 1 << d.Reg[0]
+			}
+			d.ReplaySafe = d.Op != BSF && d.Op != BSR
 		}
 	case INC, DEC, NEG, NOT, BSWAP:
 		if d.NArgs == 1 && d.Kind[0] == ArgGP {
 			d.Fast = FastUnary
 			d.ReadsDst, d.WritesDst = true, true
+			d.ReadRegs = 1 << d.Reg[0]
+			d.WriteRegs = 1 << d.Reg[0]
+			d.ReplaySafe = true
 		}
 	case SHL, SHR, SAR, ROL, ROR:
 		if d.NArgs == 2 && d.Kind[0] == ArgGP && (d.Kind[1] == ArgI || d.Kind[1] == ArgGP) {
 			d.Fast = FastShift
 			d.ReadsDst, d.WritesDst = true, true
+			d.ReadRegs = 1 << d.Reg[0]
+			d.WriteRegs = 1 << d.Reg[0]
+			if d.Kind[1] == ArgGP { // count in CL
+				d.ReadRegs |= 1 << RCX
+			}
+			d.ReplaySafe = d.Kind[1] == ArgI
 		}
 	}
 }

@@ -1,13 +1,13 @@
 // benchjson converts `go test -bench` output into a stable JSON artifact
 // and compares two such artifacts, failing on performance regressions.
-// It is the engine behind `make bench` (emits BENCH_7.json) and
+// It is the engine behind `make bench` (emits BENCH_9.json) and
 // `make bench-compare` (diffs it against the committed baseline in
 // bench/BENCH_BASELINE.json and fails the job on a >10% regression in
 // any gated benchmark).
 //
 // Convert:
 //
-//	go run ./scripts/benchjson -in bench.txt [-in more.txt ...] -out BENCH_7.json
+//	go run ./scripts/benchjson -in bench.txt [-in more.txt ...] -out BENCH_9.json
 //
 // Multiple -in files (and repeated runs via -count) merge; when the same
 // benchmark appears more than once, the fastest run (minimum ns/op) wins,
@@ -15,7 +15,7 @@
 //
 // Compare:
 //
-//	go run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_7.json \
+//	go run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_9.json \
 //	    [-bench BenchmarkStepThroughput ...] [-metric ns/instr] [-tolerance 0.10]
 //
 // Every benchmark in the baseline whose name starts with one of the
