@@ -56,33 +56,36 @@ fuzz-smoke:
 
 # One pass over every benchmark (no test functions) plus stable
 # multi-iteration measurements of the gated headlines (step throughput,
-# the per-engine trace-mode series, and the three cache-policy
-# benchmarks), folded into the BENCH_9.json artifact CI uploads and
-# gates on. On repeated measurements of one benchmark the fastest run
-# wins, so the artifact is comparable across noisy machines.
+# the per-engine trace-mode series, the batch policy kernels, and the
+# cache-policy benchmarks), folded into the BENCH_10.json artifact CI
+# uploads and gates on. On repeated measurements of one benchmark the
+# fastest run wins, so the artifact is comparable across noisy machines.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.txt; st=$$?; cat bench.txt; [ $$st -eq 0 ]
 	$(GO) test -bench 'BenchmarkStepThroughput|BenchmarkEngineThroughput' -benchtime 2s -count 3 -run '^$$' ./internal/sim/machine > bench-step.txt; st=$$?; cat bench-step.txt; [ $$st -eq 0 ]
-	$(GO) test -bench 'BenchmarkTableIPolicies|BenchmarkFigure1AgeGraph|BenchmarkSetDueling' -benchtime 1x -count 3 -run '^$$' . > bench-cache.txt; st=$$?; cat bench-cache.txt; [ $$st -eq 0 ]
-	$(GO) run ./scripts/benchjson -in bench.txt -in bench-step.txt -in bench-cache.txt -out BENCH_9.json
+	$(GO) test -bench 'BenchmarkPolicyEngineBatch' -benchtime 1s -count 3 -run '^$$' ./internal/sim/policy > bench-batch.txt; st=$$?; cat bench-batch.txt; [ $$st -eq 0 ]
+	$(GO) test -bench 'BenchmarkTableIPolicies|BenchmarkFigure1AgeGraph|BenchmarkSetDueling|BenchmarkPolicyCampaign' -benchtime 1x -count 3 -run '^$$' . > bench-cache.txt; st=$$?; cat bench-cache.txt; [ $$st -eq 0 ]
+	$(GO) run ./scripts/benchjson -in bench.txt -in bench-step.txt -in bench-batch.txt -in bench-cache.txt -out BENCH_10.json
 
 # Gate: fail on a >10% regression against the committed baseline
 # (bench/BENCH_BASELINE.json — see bench/README.md) in step throughput
-# (ns/instr, including the per-engine trace-mode series) and in the
-# wall time (ns/op) of the cache-policy simulation benchmarks. The
-# cache baseline was captured from the pre-flat-engine policy layer, so
-# those benchmarks sit ~3x under their limits; the step baseline is the
-# PR 9 trace-engine capture, so the gate catches any slide back toward
-# per-µop dispatch.
-bench-compare: BENCH_9.json
-	$(GO) run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_9.json \
+# (ns/instr, including the per-engine trace-mode series), the batch
+# policy kernels, and the wall time (ns/op) of the cache-policy
+# simulation benchmarks. The step baseline is the PR 9 trace-engine
+# capture, so the gate catches any slide back toward per-µop dispatch;
+# the cache and batch baselines are the PR 10 capture (batch probing +
+# seq-replay fast path), guarding the campaign-scale speedups.
+bench-compare: BENCH_10.json
+	$(GO) run ./scripts/benchjson -baseline bench/BENCH_BASELINE.json -against BENCH_10.json \
 		-bench BenchmarkStepThroughput \
 		-bench BenchmarkEngineThroughput \
+		-bench BenchmarkPolicyEngineBatch \
 		-bench BenchmarkTableIPolicies \
 		-bench BenchmarkFigure1AgeGraph \
-		-bench BenchmarkSetDueling
+		-bench BenchmarkSetDueling \
+		-bench BenchmarkPolicyCampaign
 
-BENCH_9.json:
+BENCH_10.json:
 	$(MAKE) bench
 
 # CPU and allocation profiles of the two hot paths — the cache-policy

@@ -19,8 +19,10 @@ package nanobench_test
 //	BenchmarkKernelVsUserAccuracy    — §III-D (E9)
 //	BenchmarkContiguousAlloc         — §IV-D (E10)
 //	BenchmarkSetDueling              — §VI-C3 (E11, quick subset)
+//	BenchmarkPolicyCampaign          — §VI campaign job (sharded inference)
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -194,6 +196,35 @@ func BenchmarkSetDueling(b *testing.B) {
 			}
 			b.ReportMetric(float64(correct), "sets-correct")
 			b.ReportMetric(float64(total), "sets-tested")
+		}
+	}
+}
+
+// BenchmarkPolicyCampaign runs the campaign job's workload — sharded
+// policy inference over two models at every cache level, plus the
+// adaptive model's stochastic-leader age graph — end to end, the same
+// code path the server's "campaign" job kind executes.
+func BenchmarkPolicyCampaign(b *testing.B) {
+	opt := experiments.CampaignOptions{
+		CPUs:        []string{"IvyBridge", "Skylake"},
+		AgeGraphs:   true,
+		AgeMaxFresh: 32, AgeStep: 16, AgeTrials: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PolicyCampaign(context.Background(), opt, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ok := 0
+			for _, c := range res.Cells {
+				if c.OK {
+					ok++
+				}
+			}
+			b.ReportMetric(float64(ok), "cells-correct")
+			b.ReportMetric(float64(len(res.Cells)), "cells-tested")
+			b.ReportMetric(float64(len(res.AgeRows)), "age-rows")
 		}
 	}
 }

@@ -13,13 +13,13 @@ import (
 // block still hit after n fresh blocks were accessed.
 type AgeGraph struct {
 	// FreshCounts are the x-axis values.
-	FreshCounts []int
+	FreshCounts []int `json:"fresh_counts"`
 	// Hits[b][k] is the hit count of prefix block b after FreshCounts[k]
 	// fresh blocks.
-	Hits [][]int
+	Hits [][]int `json:"hits"`
 	// BlockIDs are the measured prefix blocks, in prefix order.
-	BlockIDs []int
-	Trials   int
+	BlockIDs []int `json:"block_ids"`
+	Trials   int   `json:"trials"`
 }
 
 // AgeSample runs one age experiment (Section VI-C2): execute the prefix

@@ -465,7 +465,7 @@ func (t *Tool) RunSeqTrials(ctx context.Context, level Level, slice, set int, se
 		return nil, err
 	}
 	ev, name := hitEventFor(level)
-	res, err := t.R.RunContext(ctx, nano.Config{
+	cfg := nano.Config{
 		Code:          code,
 		UnrollCount:   1,
 		NMeasurements: n,
@@ -473,19 +473,30 @@ func (t *Tool) RunSeqTrials(ctx context.Context, level Level, slice, set int, se
 		NoMem:         true,
 		Aggregate:     nano.Min,
 		Events:        []perfcfg.EventSpec{ev},
-	})
+	}
+	// The seq-replay fast path returns the same per-trial hit samples
+	// bit-identically while skipping instruction simulation for verified
+	// images; ok=false falls back to the full nanoBench run.
+	samples, ok, err := t.R.RunSeqHits(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	m, ok := res.Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("cachetools: hit counter missing")
+		res, err := t.R.RunContext(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m, found := res.Lookup(name)
+		if !found {
+			return nil, fmt.Errorf("cachetools: hit counter missing")
+		}
+		samples = m.Samples
 	}
-	if len(m.Samples) != n {
-		return nil, fmt.Errorf("cachetools: %d trial samples, want %d", len(m.Samples), n)
+	if len(samples) != n {
+		return nil, fmt.Errorf("cachetools: %d trial samples, want %d", len(samples), n)
 	}
 	out := make([]SeqResult, n)
-	for k, s := range m.Samples {
+	for k, s := range samples {
 		out[k] = SeqResult{Hits: int(s + 0.5), Measured: measured}
 	}
 	return out, nil

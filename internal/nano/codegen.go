@@ -50,6 +50,13 @@ func (r *Runner) generate(cfg Config, g counterGroup, localUnroll int) ([]byte, 
 		return nil, err
 	}
 
+	// Size the buffer for the dominant terms (unrolled body, init, the
+	// fixed save/init/restore scaffolding and two counter-read sequences)
+	// so the image is built in a single allocation. The estimate only has
+	// to be close: append still grows the slice if a counter-read
+	// sequence runs long.
+	buf = make([]byte, 0, 1024+len(init)+localUnroll*len(body)+128*len(g.reads))
+
 	// --- saveRegs ---
 	for gp := 0; gp < x86.NumGP; gp++ {
 		if err := emit(x86.I(x86.MOV, x86.MemAt(auxSaveGP+uint32(8*gp)), x86.Reg(gp))); err != nil {

@@ -69,6 +69,10 @@ type Runner struct {
 	// the regenerated image is byte-identical and the machine certifies
 	// the installed program is still valid.
 	lastCode []byte
+
+	// seq holds the seq-replay fast path's verified-trace cache
+	// (seqreplay.go); lazily created, keyed by image hash.
+	seq *seqReplayState
 }
 
 type region struct {
@@ -164,6 +168,12 @@ func (r *Runner) RebootAndRemap() error {
 	}
 	r.regions = nil
 	r.lastCode = nil // reboot re-maps the code region onto fresh frames
+	if r.seq != nil {
+		// Recorded traces carry physical addresses; remapping onto fresh
+		// frames invalidates all of them.
+		r.seq.entries = make(map[[32]byte]*seqTraceEntry)
+		r.seq.dropMemo()
+	}
 	r.M.Reboot()
 	return r.mapRegions()
 }

@@ -127,6 +127,8 @@ func TestAPIDocGolden(t *testing.T) {
 		// response — asserted by replaying the /v1/sweep example block.
 		{"GET", "/v1/jobs/j000001/result", "", "sweep-response", 200, ""},
 		{"GET", "/v1/jobs/j000001/events", "", "jobs-events-response", 200, ""},
+		{"POST", "/v1/jobs", "campaign-submit-request", "campaign-submit-response", 202, ""},
+		{"GET", "/v1/jobs/j000002/result", "", "campaign-result-response", 200, "j000002"},
 		{"POST", "/v1/run", "error-request", "error-response", 422, ""},
 		{"GET", "/v1/stats", "", "stats-response", 200, ""},
 		{"GET", "/metrics", "", "metrics-response", 200, ""},

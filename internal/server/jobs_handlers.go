@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 
+	"nanobench/internal/experiments"
 	"nanobench/internal/jobs"
 )
 
@@ -26,11 +27,57 @@ import (
 // session's shard-merge path, which is byte-identical by construction.
 
 // jobSubmitRequest is the body of POST /v1/jobs: exactly one of the
-// synchronous request bodies, keyed by its endpoint name.
+// synchronous request bodies, keyed by its endpoint name — or a
+// campaign, which has no synchronous endpoint (a full campaign simulates
+// for minutes; it only makes sense as a job).
 type jobSubmitRequest struct {
-	Run      *runRequest   `json:"run,omitempty"`
-	RunBatch *batchRequest `json:"runbatch,omitempty"`
-	Sweep    *sweepRequest `json:"sweep,omitempty"`
+	Run      *runRequest      `json:"run,omitempty"`
+	RunBatch *batchRequest    `json:"runbatch,omitempty"`
+	Sweep    *sweepRequest    `json:"sweep,omitempty"`
+	Campaign *campaignRequest `json:"campaign,omitempty"`
+}
+
+// campaignRequest selects a policy-inference campaign (experiments
+// package, Section VI): Table I's replacement-policy inference over the
+// requested CPU models and cache levels, optionally with stochastic-
+// leader age graphs. Empty cpus/levels mean every Table I model and all
+// three levels. The result is deterministic for a given request — worker
+// count included — so repeated submissions return byte-identical bodies.
+type campaignRequest struct {
+	CPUs         []string `json:"cpus,omitempty"`
+	Levels       []string `json:"levels,omitempty"`
+	MaxSequences int      `json:"max_sequences,omitempty"`
+	Seed         int64    `json:"seed,omitempty"`
+	Workers      int      `json:"workers,omitempty"`
+	AgeGraphs    bool     `json:"age_graphs,omitempty"`
+	AgeMaxFresh  int      `json:"age_max_fresh,omitempty"`
+	AgeStep      int      `json:"age_step,omitempty"`
+	AgeTrials    int      `json:"age_trials,omitempty"`
+}
+
+// prepareCampaign validates a campaign submission (CPU names and levels
+// resolve) and sizes its progress denominator.
+func (s *Server) prepareCampaign(req campaignRequest) (experiments.CampaignOptions, int, *apiError) {
+	levels, err := experiments.ParseLevels(req.Levels)
+	if err != nil {
+		return experiments.CampaignOptions{}, 0, errBadRequest(err.Error())
+	}
+	opt := experiments.CampaignOptions{
+		CPUs:         req.CPUs,
+		Levels:       levels,
+		MaxSequences: req.MaxSequences,
+		Seed:         req.Seed,
+		Workers:      req.Workers,
+		AgeGraphs:    req.AgeGraphs,
+		AgeMaxFresh:  req.AgeMaxFresh,
+		AgeStep:      req.AgeStep,
+		AgeTrials:    req.AgeTrials,
+	}
+	total, err := experiments.CampaignSize(opt)
+	if err != nil {
+		return experiments.CampaignOptions{}, 0, errBadRequest(err.Error())
+	}
+	return opt, total, nil
 }
 
 // jobJSON is a job record's wire form: the submit/status/cancel
@@ -110,13 +157,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // closes over the prepared groups as the job's task.
 func (s *Server) buildJobTask(req jobSubmitRequest) (kind string, total int, task jobs.Task, e *apiError) {
 	set := 0
-	for _, p := range []bool{req.Run != nil, req.RunBatch != nil, req.Sweep != nil} {
+	for _, p := range []bool{req.Run != nil, req.RunBatch != nil, req.Sweep != nil, req.Campaign != nil} {
 		if p {
 			set++
 		}
 	}
 	if set != 1 {
-		return "", 0, nil, errBadRequest(`give exactly one of "run", "runbatch", "sweep"`)
+		return "", 0, nil, errBadRequest(`give exactly one of "run", "runbatch", "sweep", "campaign"`)
 	}
 	switch {
 	case req.Run != nil:
@@ -153,6 +200,18 @@ func (s *Server) buildJobTask(req jobSubmitRequest) (kind string, total int, tas
 				return nil, err
 			}
 			return renderJSON(resp)
+		}, nil
+	case req.Campaign != nil:
+		opt, total, e := s.prepareCampaign(*req.Campaign)
+		if e != nil {
+			return "", 0, nil, e
+		}
+		return "campaign", total, func(ctx context.Context, p *jobs.Progress) ([]byte, error) {
+			res, err := experiments.PolicyCampaign(ctx, opt, func() { p.Step(false, false) })
+			if err != nil {
+				return nil, err
+			}
+			return renderJSON(res)
 		}, nil
 	default:
 		groups, n, e := s.prepareSweep(*req.Sweep)

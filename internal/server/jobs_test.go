@@ -481,3 +481,65 @@ func TestJobEventsStreamLive(t *testing.T) {
 		t.Errorf("stream's last record is %q, want canceled", last.State)
 	}
 }
+
+// TestCampaignJobDeterministicAcrossWorkers submits the same miniature
+// policy-inference campaign (one adaptive model, L1 only, plus a tiny
+// stochastic-leader age graph) at two worker counts and requires the
+// finished result bodies to be byte-identical: campaign cells and
+// age-graph groups are pure functions of the request, never of the
+// schedule. docs/API.md replays this request.
+func TestCampaignJobDeterministicAcrossWorkers(t *testing.T) {
+	ts := newTestServer(t, Options{Seed: 42})
+	submit := func(workers int) []byte {
+		body := fmt.Sprintf(`{"campaign": {"cpus": ["IvyBridge"], "levels": ["L1"], "max_sequences": 30,
+			"workers": %d, "age_graphs": true, "age_max_fresh": 16, "age_step": 16, "age_trials": 2}}`, workers)
+		status, resp := post(t, ts, "/v1/jobs", body)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit status %d: %s", status, resp)
+		}
+		submitted := decodeJob(t, resp)
+		if submitted.Kind != "campaign" {
+			t.Fatalf("kind = %q, want campaign", submitted.Kind)
+		}
+		final := pollJob(t, ts, submitted.ID, func(j jobRecord) bool { return j.State == "done" })
+		// One (CPU, level) cell plus one age row.
+		if final.Progress.Total != 2 || final.Progress.Completed != 2 {
+			t.Errorf("workers=%d progress = %+v", workers, final.Progress)
+		}
+		status, result := get(t, ts, "/v1/jobs/"+submitted.ID+"/result")
+		if status != http.StatusOK {
+			t.Fatalf("result status %d: %s", status, result)
+		}
+		return result
+	}
+	one, four := submit(1), submit(4)
+	if !bytes.Equal(one, four) {
+		t.Errorf("campaign results differ across worker counts:\nworkers=1: %s\nworkers=4: %s", one, four)
+	}
+	var res struct {
+		Cells []struct {
+			CPU, Level, Policy string
+			OK                 bool
+		} `json:"cells"`
+		AgeRows []json.RawMessage `json:"age_rows"`
+	}
+	if err := json.Unmarshal(one, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || len(res.AgeRows) != 1 {
+		t.Fatalf("campaign shape: %s", one)
+	}
+	if c := res.Cells[0]; c.CPU != "IvyBridge" || c.Level != "L1" || !c.OK {
+		t.Errorf("cell = %+v", c)
+	}
+
+	// A campaign of unknown CPUs or levels is rejected at submit time.
+	for _, bad := range []string{
+		`{"campaign": {"cpus": ["NoSuchCPU"]}}`,
+		`{"campaign": {"levels": ["L4"]}}`,
+	} {
+		if status, resp := post(t, ts, "/v1/jobs", bad); status != http.StatusBadRequest {
+			t.Errorf("submit %s: status %d: %s", bad, status, resp)
+		}
+	}
+}

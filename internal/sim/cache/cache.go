@@ -209,19 +209,28 @@ func (c *Cache) tag(phys uint64) uint64 {
 }
 
 // ensure applies any pending epoch-based invalidation to a set and
-// returns its base index into the line arrays.
+// returns its base index into the line arrays. The epoch check is kept
+// inlinable; the clear itself is the cold path.
 func (c *Cache) ensure(si int) int {
-	base := si * c.assoc
 	if c.setEpoch[si] != c.epoch {
-		for i := base; i < base+c.assoc; i++ {
-			c.flags[i] = 0
-			c.tags[i] = invalidTag
-		}
-		c.setValid[si] = 0
-		c.eng.Reset(si)
-		c.setEpoch[si] = c.epoch
+		c.clearSet(si)
 	}
-	return base
+	return si * c.assoc
+}
+
+func (c *Cache) clearSet(si int) {
+	base := si * c.assoc
+	flags := c.flags[base : base+c.assoc]
+	for i := range flags {
+		flags[i] = 0
+	}
+	tags := c.tags[base : base+c.assoc]
+	for i := range tags {
+		tags[i] = invalidTag
+	}
+	c.setValid[si] = 0
+	c.eng.Reset(si)
+	c.setEpoch[si] = c.epoch
 }
 
 // Probe reports whether the line containing phys is present, without
@@ -242,14 +251,26 @@ func (c *Cache) Probe(phys uint64) bool {
 // returns the evicted line's physical base address (evicted=true if a
 // valid line was replaced; wbPhys is meaningful only if dirty).
 func (c *Cache) Access(phys uint64, write bool) (hit bool, evicted bool, evictedDirty bool, evictedPhys uint64) {
-	si := c.SetIndex(phys)
+	return c.access(c.SetIndex(phys), c.tag(phys), write)
+}
+
+// accessTag is Access keyed by line tag (phys >> lineBits): the trace
+// replay walk pre-shifts addresses once at compile time, so per-op lookup
+// is a mask instead of a shift+mask per level.
+func (c *Cache) accessTag(t uint64, write bool) (hit bool, evicted bool, evictedDirty bool, evictedPhys uint64) {
+	return c.access(int(t&c.setMask), t, write)
+}
+
+func (c *Cache) access(si int, t uint64, write bool) (hit bool, evicted bool, evictedDirty bool, evictedPhys uint64) {
 	base := c.ensure(si)
-	t := c.tag(phys)
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == t {
-			c.eng.OnHit(si, i-base)
+	// Subslicing lets the compiler drop the per-way bounds checks in the
+	// lookup scan, the hottest loop of both execution and trace replay.
+	tags := c.tags[base : base+c.assoc]
+	for w, tag := range tags {
+		if tag == t {
+			c.eng.OnHit(si, w)
 			if write {
-				c.flags[i] |= flagDirty
+				c.flags[base+w] |= flagDirty
 			}
 			return true, false, false, 0
 		}

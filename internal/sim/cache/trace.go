@@ -1,0 +1,259 @@
+package cache
+
+import "math/bits"
+
+// Hierarchy access tracing and set-local replay.
+//
+// The cache tools' single-set experiments (RunSeqTrials: age graphs,
+// policy inference, set dueling) re-execute the same generated kernel
+// image dozens of times per (block, set) group, and in kernel mode the
+// sequence of hierarchy operations an image performs — addresses, order,
+// and which loads the PMU counts — is state-independent: it depends only
+// on the image bytes, not on what the caches contain. The machine can
+// therefore record one run's operations through a TraceSink, verify the
+// recording against a second real run, and then *replay* the operations
+// directly against the live hierarchy: the replay walk mutates cache
+// state exactly as the real run would (same lookups, fills, dirty
+// writebacks, and invalidations, in the same order) while skipping
+// instruction execution, address translation, latency accounting, and
+// slice-hash recomputation. Hit counts come out bit-identical by
+// construction because the walk runs the same code paths minus the parts
+// that cannot affect placement decisions. internal/nano owns the
+// record/verify/replay protocol; this file owns the mechanism.
+
+// OpKind classifies one recorded hierarchy operation.
+type OpKind uint8
+
+const (
+	// OpData is a demand data access (load, store, or software prefetch).
+	OpData OpKind = iota
+	// OpCode is an instruction-line fetch.
+	OpCode
+	// OpFlush is a whole-hierarchy invalidation (WBINVD).
+	OpFlush
+	// OpFlushLine is a single-line invalidation (CLFLUSH).
+	OpFlushLine
+	// OpCtrRead marks a counter read (RDPMC/RDMSR); it does not touch the
+	// hierarchy but delimits the measurement window during replay.
+	OpCtrRead
+)
+
+// TraceOp is one recorded operation. Level records where the access was
+// served on the recorded run; it is diagnostic only and excluded from
+// trace equality, since placement varies run to run while the operation
+// sequence does not.
+type TraceOp struct {
+	Kind     OpKind
+	Write    bool
+	Counting bool // a PMU-visible load (stores and prefetches never count)
+	MSR      bool // CtrRead came from RDMSR rather than RDPMC
+	Idx      uint32
+	Phys     uint64
+	Level    uint8
+}
+
+// TraceSink collects the hierarchy operations of one machine run. The
+// machine calls the record methods from its cache-touching instruction
+// paths when a sink is installed (Machine.SetTraceSink).
+type TraceSink struct {
+	Ops []TraceOp
+	// LastCodeLine is the virtual line address of the most recent code
+	// fetch; after a replayed run the machine's single-line fetch memo is
+	// restored to this value so post-run core state matches a real run.
+	LastCodeLine uint64
+	HasCode      bool
+}
+
+// Reset clears the sink for a new recording.
+func (s *TraceSink) Reset() {
+	s.Ops = s.Ops[:0]
+	s.LastCodeLine = 0
+	s.HasCode = false
+}
+
+// Data records a demand data access.
+func (s *TraceSink) Data(phys uint64, write, counting bool, level int) {
+	s.Ops = append(s.Ops, TraceOp{Kind: OpData, Write: write, Counting: counting, Phys: phys, Level: uint8(level)})
+}
+
+// Code records an instruction fetch of the line at phys; virtLine is the
+// virtual line address the core's fetch memo tracks.
+func (s *TraceSink) Code(virtLine, phys uint64, level int) {
+	s.Ops = append(s.Ops, TraceOp{Kind: OpCode, Phys: phys, Level: uint8(level)})
+	s.LastCodeLine = virtLine
+	s.HasCode = true
+}
+
+// Flush records a WBINVD.
+func (s *TraceSink) Flush() { s.Ops = append(s.Ops, TraceOp{Kind: OpFlush}) }
+
+// FlushLine records a CLFLUSH of the line at phys.
+func (s *TraceSink) FlushLine(phys uint64) {
+	s.Ops = append(s.Ops, TraceOp{Kind: OpFlushLine, Phys: phys})
+}
+
+// CtrRead records a counter read (window delimiter).
+func (s *TraceSink) CtrRead(idx uint32, msr bool) {
+	s.Ops = append(s.Ops, TraceOp{Kind: OpCtrRead, MSR: msr, Idx: idx})
+}
+
+// TraceEqual reports whether two recordings describe the same operation
+// sequence. Levels are excluded: they depend on cache state, which
+// legitimately differs between runs of the same image.
+func TraceEqual(a, b []TraceOp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kind != y.Kind || x.Write != y.Write || x.Counting != y.Counting ||
+			x.MSR != y.MSR || x.Idx != y.Idx || x.Phys != y.Phys {
+			return false
+		}
+	}
+	return true
+}
+
+// PredictHits computes, from a recording's levels, the sample a run would
+// report on a counter programmed for "served at level want": counting
+// data ops at that level strictly between the first and second reads of
+// counter idx. Used to cross-check recordings against real samples.
+func PredictHits(ops []TraceOp, idx uint32, want int) int {
+	hits, window := 0, 0
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpCtrRead:
+			if !op.MSR && op.Idx == idx {
+				window++
+			}
+		case OpData:
+			if window == 1 && op.Counting && int(op.Level) == want {
+				hits++
+			}
+		}
+	}
+	return hits
+}
+
+// resolvedOp is one compiled trace operation: the line tag replaces the
+// address, and the L3 slice hash is precomputed, so the replay walk does
+// no hashing and no shifting beyond a set-mask AND per level.
+type resolvedOp struct {
+	kind   OpKind
+	write  bool
+	count  bool // counting data access (contributes to the sample window)
+	marker bool // CtrRead of the counted index
+	slice  int32
+	tag    uint64
+}
+
+// ResolvedTrace is a recording compiled against one hierarchy's geometry
+// (line size and slice hash). It stays valid across Restream/Flush —
+// the operations are address-level and state-independent — but must be
+// recompiled if the hierarchy itself is rebuilt.
+type ResolvedTrace struct {
+	ops  []resolvedOp
+	want uint8
+}
+
+// CompileTrace resolves a recording for replay against h, with the
+// sample window delimited by reads of counter countIdx and hits counted
+// at wantLevel. Counter reads other than countIdx's are dropped; they
+// neither touch the hierarchy nor delimit the window.
+func (h *Hierarchy) CompileTrace(ops []TraceOp, countIdx uint32, wantLevel int) *ResolvedTrace {
+	lineShift := uint(bits.TrailingZeros(uint(h.lineSize)))
+	rt := &ResolvedTrace{ops: make([]resolvedOp, 0, len(ops)), want: uint8(wantLevel)}
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpData, OpCode:
+			rt.ops = append(rt.ops, resolvedOp{
+				kind:  op.Kind,
+				write: op.Write,
+				count: op.Counting,
+				slice: int32(h.hash.Slice(op.Phys)),
+				tag:   op.Phys >> lineShift,
+			})
+		case OpFlush:
+			rt.ops = append(rt.ops, resolvedOp{kind: OpFlush})
+		case OpFlushLine:
+			rt.ops = append(rt.ops, resolvedOp{
+				kind:  OpFlushLine,
+				slice: int32(h.hash.Slice(op.Phys)),
+				tag:   op.Phys >> lineShift,
+			})
+		case OpCtrRead:
+			if !op.MSR && op.Idx == countIdx {
+				rt.ops = append(rt.ops, resolvedOp{kind: OpCtrRead, marker: true})
+			}
+		}
+	}
+	return rt
+}
+
+// Replay walks a compiled trace through the live hierarchy, mutating
+// cache and replacement state exactly as the recorded run would, and
+// returns the hit count the run's sample window would report. ok=false
+// (hierarchy untouched) if the prefetcher is active: prefetch fills
+// depend on L2 hit/miss state, which would make the operation sequence
+// state-dependent and the recording unsound.
+func (h *Hierarchy) Replay(rt *ResolvedTrace) (hits int, ok bool) {
+	if h.Prefetcher.Enabled && h.Prefetcher.Degree > 0 {
+		return 0, false
+	}
+	lineShift := uint(bits.TrailingZeros(uint(h.lineSize)))
+	want := rt.want
+	window := 0
+	for i := range rt.ops {
+		op := &rt.ops[i]
+		switch op.kind {
+		case OpData:
+			// Mirrors Hierarchy.Data minus latency accounting and the
+			// (gated-off) prefetcher observation.
+			hit, ev, evDirty, evPhys := h.L1D.accessTag(op.tag, op.write)
+			if ev && evDirty {
+				h.l1Writeback(evPhys)
+			}
+			level := uint8(1)
+			if !hit {
+				hit2, ev2, ev2Dirty, ev2Phys := h.L2.accessTag(op.tag, false)
+				if ev2 && ev2Dirty {
+					h.l2Writeback(ev2Phys)
+				}
+				if hit2 {
+					level = 2
+				} else if hit3, _, _, _ := h.L3[op.slice].accessTag(op.tag, false); hit3 {
+					level = 3
+				} else {
+					level = 4
+				}
+			}
+			if window == 1 && op.count && level == want {
+				hits++
+			}
+		case OpCode:
+			// Mirrors Hierarchy.Code minus latency accounting.
+			if hit, _, _, _ := h.L1I.accessTag(op.tag, false); !hit {
+				hit2, ev2, ev2Dirty, ev2Phys := h.L2.accessTag(op.tag, false)
+				if ev2 && ev2Dirty {
+					h.l2Writeback(ev2Phys)
+				}
+				if !hit2 {
+					h.L3[op.slice].accessTag(op.tag, false)
+				}
+			}
+		case OpFlush:
+			h.Flush()
+		case OpFlushLine:
+			phys := op.tag << lineShift
+			h.L1I.InvalidateLine(phys)
+			h.L1D.InvalidateLine(phys)
+			h.L2.InvalidateLine(phys)
+			h.L3[op.slice].InvalidateLine(phys)
+		case OpCtrRead:
+			window++
+		}
+	}
+	return hits, true
+}

@@ -238,6 +238,9 @@ func (m *Machine) fetch(d *x86.DecodedInstr) error {
 			return &Fault{RIP: c.rip, Reason: "instruction fetch from unmapped memory"}
 		}
 		res := m.Hier.Code(phys)
+		if m.sink != nil {
+			m.sink.Code(line, phys, res.Level)
+		}
 		if res.Level > 1 {
 			// Fetch bubble: the front end stalls for the extra latency.
 			c.feCycle += int64(res.Latency - m.Hier.L1I.Geom.Latency)
@@ -369,6 +372,9 @@ func (m *Machine) execOne(d *x86.DecodedInstr) (bool, error) {
 		if !ok {
 			return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: RDPMC index %#x", idx)}
 		}
+		if m.sink != nil {
+			m.sink.CtrRead(idx, false)
+		}
 		m.setReg(x86.RAX, v&0xFFFFFFFF, done)
 		m.setReg(x86.RDX, v>>32, done)
 		m.retire(done)
@@ -380,6 +386,9 @@ func (m *Machine) execOne(d *x86.DecodedInstr) (bool, error) {
 		v, ok := m.readMSR(uint32(c.regs[x86.RCX]), start)
 		if !ok {
 			return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#GP: RDMSR %#x", uint32(c.regs[x86.RCX]))}
+		}
+		if m.sink != nil {
+			m.sink.CtrRead(uint32(c.regs[x86.RCX]), true)
 		}
 		m.setReg(x86.RAX, v&0xFFFFFFFF, done)
 		m.setReg(x86.RDX, v>>32, done)
@@ -402,6 +411,9 @@ func (m *Machine) execOne(d *x86.DecodedInstr) (bool, error) {
 	case x86.ClassWBINVD:
 		m.issueSlot()
 		flushed := m.Hier.Flush()
+		if m.sink != nil {
+			m.sink.Flush()
+		}
 		done := maxI64(c.lastCompletion, c.feCycle) + 1000 + 2*int64(flushed)
 		c.barrier = maxI64(c.barrier, done)
 		c.lastCompletion = done
@@ -419,6 +431,9 @@ func (m *Machine) execOne(d *x86.DecodedInstr) (bool, error) {
 			return false, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#PF: CLFLUSH of unmapped %#x", addr)}
 		}
 		m.Hier.FlushLine(phys)
+		if m.sink != nil {
+			m.sink.FlushLine(phys)
+		}
 		u := d.Uops[0]
 		_, done := m.dispatch(u.Ports, aready, u.Latency, u.Occupancy)
 		m.retire(done)
@@ -429,7 +444,10 @@ func (m *Machine) execOne(d *x86.DecodedInstr) (bool, error) {
 			return false, err
 		}
 		if phys, ok := m.Mem.Translate(addr); ok {
-			m.Hier.Data(phys, false) // prefetches fill but raise no load events
+			res := m.Hier.Data(phys, false) // prefetches fill but raise no load events
+			if m.sink != nil {
+				m.sink.Data(phys, false, false, res.Level)
+			}
 		}
 		_, done := m.dispatch(x86.PortsLoad, aready, 1, 1)
 		m.retire(done)
@@ -566,6 +584,9 @@ func (m *Machine) load(addr uint32, size int, addrReady int64) (uint64, int64, c
 		return 0, 0, cache.Result{}, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#PF: load from unmapped %#x", addr)}
 	}
 	res := m.Hier.Data(phys, false)
+	if m.sink != nil {
+		m.sink.Data(phys, false, m.PMU.AnyActive(), res.Level)
+	}
 	// Store-to-load forwarding: a load overlapping a buffered store waits
 	// for the store data and bypasses the cache latency. The ring is
 	// walked newest-first with a plain decrement-and-wrap cursor, and not
@@ -674,6 +695,9 @@ func (m *Machine) store(addr uint32, size int, v uint64, addrReady, dataReady in
 		return 0, &Fault{RIP: c.rip, Reason: fmt.Sprintf("#PF: store to unmapped %#x", addr)}
 	}
 	res := m.Hier.Data(phys, true)
+	if m.sink != nil {
+		m.sink.Data(phys, true, false, res.Level)
+	}
 	_, staDone := m.dispatch(x86.PortsSTA, addrReady, 1, 1)
 	_, stdDone := m.dispatch(x86.PortsSTD, dataReady, 1, 1)
 	done := maxI64(staDone, stdDone)

@@ -139,6 +139,12 @@ type Machine struct {
 	// MaxInstructions bounds one Run (a runaway-loop backstop).
 	MaxInstructions uint64
 
+	// sink, when non-nil, records every cache-hierarchy operation and
+	// counter read the executing code performs (see cache.TraceSink). The
+	// nano seq-replay fast path installs it around real runs to learn an
+	// image's hierarchy trace; nil costs one predictable branch per site.
+	sink *cache.TraceSink
+
 	nextIrq int64
 	// irqScratch is a physical region the fake interrupt handler touches
 	// to perturb the caches.
@@ -222,6 +228,28 @@ func (m *Machine) Cycle() int64 { return m.core.cycleFloor() }
 // Rand exposes the machine's deterministic random source (tests and
 // tooling use it so everything derives from one seed).
 func (m *Machine) Rand() *rand.Rand { return m.rng }
+
+// SetTraceSink installs (or, with nil, removes) a hierarchy-trace
+// recorder: while installed, every cache access, flush, and counter read
+// of executed code is appended to it.
+func (m *Machine) SetTraceSink(s *cache.TraceSink) { m.sink = s }
+
+// FetchLineMemo returns the core's single-line fetch memo: the virtual
+// line address of the most recent instruction fetch, if any. The memo
+// persists across runs and suppresses a refetch of that one line, so a
+// recorded hierarchy trace is only valid for replay when the memo
+// condition at run entry matches the recording's.
+func (m *Machine) FetchLineMemo() (uint64, bool) {
+	return m.core.fetchLine, m.core.hasFetchLine
+}
+
+// SetFetchLineMemo overwrites the fetch memo; trace replay uses it to
+// leave the core exactly as the recorded run would have (memo = last
+// code line the run fetched).
+func (m *Machine) SetFetchLineMemo(line uint64) {
+	m.core.fetchLine = line
+	m.core.hasFetchLine = true
+}
 
 // WriteCode copies machine code into virtual memory and installs it as
 // the machine's pre-decoded program: the image is decoded eagerly, front

@@ -138,31 +138,40 @@ type plruEngine struct {
 	assoc int
 	occ   setOcc
 	tree  []uint64
+	// touchSet/touchClr[way] precompute touch(way)'s tree update: the
+	// walk's path and bit polarities depend only on the way index, so the
+	// per-access walk collapses to two masked operations.
+	touchSet []uint64
+	touchClr []uint64
 }
 
 func newPLRUEngine(sets, assoc int) *plruEngine {
-	return &plruEngine{assoc: assoc, occ: newSetOcc(sets, assoc), tree: make([]uint64, sets)}
+	e := &plruEngine{assoc: assoc, occ: newSetOcc(sets, assoc), tree: make([]uint64, sets)}
+	e.touchSet = make([]uint64, assoc)
+	e.touchClr = make([]uint64, assoc)
+	for way := 0; way < assoc; way++ {
+		node := 1
+		lo, hi := 0, assoc
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if way < mid {
+				e.touchSet[way] |= 1 << uint(node) // point right, away from the leaf
+				node = 2 * node
+				hi = mid
+			} else {
+				e.touchClr[way] |= 1 << uint(node)
+				node = 2*node + 1
+				lo = mid
+			}
+		}
+	}
+	return e
 }
 
 func (e *plruEngine) Name() string { return "PLRU" }
 
 func (e *plruEngine) touch(set, way int) {
-	word := e.tree[set]
-	node := 1
-	lo, hi := 0, e.assoc
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if way < mid {
-			word |= 1 << uint(node) // point right, away from the leaf
-			node = 2 * node
-			hi = mid
-		} else {
-			word &^= 1 << uint(node)
-			node = 2*node + 1
-			lo = mid
-		}
-	}
-	e.tree[set] = word
+	e.tree[set] = e.tree[set]&^e.touchClr[way] | e.touchSet[way]
 }
 
 func (e *plruEngine) OnHit(set, way int) { e.touch(set, way) }

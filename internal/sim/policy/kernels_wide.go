@@ -1,0 +1,311 @@
+package policy
+
+import "math/bits"
+
+// This file extends the stamp (LRU/FIFO) and tree-PLRU kernels to
+// associativities in (64, 256]: occupancy becomes a multi-word bitmap,
+// PLRU tree bits span up to four words per set, and stamps shrink to
+// uint16 (renormalized by rank on wrap, which at 16 bits is actually
+// reachable in long campaigns). Everything else — victim selection order,
+// power-on state, invalidate semantics — matches the narrow kernels and
+// the per-set reference policies bit-for-bit.
+
+// setOccW tracks per-set way occupancy as (assoc+63)/64 words per set.
+type setOccW struct {
+	words []uint64
+	nw    int
+	assoc int
+	last  uint64 // valid-bit mask of the final word
+}
+
+func newSetOccW(sets, assoc int) setOccW {
+	nw := (assoc + 63) / 64
+	last := ^uint64(0)
+	if r := assoc & 63; r != 0 {
+		last = 1<<uint(r) - 1
+	}
+	return setOccW{words: make([]uint64, sets*nw), nw: nw, assoc: assoc, last: last}
+}
+
+func (o *setOccW) mask(k int) uint64 {
+	if k == o.nw-1 {
+		return o.last
+	}
+	return ^uint64(0)
+}
+
+func (o *setOccW) isFull(set int) bool {
+	base := set * o.nw
+	for k := 0; k < o.nw; k++ {
+		if o.words[base+k] != o.mask(k) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *setOccW) test(set, way int) bool {
+	return o.words[set*o.nw+way>>6]>>uint(way&63)&1 != 0
+}
+
+func (o *setOccW) mark(set, way int)  { o.words[set*o.nw+way>>6] |= 1 << uint(way&63) }
+func (o *setOccW) clear(set, way int) { o.words[set*o.nw+way>>6] &^= 1 << uint(way&63) }
+
+func (o *setOccW) reset(set int) {
+	base := set * o.nw
+	for k := 0; k < o.nw; k++ {
+		o.words[base+k] = 0
+	}
+}
+
+func (o *setOccW) leftmostEmpty(set int) int {
+	base := set * o.nw
+	for k := 0; k < o.nw; k++ {
+		if w := ^o.words[base+k] & o.mask(k); w != 0 {
+			return k*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return 0 // unreachable: callers check isFull first
+}
+
+// stampEngineW is the wide-associativity stamp kernel (LRU, FIFO).
+type stampEngineW struct {
+	name   string
+	fifo   bool
+	assoc  int
+	occ    setOccW
+	stamps []uint16
+	clock  []uint16
+}
+
+func newStampEngineW(name string, sets, assoc int, fifo bool) *stampEngineW {
+	return &stampEngineW{
+		name: name, fifo: fifo, assoc: assoc,
+		occ:    newSetOccW(sets, assoc),
+		stamps: make([]uint16, sets*assoc),
+		clock:  make([]uint16, sets),
+	}
+}
+
+func (e *stampEngineW) Name() string { return e.name }
+
+func (e *stampEngineW) bump(set, way int) {
+	if e.clock[set] == ^uint16(0) {
+		e.renorm(set)
+	}
+	e.clock[set]++
+	e.stamps[set*e.assoc+way] = e.clock[set]
+}
+
+// renorm rank-compresses a set's stamps so the 16-bit clock can restart;
+// recency order is unchanged (stamps of valid ways are distinct, so ranks
+// are too).
+func (e *stampEngineW) renorm(set int) {
+	base := set * e.assoc
+	old := append([]uint16(nil), e.stamps[base:base+e.assoc]...)
+	for w := 0; w < e.assoc; w++ {
+		rank := uint16(1)
+		for v := 0; v < e.assoc; v++ {
+			if old[v] < old[w] {
+				rank++
+			}
+		}
+		e.stamps[base+w] = rank
+	}
+	e.clock[set] = uint16(e.assoc) + 1
+}
+
+func (e *stampEngineW) OnHit(set, way int) {
+	if e.fifo {
+		return
+	}
+	e.bump(set, way)
+}
+
+func (e *stampEngineW) Victim(set int) int {
+	if !e.occ.isFull(set) {
+		return e.occ.leftmostEmpty(set)
+	}
+	base := set * e.assoc
+	victim, best := 0, e.stamps[base]
+	for w := 1; w < e.assoc; w++ {
+		if s := e.stamps[base+w]; s < best {
+			victim, best = w, s
+		}
+	}
+	return victim
+}
+
+func (e *stampEngineW) OnFill(set, way int) {
+	e.occ.mark(set, way)
+	e.bump(set, way)
+}
+
+func (e *stampEngineW) OnInvalidate(set, way int) {
+	e.occ.clear(set, way)
+	e.stamps[set*e.assoc+way] = 0
+}
+
+func (e *stampEngineW) Reset(set int) {
+	e.occ.reset(set)
+	e.clock[set] = 0
+	base := set * e.assoc
+	for w := 0; w < e.assoc; w++ {
+		e.stamps[base+w] = 0
+	}
+}
+
+func (e *stampEngineW) Restream() {}
+
+func (e *stampEngineW) AccessBatch(set int, seq, wayOf, blockAt []int32, hits []bool) int {
+	base := set * e.assoc
+	st := e.stamps[base : base+e.assoc]
+	clock := e.clock[set]
+	n := 0
+	for i, b := range seq {
+		if w := wayOf[b]; w >= 0 {
+			if !e.fifo {
+				if clock == ^uint16(0) {
+					e.clock[set] = clock
+					e.renorm(set)
+					clock = e.clock[set]
+				}
+				clock++
+				st[w] = clock
+			}
+			n++
+			if hits != nil {
+				hits[i] = true
+			}
+			continue
+		}
+		var w int32
+		if !e.occ.isFull(set) {
+			w = int32(e.occ.leftmostEmpty(set))
+		} else {
+			best := st[0]
+			w = 0
+			for v := 1; v < e.assoc; v++ {
+				if s := st[v]; s < best {
+					w, best = int32(v), s
+				}
+			}
+		}
+		if old := blockAt[w]; old >= 0 {
+			wayOf[old] = -1
+		}
+		wayOf[b] = w
+		blockAt[w] = b
+		e.occ.mark(set, int(w))
+		if clock == ^uint16(0) {
+			e.clock[set] = clock
+			e.renorm(set)
+			clock = e.clock[set]
+		}
+		clock++
+		st[w] = clock
+	}
+	e.clock[set] = clock
+	return n
+}
+
+// plruEngineW is the wide-associativity tree-PLRU kernel: the heap-coded
+// tree bits of one set span nw = assoc/64 words (assoc is a power of two
+// above 64, so node indexes run 1..assoc-1).
+type plruEngineW struct {
+	assoc int
+	nw    int
+	occ   setOccW
+	tree  []uint64
+}
+
+func newPLRUEngineW(sets, assoc int) *plruEngineW {
+	return &plruEngineW{
+		assoc: assoc,
+		nw:    (assoc + 63) / 64,
+		occ:   newSetOccW(sets, assoc),
+		tree:  make([]uint64, sets*(assoc+63)/64),
+	}
+}
+
+func (e *plruEngineW) Name() string { return "PLRU" }
+
+func (e *plruEngineW) touch(set, way int) {
+	base := set * e.nw
+	node := 1
+	lo, hi := 0, e.assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			e.tree[base+node>>6] |= 1 << uint(node&63) // point right, away
+			node = 2 * node
+			hi = mid
+		} else {
+			e.tree[base+node>>6] &^= 1 << uint(node&63)
+			node = 2*node + 1
+			lo = mid
+		}
+	}
+}
+
+func (e *plruEngineW) OnHit(set, way int) { e.touch(set, way) }
+
+func (e *plruEngineW) Victim(set int) int {
+	if !e.occ.isFull(set) {
+		return e.occ.leftmostEmpty(set)
+	}
+	base := set * e.nw
+	node := 1
+	lo, hi := 0, e.assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if e.tree[base+node>>6]>>uint(node&63)&1 == 0 { // points left
+			node = 2 * node
+			hi = mid
+		} else {
+			node = 2*node + 1
+			lo = mid
+		}
+	}
+	return lo
+}
+
+func (e *plruEngineW) OnFill(set, way int) {
+	e.occ.mark(set, way)
+	e.touch(set, way)
+}
+
+func (e *plruEngineW) OnInvalidate(set, way int) { e.occ.clear(set, way) }
+
+func (e *plruEngineW) Reset(set int) {
+	e.occ.reset(set)
+	base := set * e.nw
+	for k := 0; k < e.nw; k++ {
+		e.tree[base+k] = 0
+	}
+}
+
+func (e *plruEngineW) Restream() {}
+
+func (e *plruEngineW) AccessBatch(set int, seq, wayOf, blockAt []int32, hits []bool) int {
+	n := 0
+	for i, b := range seq {
+		if w := wayOf[b]; w >= 0 {
+			e.touch(set, int(w))
+			n++
+			if hits != nil {
+				hits[i] = true
+			}
+			continue
+		}
+		w := int32(e.Victim(set))
+		if old := blockAt[w]; old >= 0 {
+			wayOf[old] = -1
+		}
+		wayOf[b] = w
+		blockAt[w] = b
+		e.occ.mark(set, int(w))
+		e.touch(set, int(w))
+	}
+	return n
+}

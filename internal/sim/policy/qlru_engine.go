@@ -212,12 +212,14 @@ func (e *qlruEngine) OnInvalidate(set, way int) {
 func (e *qlruEngine) Reset(set int) {
 	e.occ.reset(set)
 	base := set * e.assoc
-	for w := 0; w < e.assoc; w++ {
-		e.ages[base+w] = 0
+	ages := e.ages[base : base+e.assoc]
+	for i := range ages {
+		ages[i] = 0
 	}
 	e.bias[set] = 0
-	for a := 0; a < 4; a++ {
-		e.hist[set*4+a] = 0
+	hist := e.hist[set*4 : set*4+4]
+	for i := range hist {
+		hist[i] = 0
 	}
 }
 
